@@ -1,0 +1,50 @@
+"""Figure 2: the V100 global-memory roofline of the Winograd steps.
+
+Prints each labelled point of the figure with its arithmetic intensity
+and attainable TFLOPS under the DRAM (900 GB/s) and L2 (2.5 TB/s)
+ceilings, reproducing the figure's two claims: the transform steps are
+deeply memory-bound, and raising bk from 32 to 64 lifts the EWMM step's
+intensity by 33% (8 → 10.67 flops/byte), making it compute-bound once
+the L2 carries the filter traffic.
+"""
+
+import math
+
+from harness import emit
+
+from repro.common import format_table
+from repro.gpusim import V100
+from repro.perfmodel import gemm_step_intensity, roofline_table
+
+
+def rows():
+    table = []
+    for r in roofline_table(V100):
+        table.append(
+            (
+                r["step"],
+                f"2^{math.log2(r['intensity']):+.1f}",
+                r["dram_tflops"],
+                r["l2_tflops"],
+                r["bound@dram"],
+                r["bound@l2"],
+            )
+        )
+    return table
+
+
+def test_fig02_roofline(benchmark):
+    table = benchmark.pedantic(rows, rounds=1, iterations=1)
+    text = format_table(
+        ["step", "ops:bytes", "DRAM-TFLOPS", "L2-TFLOPS", "@DRAM", "@L2"],
+        table,
+        title=f"Figure 2: V100 roofline (peak {V100.peak_fp32_tflops:.1f} TFLOPS)",
+    )
+    emit("fig02_roofline", text)
+    gain = gemm_step_intensity(64) / gemm_step_intensity(32)
+    assert abs(gain - 4 / 3) < 1e-9  # §3.3's +33%
+
+
+if __name__ == "__main__":
+    for r in rows():
+        print(r)

@@ -1,0 +1,93 @@
+"""Figures 7-9: the SASS-level scheduling studies.
+
+Main-loop throughput (device TFLOPS; the y-axis ceiling is the FP32
+peak) on the 16 ResNet layer points under:
+
+* Fig. 7 — yield-flag strategies {cuDNN, NVCC, Natural} (paper: Natural
+  ≈1.09×/1.11× over the compiler heuristics);
+* Fig. 8 — LDG interleave distance {2, 4, 8} (paper: LDG8 up to 1.24×);
+* Fig. 9 — STS interleave distance {2, 4, 6} (paper: STS6 ≈ +2%).
+
+The per-iteration main-loop cost is measured on the simulated RTX 2070
+SM per configuration; the per-layer series applies each layer's grid
+(tail-wave) utilization, which is what differentiates layers in the
+paper's plots.
+"""
+
+import pytest
+from harness import emit, main_loop_measurement, main_loop_tflops
+
+from repro.common import format_grid
+from repro.models import paper_layers
+
+LAYERS = [p.name for p in paper_layers()]
+
+
+def _sweep(variants: dict):
+    series = {}
+    for label, kwargs in variants.items():
+        series[label] = [
+            main_loop_tflops(layer, "RTX2070", **kwargs) for layer in LAYERS
+        ]
+    return series
+
+
+def _emit_figure(name, title, series, paper_claim):
+    rows = [[f"{v:.2f}" for v in vals] for vals in series.values()]
+    text = format_grid(list(series.keys()), LAYERS, rows, title=title)
+    text += f"\n{paper_claim}"
+    emit(name, text)
+    return series
+
+
+def test_fig07_yield_strategies(benchmark):
+    variants = {
+        "cuDNN": dict(yield_strategy="cudnn7"),
+        "NVCC": dict(yield_strategy="nvcc8"),
+        "Natural": dict(yield_strategy="natural"),
+    }
+    series = benchmark.pedantic(_sweep, args=(variants,), rounds=1, iterations=1)
+    nat = main_loop_measurement("RTX2070", yield_strategy="natural")
+    nv = main_loop_measurement("RTX2070", yield_strategy="nvcc8")
+    cd = main_loop_measurement("RTX2070", yield_strategy="cudnn7")
+    claim = (
+        f"Natural over NVCC: {nv.cycles_per_iter / nat.cycles_per_iter:.3f}x "
+        f"(paper 1.09x); over cuDNN: "
+        f"{cd.cycles_per_iter / nat.cycles_per_iter:.3f}x (paper 1.11x)"
+    )
+    _emit_figure("fig07_yield", "Figure 7: main-loop TFLOPS by yield strategy "
+                 "(RTX2070)", series, claim)
+    assert nat.cycles_per_iter < nv.cycles_per_iter
+    assert nat.cycles_per_iter < cd.cycles_per_iter
+
+
+def test_fig08_ldg_interleave(benchmark):
+    variants = {f"LDG{n}": dict(ldg_interleave=n) for n in (2, 4, 8)}
+    series = benchmark.pedantic(_sweep, args=(variants,), rounds=1, iterations=1)
+    l2 = main_loop_measurement("RTX2070", ldg_interleave=2)
+    l8 = main_loop_measurement("RTX2070", ldg_interleave=8)
+    claim = (
+        f"LDG8 over LDG2: {l2.cycles_per_iter / l8.cycles_per_iter:.3f}x "
+        "(paper: up to 1.24x)"
+    )
+    _emit_figure("fig08_ldg", "Figure 8: main-loop TFLOPS by LDG scheduling "
+                 "(RTX2070)", series, claim)
+    assert l2.cycles_per_iter > l8.cycles_per_iter * 1.05
+
+
+def test_fig09_sts_interleave(benchmark):
+    variants = {f"STS{n}": dict(sts_interleave=n) for n in (2, 4, 6)}
+    series = benchmark.pedantic(_sweep, args=(variants,), rounds=1, iterations=1)
+    s2 = main_loop_measurement("RTX2070", sts_interleave=2)
+    s6 = main_loop_measurement("RTX2070", sts_interleave=6)
+    ratio = s2.cycles_per_iter / s6.cycles_per_iter
+    claim = f"STS6 over STS2: {ratio:.3f}x (paper: ~1.02x)"
+    _emit_figure("fig09_sts", "Figure 9: main-loop TFLOPS by STS scheduling "
+                 "(RTX2070)", series, claim)
+    # The paper's effect is ~2%; assert ours stays in a sane band.
+    assert 0.95 < ratio < 1.10
+
+
+if __name__ == "__main__":
+    for layer in LAYERS[:4]:
+        print(layer, f"{main_loop_tflops(layer, 'RTX2070'):.2f} TFLOPS")

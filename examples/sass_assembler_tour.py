@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""A tour of the TuringAs reimplementation (paper §5).
+
+Writes a small SAXPY-like kernel using the assembler's features —
+directives, register name mapping, inline Python codegen, explicit
+control codes — assembles it, round-trips it through a ``.cubin`` ELF,
+disassembles it, and finally runs it on the simulated GPU.
+
+Run:  python examples/sass_assembler_tour.py
+"""
+
+import struct
+
+import numpy as np
+
+from repro.gpusim import GlobalMemory, V100, run_grid
+from repro.sass import assemble, decode_instruction, encode_instruction, parse_line, read_cubin, write_cubin
+
+SRC = """
+// y[i] = a*x[i] + y[i], one element per thread, with an unrolled tail
+// computed by inline Python (the TuringAs trick for long FFMA chains).
+.kernel saxpy
+.registers 16
+.param 8 x_ptr
+.param 8 y_ptr
+.param 4 a
+.alias offset R1
+
+S2R R0, SR_TID.X;
+SHF.L.U32 offset, R0, 0x2, RZ;            // byte offset = 4*tid
+MOV R2, param:x_ptr;
+MOV R3, c[0x0][0x164];
+IADD3 R2, R2, offset, RZ;
+MOV R4, param:y_ptr;
+MOV R5, c[0x0][0x16c];
+IADD3 R4, R4, offset, RZ;
+LDG.E R6, [R2];
+LDG.E R7, [R4];
+MOV R8, param:a;
+FFMA R7, R6, R8, R7;
+{%
+# Inline Python: apply the scale twice more, demonstrating codegen.
+for _ in range(2):
+    emit("FFMA R7, R7, 1.0, RZ;")
+%}
+STG.E [R4], R7;
+EXIT;
+"""
+
+
+def main() -> None:
+    kernel = assemble(SRC, auto_schedule=True, strict=True)
+    print(f"assembled {kernel.num_instructions} instructions, "
+          f"{kernel.meta.registers} registers")
+
+    # Every instruction is a 128-bit word (paper Fig. 6); show one.
+    instr = parse_line("[B0-----:R-:W1:Y:S04] @!P2 FFMA R0, R64, R80.reuse, R0;")
+    word = encode_instruction(instr)
+    print(f"\n{instr.text()}")
+    print(f"  encodes to {word:#034x}")
+    print(f"  decodes to {decode_instruction(word).text()}")
+
+    # The cubin container round-trips through a real ELF64 image.
+    blob = write_cubin(kernel)
+    loaded = read_cubin(blob)
+    print(f"\ncubin: {len(blob)} bytes, ELF magic {blob[:4]!r}, "
+          f"kernel {loaded.meta.name!r}")
+
+    print("\ndisassembly (first 8 instructions):")
+    for line in kernel.disassemble().splitlines()[:8]:
+        print("   " + line)
+
+    # Launch on the simulated V100.
+    gmem = GlobalMemory()
+    x = np.arange(256, dtype=np.float32)
+    y = np.ones(256, dtype=np.float32)
+    x_ptr = gmem.alloc_array(x)
+    y_ptr = gmem.alloc_array(y)
+    a_bits = struct.unpack("<I", struct.pack("<f", 2.0))[0]
+    result = run_grid(loaded, V100, grid=1, threads_per_block=256,
+                      params={"x_ptr": x_ptr, "y_ptr": y_ptr, "a": a_bits},
+                      gmem=gmem)
+    out = gmem.read_array(y_ptr, (256,))
+    expect = 2.0 * x + 1.0
+    print(f"\nsimulated run: {result.counters.cycles} cycles, "
+          f"max |err| = {np.abs(out - expect).max():.2e}")
+
+
+if __name__ == "__main__":
+    main()

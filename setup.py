@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package installs in environments without the ``wheel`` package (offline
+machines), where ``pip install -e . --no-build-isolation`` needs the legacy
+``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro — reproduction of "Optimizing Batched Winograd Convolution on GPUs".
+
+Yan, Wang & Chu, PPoPP '20 (DOI 10.1145/3332466.3374520), rebuilt in
+pure Python: the Winograd algebra and every cuDNN baseline
+(:mod:`repro.winograd`, :mod:`repro.convolution`), a reimplementation of
+the paper's TuringAs SASS assembler (:mod:`repro.sass`), a
+cycle-approximate Volta/Turing GPU simulator (:mod:`repro.gpusim`), the
+paper's SASS kernels as parameterized generators (:mod:`repro.kernels`),
+and the analytical models plus calibrated baselines that regenerate the
+evaluation's tables and figures (:mod:`repro.perfmodel`).
+
+Start with :func:`repro.convolution.conv2d` for the algorithms, or
+:func:`repro.kernels.run_fused_sass_conv` for the full paper stack.
+See DESIGN.md and EXPERIMENTS.md at the repository root.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "common",
+    "convolution",
+    "gpusim",
+    "kernels",
+    "models",
+    "perfmodel",
+    "sass",
+    "winograd",
+]

@@ -1,0 +1,60 @@
+"""Shared substrate: problem specs, layouts, errors, RNG, table printing."""
+
+from .errors import (
+    AssemblerError,
+    ConvConfigError,
+    EncodingError,
+    LayoutError,
+    ModelError,
+    RegisterBudgetError,
+    ReproError,
+    SassSyntaxError,
+    SimDeadlock,
+    SimLaunchError,
+    SimMemoryFault,
+    SimulatorError,
+)
+from .layouts import (
+    chwn_to_nchw,
+    crsk_to_kcrs,
+    kcrs_to_crsk,
+    khwn_to_nkhw,
+    nchw_to_chwn,
+    nchw_to_nhwc,
+    nhwc_to_nchw,
+    nkhw_to_khwn,
+)
+from .problem import ConvProblem
+from .rng import conv_tolerance, make_rng, random_activation, random_filter
+from .tables import format_grid, format_table, series_summary
+
+__all__ = [
+    "AssemblerError",
+    "ConvConfigError",
+    "ConvProblem",
+    "EncodingError",
+    "LayoutError",
+    "ModelError",
+    "RegisterBudgetError",
+    "ReproError",
+    "SassSyntaxError",
+    "SimDeadlock",
+    "SimLaunchError",
+    "SimMemoryFault",
+    "SimulatorError",
+    "chwn_to_nchw",
+    "conv_tolerance",
+    "crsk_to_kcrs",
+    "format_grid",
+    "format_table",
+    "kcrs_to_crsk",
+    "khwn_to_nkhw",
+    "make_rng",
+    "nchw_to_chwn",
+    "nchw_to_nhwc",
+    "nhwc_to_nchw",
+    "nkhw_to_khwn",
+    "random_activation",
+    "random_filter",
+    "series_summary",
+]

@@ -1,0 +1,66 @@
+"""Exception hierarchy shared by every subpackage.
+
+A single root (:class:`ReproError`) lets callers catch anything raised by
+this library without masking unrelated bugs, while the per-domain
+subclasses keep error reporting precise (assembler syntax errors are not
+simulator faults, and vice versa).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of every exception raised deliberately by this library."""
+
+
+class LayoutError(ReproError):
+    """A tensor did not match the layout an operation requires."""
+
+
+class ConvConfigError(ReproError):
+    """A convolution problem specification is inconsistent or unsupported."""
+
+
+class AssemblerError(ReproError):
+    """Root for SASS assembly failures."""
+
+
+class SassSyntaxError(AssemblerError):
+    """The SASS source text could not be parsed.
+
+    Carries the 1-based source line for error reporting.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(AssemblerError):
+    """An instruction was parsed but cannot be encoded (bad operand, range)."""
+
+
+class RegisterBudgetError(AssemblerError):
+    """A kernel exceeds the per-thread register limit (255/253 usable)."""
+
+
+class SimulatorError(ReproError):
+    """Root for GPU simulator faults."""
+
+
+class SimMemoryFault(SimulatorError):
+    """Out-of-bounds or misaligned access in simulated memory."""
+
+
+class SimLaunchError(SimulatorError):
+    """Kernel launch configuration exceeds device limits."""
+
+
+class SimDeadlock(SimulatorError):
+    """The simulator made no forward progress (barrier/scoreboard deadlock)."""
+
+
+class ModelError(ReproError):
+    """Analytical performance model was queried outside its domain."""

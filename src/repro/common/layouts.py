@@ -1,0 +1,89 @@
+"""Tensor layout conversions.
+
+The paper's kernel reads input in **CHWN** ("batch fastest") so that 32
+consecutive threads load 32 consecutive batch elements — a fully coalesced
+128-byte transaction — and writes output in **KHWN**.  Host frameworks use
+NCHW.  These helpers convert between the layouts and validate shapes, so
+every implementation states its expected layout explicitly instead of
+guessing from array shapes.
+
+All converters return C-contiguous arrays: downstream code (the simulator's
+flat memory image, the tile gather in `winograd.fused`) indexes into flat
+buffers and needs deterministic strides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import LayoutError
+
+
+def _require_rank(a: np.ndarray, rank: int, what: str) -> None:
+    if a.ndim != rank:
+        raise LayoutError(f"{what} must have rank {rank}, got shape {a.shape}")
+
+
+# ---------------------------------------------------------------------------
+# Activations
+# ---------------------------------------------------------------------------
+def nchw_to_chwn(x: np.ndarray) -> np.ndarray:
+    """NCHW → CHWN (the kernel's global-memory input layout, Table 4)."""
+    _require_rank(x, 4, "activation")
+    return np.ascontiguousarray(np.transpose(x, (1, 2, 3, 0)))
+
+
+def chwn_to_nchw(x: np.ndarray) -> np.ndarray:
+    """CHWN → NCHW."""
+    _require_rank(x, 4, "activation")
+    return np.ascontiguousarray(np.transpose(x, (3, 0, 1, 2)))
+
+
+def nchw_to_nhwc(x: np.ndarray) -> np.ndarray:
+    _require_rank(x, 4, "activation")
+    return np.ascontiguousarray(np.transpose(x, (0, 2, 3, 1)))
+
+
+def nhwc_to_nchw(x: np.ndarray) -> np.ndarray:
+    _require_rank(x, 4, "activation")
+    return np.ascontiguousarray(np.transpose(x, (0, 3, 1, 2)))
+
+
+# ---------------------------------------------------------------------------
+# Outputs: the kernel produces KHWN (filter-major), hosts want NKHW
+# ---------------------------------------------------------------------------
+def khwn_to_nkhw(y: np.ndarray) -> np.ndarray:
+    _require_rank(y, 4, "output")
+    return np.ascontiguousarray(np.transpose(y, (3, 0, 1, 2)))
+
+
+def nkhw_to_khwn(y: np.ndarray) -> np.ndarray:
+    _require_rank(y, 4, "output")
+    return np.ascontiguousarray(np.transpose(y, (1, 2, 3, 0)))
+
+
+# ---------------------------------------------------------------------------
+# Filters: frameworks store KCRS; the kernel reads CRSK ("k fastest") so a
+# warp's 32 threads load 32 consecutive filters (coalesced); the transformed
+# filter is stored CR'S'K (Table 4).
+# ---------------------------------------------------------------------------
+def kcrs_to_crsk(f: np.ndarray) -> np.ndarray:
+    _require_rank(f, 4, "filter")
+    return np.ascontiguousarray(np.transpose(f, (1, 2, 3, 0)))
+
+
+def crsk_to_kcrs(f: np.ndarray) -> np.ndarray:
+    _require_rank(f, 4, "filter")
+    return np.ascontiguousarray(np.transpose(f, (3, 0, 1, 2)))
+
+
+LAYOUT_DOC = {
+    "Input": ("(C,H,W,N)", "GMEM"),
+    "Filter": ("(C,R,S,K)", "GMEM"),
+    "Transformed filter": ("(C,R',S',K)", "GMEM"),
+    "Local input buffer": ("(16, bc, bn)", "SMEM"),
+    "Local filter buffer": ("(16, bc, bk)", "SMEM"),
+    "Local output buffer": ("(16, 2, 8, bn')", "SMEM"),
+    "Output": ("(K,H,W,N)", "GMEM"),
+}
+"""Table 4 of the paper, kept as data so benches can print it verbatim."""

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The paper reports its evaluation as tables (Tables 2, 6, 7) and heat-map
+style grids (Figures 12-14).  The benches print the same rows with this
+tiny formatter instead of pulling in a plotting stack: the reproduction
+target is the numbers, and text tables diff cleanly in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are formatted with *float_fmt*; everything else with ``str``.
+    """
+    str_rows = []
+    for row in rows:
+        str_rows.append(
+            [float_fmt.format(v) if isinstance(v, float) else str(v) for v in row]
+        )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def format_grid(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values,
+    title: str = "",
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render a labelled 2-D grid (the shape of the paper's Figures 12-14)."""
+    rows = [[rl, *vals] for rl, vals in zip(row_labels, values)]
+    return format_table(["", *col_labels], rows, title=title, float_fmt=float_fmt)
+
+
+def series_summary(name: str, values: Sequence[float]) -> str:
+    """One-line min/mean/max summary used when a figure is a curve."""
+    lo, hi = min(values), max(values)
+    mean = sum(values) / len(values)
+    return f"{name}: min={lo:.3f} mean={mean:.3f} max={hi:.3f} (n={len(values)})"

@@ -1,0 +1,21 @@
+"""Convolution algorithms: direct, GEMM-based, FFT-based, and the dispatcher."""
+
+from .api import ALGORITHMS, conv2d, get_algorithm
+from .direct import direct_conv2d, direct_conv2d_naive
+from .fft import FftRunStats, fft_conv2d, fft_tiling_conv2d
+from .im2col import GemmRunStats, gemm_conv2d, im2col, implicit_gemm_conv2d
+
+__all__ = [
+    "ALGORITHMS",
+    "FftRunStats",
+    "GemmRunStats",
+    "conv2d",
+    "direct_conv2d",
+    "direct_conv2d_naive",
+    "fft_conv2d",
+    "fft_tiling_conv2d",
+    "gemm_conv2d",
+    "get_algorithm",
+    "im2col",
+    "implicit_gemm_conv2d",
+]

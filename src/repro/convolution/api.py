@@ -1,0 +1,88 @@
+"""Unified convolution entry point.
+
+``conv2d(x, f, algo=...)`` mirrors cuDNN's forward-algorithm enum (the
+column labels of the paper's Figures 12-14) plus this library's Winograd
+pipelines.  All algorithms take NCHW activations and KCRS filters and
+return NCHW output, converting to the kernel-native layouts internally,
+so callers can swap algorithms without touching their data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..common.errors import ConvConfigError
+from ..common.layouts import kcrs_to_crsk, khwn_to_nkhw, nchw_to_chwn
+from ..winograd.fused import FusedWinogradConv
+from ..winograd.nonfused import NonFusedWinogradConv
+from ..winograd.reference import winograd_conv2d_nchw
+from .direct import direct_conv2d
+from .fft import fft_conv2d, fft_tiling_conv2d
+from .im2col import gemm_conv2d, implicit_gemm_conv2d
+
+ALGORITHMS = (
+    "DIRECT",
+    "GEMM",
+    "IMPLICIT_GEMM",
+    "IMPLICIT_PRECOMP_GEMM",
+    "FFT",
+    "FFT_TILING",
+    "WINOGRAD",            # this library's fused F(2×2, 3×3) kernel
+    "WINOGRAD_NONFUSED",   # F(4×4, 3×3) with global workspace
+    "WINOGRAD_REFERENCE",  # plain oracle implementation
+)
+
+
+def conv2d(
+    x: np.ndarray, f: np.ndarray, pad: int = 1, algo: str = "WINOGRAD"
+) -> np.ndarray:
+    """Batched 2-D convolution with a selectable algorithm.
+
+    Parameters
+    ----------
+    x: activations (N, C, H, W).
+    f: filters (K, C, R, S).
+    pad: symmetric zero padding (1 for the paper's layers).
+    algo: one of :data:`ALGORITHMS`.
+    """
+    algo = algo.upper()
+    if algo not in ALGORITHMS:
+        raise ConvConfigError(f"unknown algorithm {algo!r}; choose from {ALGORITHMS}")
+    if algo == "DIRECT":
+        return direct_conv2d(x, f, pad)
+    if algo == "GEMM":
+        return gemm_conv2d(x, f, pad)[0]
+    if algo == "IMPLICIT_GEMM":
+        return implicit_gemm_conv2d(x, f, pad, precomputed_offsets=False)[0]
+    if algo == "IMPLICIT_PRECOMP_GEMM":
+        return implicit_gemm_conv2d(x, f, pad, precomputed_offsets=True)[0]
+    if algo == "FFT":
+        return fft_conv2d(x, f, pad)[0]
+    if algo == "FFT_TILING":
+        return fft_tiling_conv2d(x, f, pad)[0]
+    if algo == "WINOGRAD_REFERENCE":
+        return winograd_conv2d_nchw(x, f, m=2, pad=pad)
+
+    if pad != 1 or f.shape[2:] != (3, 3):
+        raise ConvConfigError(
+            f"{algo} implements the paper's 3×3/pad-1 case; "
+            "use WINOGRAD_REFERENCE or DIRECT for other shapes"
+        )
+    x_chwn = nchw_to_chwn(x)
+    f_crsk = kcrs_to_crsk(f)
+    if algo == "WINOGRAD":
+        y_khwn = FusedWinogradConv()(x_chwn, f_crsk)
+    else:  # WINOGRAD_NONFUSED
+        y_khwn = NonFusedWinogradConv(m=4)(x_chwn, f_crsk)
+    return khwn_to_nkhw(y_khwn)
+
+
+def get_algorithm(algo: str) -> Callable[..., np.ndarray]:
+    """Curried form of :func:`conv2d` for benchmarking loops."""
+    def run(x: np.ndarray, f: np.ndarray, pad: int = 1) -> np.ndarray:
+        return conv2d(x, f, pad=pad, algo=algo)
+
+    run.__name__ = f"conv2d_{algo.lower()}"
+    return run

@@ -1,0 +1,67 @@
+"""Direct convolution (Eq. 4) — the arithmetic ground truth.
+
+Two implementations:
+
+* :func:`direct_conv2d_naive` — quadruple loop, literally Eq. 4.  Used
+  only in tests on tiny shapes, where being obviously correct matters
+  more than speed.
+* :func:`direct_conv2d` — vectorized shift-and-accumulate over the R×S
+  taps (a loop of 9 for 3×3), the implementation every other algorithm
+  in the library is validated against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import ConvConfigError, LayoutError
+
+
+def _check(x: np.ndarray, f: np.ndarray) -> None:
+    if x.ndim != 4 or f.ndim != 4:
+        raise LayoutError("x must be NCHW and f must be KCRS")
+    if x.shape[1] != f.shape[1]:
+        raise ConvConfigError(
+            f"channel mismatch: input C={x.shape[1]}, filter C={f.shape[1]}"
+        )
+
+
+def direct_conv2d_naive(x: np.ndarray, f: np.ndarray, pad: int = 1) -> np.ndarray:
+    """O[k,h,w,n] = Σ_{r,s,c} I[c,h+r,w+s,n]·F[c,r,s,k] — NCHW in/out."""
+    _check(x, f)
+    n, c, h, w = x.shape
+    k, _, r, s = f.shape
+    out_h = h + 2 * pad - r + 1
+    out_w = w + 2 * pad - s + 1
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    y = np.zeros((n, k, out_h, out_w), dtype=np.result_type(x, f))
+    for nn in range(n):
+        for kk in range(k):
+            for hh in range(out_h):
+                for ww in range(out_w):
+                    acc = 0.0
+                    for cc in range(c):
+                        for rr in range(r):
+                            for ss in range(s):
+                                acc += xp[nn, cc, hh + rr, ww + ss] * f[kk, cc, rr, ss]
+                    y[nn, kk, hh, ww] = acc
+    return y
+
+
+def direct_conv2d(x: np.ndarray, f: np.ndarray, pad: int = 1) -> np.ndarray:
+    """Vectorized direct convolution: one shifted GEMM per filter tap."""
+    _check(x, f)
+    n, c, h, w = x.shape
+    k, _, r, s = f.shape
+    out_h = h + 2 * pad - r + 1
+    out_w = w + 2 * pad - s + 1
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    acc = np.zeros((n, k, out_h, out_w), dtype=np.float64)
+    for rr in range(r):
+        for ss in range(s):
+            window = xp[:, :, rr : rr + out_h, ss : ss + out_w]
+            # (N, C, H', W') × (K, C) accumulated in fp64 for a tight oracle.
+            acc += np.einsum(
+                "nchw,kc->nkhw", window, f[:, :, rr, ss], optimize=True
+            )
+    return acc.astype(np.result_type(x, f), copy=False)

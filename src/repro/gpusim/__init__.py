@@ -1,0 +1,54 @@
+"""Cycle-approximate Volta/Turing GPU simulator (the hardware substitute).
+
+See DESIGN.md §2 for what is modelled and why it preserves the paper's
+SASS-level effects (yield flag, LDG/STS spacing, bank conflicts,
+register banks, occupancy).
+"""
+
+from .arch import DEVICES, RTX2070, V100, DeviceSpec
+from .counters import Counters
+from .engine import ExecResult, ExecutionContext, execute
+from .launch import (
+    LaunchResult,
+    build_const_bank,
+    estimate_grid_time,
+    run_grid,
+    simulate_resident_blocks,
+)
+from .memory import (
+    GlobalMemory,
+    SharedMemory,
+    SmemAccessReport,
+    bank_conflict_report,
+    coalesced_sectors,
+)
+from .profiler import ProfileReport, ProfileSection, profile_report
+from .sm import BlockSpec, SMSimulator
+from .warp import WarpState
+
+__all__ = [
+    "BlockSpec",
+    "Counters",
+    "DEVICES",
+    "DeviceSpec",
+    "ExecResult",
+    "ExecutionContext",
+    "GlobalMemory",
+    "LaunchResult",
+    "ProfileReport",
+    "ProfileSection",
+    "RTX2070",
+    "SMSimulator",
+    "SharedMemory",
+    "SmemAccessReport",
+    "V100",
+    "WarpState",
+    "bank_conflict_report",
+    "build_const_bank",
+    "coalesced_sectors",
+    "estimate_grid_time",
+    "execute",
+    "profile_report",
+    "run_grid",
+    "simulate_resident_blocks",
+]

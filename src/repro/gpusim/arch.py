@@ -1,0 +1,128 @@
+"""Device specifications for the simulated GPUs.
+
+The two devices of the paper's evaluation:
+
+* **Tesla V100** (Volta, GV100): 80 SMs, 64 FP32 lanes/SM, 1.53 GHz →
+  15.7 TFLOPS peak FP32 (the number printed on Fig. 2), 900 GB/s HBM2,
+  up to 96 KB shared memory per SM.
+* **GeForce RTX 2070** (Turing, TU106): 36 SMs, 64 FP32 lanes/SM,
+  1.62 GHz boost → ≈7.5 TFLOPS, 448 GB/s GDDR6, 64 KB shared memory per
+  SM (the Turing limit that halves occupancy vs V100 for 48 KB blocks,
+  §7.1).
+
+Both architectures share the SM front end this simulator models: 4 warp
+schedulers per SM, one instruction issued per scheduler per cycle, a
+16-lane FP32 pipe per scheduler partition (a 32-thread warp instruction
+occupies it for 2 cycles), two 64-bit register banks, 6 scoreboard
+barriers and up to 255 registers per thread.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..common.errors import SimLaunchError
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceSpec:
+    name: str
+    arch: str  # "volta" | "turing"
+    num_sms: int
+    clock_ghz: float
+    fp32_lanes_per_sm: int = 64
+    schedulers_per_sm: int = 4
+    max_warps_per_sm: int = 64  # Turing: 32
+    max_threads_per_block: int = 1024
+    registers_per_sm: int = 65536
+    max_registers_per_thread: int = 255
+    smem_per_sm: int = 96 * 1024  # Turing: 64 KB
+    smem_per_block: int = 96 * 1024
+    dram_gbps: float = 900.0
+    l2_bytes: int = 6 * 1024 * 1024
+    l2_gbps: float = 2500.0  # Fig. 2's L2 roofline
+    # LSU queue: warp-level global accesses that may be in flight per SM
+    # before further LDG/STG issue stalls (the §6.2 "overwhelm the
+    # load/store unit" mechanism behind the LDG-interleave study).
+    lsu_queue_depth: int = 64
+    # Latencies (cycles), after Jia et al. [5] / Mei & Chu [13].
+    lat_gmem_l2_hit: int = 193
+    lat_gmem_l2_miss: int = 375
+    lat_smem: int = 19
+    lat_s2r: int = 12
+    lat_mufu: int = 17
+
+    @property
+    def peak_fp32_tflops(self) -> float:
+        """2 flops × lanes × SMs × clock."""
+        return 2 * self.fp32_lanes_per_sm * self.num_sms * self.clock_ghz / 1e3
+
+    @property
+    def warps_per_scheduler(self) -> int:
+        return self.max_warps_per_sm // self.schedulers_per_sm
+
+    @property
+    def dram_bytes_per_cycle_per_sm(self) -> float:
+        """Fair-share DRAM bandwidth per SM, in bytes per SM clock."""
+        return self.dram_gbps / self.clock_ghz / self.num_sms
+
+    # ------------------------------------------------------------------
+    def occupancy(
+        self, threads_per_block: int, registers_per_thread: int, smem_bytes: int
+    ) -> int:
+        """Concurrent thread blocks per SM (the §7.1 occupancy argument)."""
+        if threads_per_block > self.max_threads_per_block:
+            raise SimLaunchError(
+                f"{threads_per_block} threads/block exceeds the limit "
+                f"{self.max_threads_per_block}"
+            )
+        if registers_per_thread > self.max_registers_per_thread:
+            raise SimLaunchError(
+                f"{registers_per_thread} registers/thread exceeds "
+                f"{self.max_registers_per_thread}"
+            )
+        if smem_bytes > self.smem_per_block:
+            raise SimLaunchError(
+                f"{smem_bytes} B shared memory exceeds the per-block limit "
+                f"{self.smem_per_block} on {self.name}"
+            )
+        warps = math.ceil(threads_per_block / 32)
+        by_warps = self.max_warps_per_sm // warps
+        # The register file allocates per warp in 256-register granules.
+        regs_per_warp = max(registers_per_thread, 1) * 32
+        by_regs = self.registers_per_sm // (regs_per_warp * warps)
+        by_smem = (
+            self.smem_per_sm // smem_bytes if smem_bytes > 0 else self.max_warps_per_sm
+        )
+        return max(0, min(by_warps, by_regs, by_smem))
+
+
+V100 = DeviceSpec(
+    name="Tesla V100",
+    arch="volta",
+    num_sms=80,
+    clock_ghz=1.53,
+    max_warps_per_sm=64,
+    smem_per_sm=96 * 1024,
+    smem_per_block=96 * 1024,
+    dram_gbps=900.0,
+    l2_bytes=6 * 1024 * 1024,
+)
+
+RTX2070 = DeviceSpec(
+    name="GeForce RTX 2070",
+    arch="turing",
+    num_sms=36,
+    clock_ghz=1.62,
+    max_warps_per_sm=32,
+    smem_per_sm=64 * 1024,
+    smem_per_block=64 * 1024,
+    dram_gbps=448.0,
+    l2_bytes=4 * 1024 * 1024,
+    l2_gbps=1200.0,
+    lat_gmem_l2_hit=188,
+    lat_gmem_l2_miss=296,
+)
+
+DEVICES = {"V100": V100, "RTX2070": RTX2070}

@@ -1,0 +1,72 @@
+"""Performance counters collected by the SM simulator.
+
+The quantities the paper reports map directly onto these fields:
+
+* main-loop TFLOPS (Figs. 7-9) = ``flops / (cycles / clock)``;
+* Speed-Of-Light SM% (Figs. 10-11) = :meth:`Counters.sol` — the achieved
+  fraction of FP32-pipe utilization, which is what Nsight Compute's
+  ``SM [%]`` reduces to for an FFMA-bound kernel;
+* bank conflicts and register-bank conflicts back the §4.3 claims.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class Counters:
+    cycles: int = 0
+    instructions: int = 0
+    ffma_instrs: int = 0  # warp-level FFMA count
+    fp32_instrs: int = 0  # all fp32-pipe warp instructions
+    hfma2_instrs: int = 0  # packed-half FMA (4 flops per lane, §8.3)
+    half2_instrs: int = 0  # other packed-half ops (2 flops per lane)
+    fma_pipe_busy: int = 0  # scheduler-partition FP32 pipe busy cycles
+    alu_pipe_busy: int = 0
+    lsu_pipe_busy: int = 0
+    mio_pipe_busy: int = 0
+    dram_sectors: int = 0
+    l2_sectors: int = 0
+    smem_conflict_cycles: int = 0
+    reg_bank_conflicts: int = 0
+    warp_switches: int = 0
+    switch_penalty_cycles: int = 0
+    issue_idle_cycles: int = 0  # scheduler cycles with nothing eligible
+    barrier_wait_cycles: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def flops(self) -> int:
+        """Flops executed (FFMA = 2/lane, HFMA2 = 4, HADD2/HMUL2 = 2,
+        other float ops 1)."""
+        plain = self.fp32_instrs - self.ffma_instrs - self.hfma2_instrs - self.half2_instrs
+        return 32 * (
+            2 * self.ffma_instrs
+            + 4 * self.hfma2_instrs
+            + 2 * self.half2_instrs
+            + plain
+        )
+
+    def seconds(self, clock_ghz: float) -> float:
+        return self.cycles / (clock_ghz * 1e9)
+
+    def tflops_per_sm(self, clock_ghz: float) -> float:
+        """Achieved TFLOPS of the simulated SM."""
+        if self.cycles == 0:
+            return 0.0
+        return self.flops / self.seconds(clock_ghz) / 1e12
+
+    def sol(self, schedulers: int = 4) -> float:
+        """FP32 pipe utilization (0..1): busy cycles over capacity."""
+        if self.cycles == 0:
+            return 0.0
+        return self.fma_pipe_busy / (self.cycles * schedulers)
+
+    def merge(self, other: "Counters") -> None:
+        for field in dataclasses.fields(self):
+            name = field.name
+            if name == "cycles":
+                self.cycles = max(self.cycles, other.cycles)
+            else:
+                setattr(self, name, getattr(self, name) + getattr(other, name))

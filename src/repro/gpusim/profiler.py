@@ -1,0 +1,101 @@
+"""Nsight-Compute-style profile reports from simulator counters.
+
+The paper reads its §7.2 results off Nsight Compute's "Speed Of Light"
+section ("the achieved percentage of utilization with respect to the
+theoretical maximum").  This module renders the simulator's
+:class:`~repro.gpusim.counters.Counters` the same way, so a kernel run
+can be inspected like a profile: SOL, compute workload, scheduler
+statistics and memory workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .arch import DeviceSpec
+from .counters import Counters
+from .memory import SECTOR_BYTES
+
+
+@dataclasses.dataclass
+class ProfileSection:
+    title: str
+    rows: list[tuple[str, str]]
+
+    def render(self) -> str:
+        width = max(len(name) for name, _ in self.rows) if self.rows else 0
+        lines = [f"  {self.title}", "  " + "-" * max(len(self.title), 24)]
+        for name, value in self.rows:
+            lines.append(f"    {name.ljust(width)}  {value}")
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class ProfileReport:
+    title: str
+    sections: list[ProfileSection]
+
+    def render(self) -> str:
+        header = [self.title, "=" * len(self.title)]
+        return "\n".join(header + [s.render() for s in self.sections])
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _pct(x: float) -> str:
+    return f"{100 * x:.1f}%"
+
+
+def profile_report(
+    counters: Counters, device: DeviceSpec, title: str = "kernel"
+) -> ProfileReport:
+    """Build a profile report for one simulated run on one SM."""
+    c = counters
+    cycles = max(c.cycles, 1)
+    seconds = c.seconds(device.clock_ghz)
+    issue_capacity = cycles * device.schedulers_per_sm
+
+    sol = ProfileSection("GPU Speed Of Light", [
+        ("SM [%]", _pct(c.sol(device.schedulers_per_sm))),
+        ("Issue slots busy [%]", _pct(c.instructions / issue_capacity)),
+        ("MIO pipe busy [%]", _pct(c.mio_pipe_busy / cycles)),
+        ("LSU pipe busy [%]", _pct(c.lsu_pipe_busy / cycles)),
+        ("Duration [cycles]", f"{c.cycles}"),
+        ("Duration [us]", f"{1e6 * seconds:.2f}"),
+    ])
+
+    ffma_flops = 2 * 32 * c.ffma_instrs
+    compute = ProfileSection("Compute Workload", [
+        ("Warp instructions issued", f"{c.instructions}"),
+        ("FFMA warp instructions", f"{c.ffma_instrs}"),
+        ("FP32 flops", f"{c.flops}"),
+        ("Achieved TFLOPS (per SM)", f"{c.tflops_per_sm(device.clock_ghz):.4f}"),
+        ("FFMA share of flops", _pct(ffma_flops / max(c.flops, 1))),
+        ("Register bank conflicts", f"{c.reg_bank_conflicts}"),
+    ])
+
+    sched = ProfileSection("Scheduler Statistics", [
+        ("IPC (per SM)", f"{c.instructions / cycles:.2f}"),
+        ("Issue-idle scheduler cycles", f"{c.issue_idle_cycles}"),
+        ("Yield-requested switches", f"{c.warp_switches}"),
+        ("Switch penalty cycles", f"{c.switch_penalty_cycles}"),
+        ("Scoreboard-blocked warp-cycles", f"{c.barrier_wait_cycles}"),
+    ])
+
+    dram_bytes = c.dram_sectors * SECTOR_BYTES
+    l2_bytes = c.l2_sectors * SECTOR_BYTES
+    dram_bw = dram_bytes / seconds / 1e9 if seconds else 0.0
+    memory = ProfileSection("Memory Workload", [
+        ("DRAM sectors", f"{c.dram_sectors}"),
+        ("DRAM traffic", f"{dram_bytes / 1024:.1f} KiB"),
+        ("DRAM throughput (per SM)", f"{dram_bw:.2f} GB/s"),
+        ("DRAM utilization (fair share)", _pct(
+            min(1.0, dram_bw / (device.dram_gbps / device.num_sms))
+            if seconds else 0.0
+        )),
+        ("L2-resident sectors", f"{c.l2_sectors}"),
+        ("Shared-memory conflict cycles", f"{c.smem_conflict_cycles}"),
+    ])
+
+    return ProfileReport(title=title, sections=[sol, compute, sched, memory])

@@ -1,0 +1,95 @@
+"""Per-warp architectural state.
+
+Registers are held as a (256, 32) uint32 array — one row per register,
+one column per lane — so a warp instruction is one vectorized NumPy
+operation over its 32 lanes (the SIMT execution model, literally).
+R255 is RZ and always reads zero; predicates are a (8, 32) bool array
+with P7 = PT pinned true.
+
+The warp also owns the microarchitectural bits the paper's SASS-level
+experiments hinge on: the six scoreboard wait-barrier counters and the
+operand **reuse cache** (two 64-bit register banks mean an FFMA whose
+three sources share a bank pays one extra cycle unless a source comes
+from the reuse cache — §5.2.2, Fig. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sass.isa import NUM_WAIT_BARRIERS, RZ
+
+
+class WarpState:
+    __slots__ = (
+        "warp_id",
+        "lane_ids",
+        "tids",
+        "block",
+        "pc",
+        "ready_at",
+        "barrier_cnt",
+        "done",
+        "at_bar",
+        "regs",
+        "preds",
+        "reuse_cache",
+        "issued",
+    )
+
+    def __init__(self, warp_id: int, block, num_regs: int = 256):
+        self.warp_id = warp_id
+        self.block = block
+        self.lane_ids = np.arange(32, dtype=np.int32)
+        self.tids = warp_id * 32 + self.lane_ids  # threadIdx.x (1-D blocks)
+        self.pc = 0
+        self.ready_at = 0
+        self.barrier_cnt = [0] * NUM_WAIT_BARRIERS
+        self.done = False
+        self.at_bar = False
+        self.regs = np.zeros((256, 32), dtype=np.uint32)
+        self.preds = np.zeros((8, 32), dtype=bool)
+        self.preds[7] = True  # PT
+        self.reuse_cache: dict[int, int] = {}  # operand slot -> register index
+        self.issued = 0
+
+    # ---- register access --------------------------------------------------
+    def read_reg(self, idx: int) -> np.ndarray:
+        return self.regs[idx]
+
+    def read_reg_f32(self, idx: int) -> np.ndarray:
+        return self.regs[idx].view(np.float32)
+
+    def write_reg(self, idx: int, values: np.ndarray, mask: np.ndarray) -> None:
+        if idx == RZ:
+            return
+        if mask.all():
+            self.regs[idx] = values.astype(np.uint32, copy=False)
+        else:
+            self.regs[idx][mask] = values.astype(np.uint32, copy=False)[mask]
+
+    def read_addr64(self, base: int) -> np.ndarray:
+        """64-bit address from the (base, base+1) register pair."""
+        lo = self.regs[base].astype(np.int64)
+        hi = self.regs[base + 1].astype(np.int64) if base + 1 < 256 else 0
+        return lo | (hi << 32)
+
+    # ---- predicates --------------------------------------------------------
+    def read_pred(self, idx: int, negated: bool = False) -> np.ndarray:
+        values = self.preds[idx]
+        return ~values if negated else values
+
+    def write_pred(self, idx: int, values: np.ndarray, mask: np.ndarray) -> None:
+        if idx == 7:
+            return  # PT is read-only
+        self.preds[idx][mask] = values[mask]
+
+    # ---- scoreboard ---------------------------------------------------------
+    def waits_satisfied(self, wait_mask: int) -> bool:
+        for i in range(NUM_WAIT_BARRIERS):
+            if wait_mask & (1 << i) and self.barrier_cnt[i] > 0:
+                return False
+        return True
+
+    def clear_reuse(self) -> None:
+        self.reuse_cache.clear()

@@ -1,0 +1,139 @@
+"""High-level helpers to run generated SASS kernels on the simulator.
+
+``run_fused_sass_conv`` is the end-to-end path the integration tests and
+examples use: host-side filter transform (the FTF kernel is separate in
+the paper too), device buffers in the kernel's layouts, a full-grid
+simulation, and the output back as NCHW.
+
+``measure_main_loop`` is the microbenchmark path behind Figures 7-9:
+it builds the main-loop-only kernel for a layer, runs one SM's worth of
+resident blocks for a few iterations, and reports the achieved
+main-loop TFLOPS extrapolated to the whole device.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..common.layouts import kcrs_to_crsk, khwn_to_nkhw, nchw_to_chwn
+from ..common.problem import ConvProblem
+from ..gpusim.arch import DeviceSpec, V100
+from ..gpusim.counters import Counters
+from ..gpusim.launch import run_grid, simulate_resident_blocks
+from ..gpusim.memory import GlobalMemory
+from ..winograd.fused import FusedWinogradConv
+from .winograd_f22 import Tunables, WinogradF22Kernel
+
+
+def run_fused_sass_conv(
+    x_nchw: np.ndarray,
+    f_kcrs: np.ndarray,
+    device: DeviceSpec = V100,
+    tunables: Tunables = Tunables(),
+    prob: ConvProblem | None = None,
+    ftf_on_device: bool = False,
+):
+    """Run the generated Winograd kernel end to end; returns (y_nchw, counters).
+
+    With ``ftf_on_device=True`` the filter transform also runs as a SASS
+    kernel on the simulator (the paper's separate FTF kernel, §4.1);
+    otherwise it is computed host-side (the default, since the FTF is a
+    negligible, memory-bound prelude).
+    """
+    n, c, h, w = x_nchw.shape
+    k = f_kcrs.shape[0]
+    prob = prob or ConvProblem(n=n, c=c, h=h, w=w, k=k)
+    gen = WinogradF22Kernel(prob, tunables)
+    kernel = gen.build()
+
+    x_chwn = nchw_to_chwn(x_nchw.astype(np.float32))
+    f_crsk = kcrs_to_crsk(f_kcrs.astype(np.float32))
+    gmem = GlobalMemory(
+        size=max(64 << 20, 4 * x_chwn.nbytes + 64 * prob.c * prob.k + (8 << 20))
+    )
+    if ftf_on_device:
+        from .ftf import FilterTransformKernel
+
+        ftf = FilterTransformKernel(prob)
+        fil_ptr = gmem.alloc_array(f_crsk)
+        ft_ptr = gmem.alloc(4 * prob.c * 16 * prob.k)
+        run_grid(
+            ftf.build(), device, grid=ftf.grid, threads_per_block=256,
+            params={"fil_ptr": fil_ptr, "out_ptr": ft_ptr}, gmem=gmem,
+        )
+        f_t = gmem.read_array(ft_ptr, (prob.c, 4, 4, prob.k))
+    else:
+        f_t = FusedWinogradConv().transform_filters(f_crsk)
+    params, out_ptr = gen.alloc_buffers(gmem, x_chwn, f_t)
+    result = run_grid(
+        kernel, device, grid=gen.grid, threads_per_block=256, params=params,
+        gmem=gmem,
+    )
+    y_khwn = gmem.read_array(out_ptr, (k, prob.out_h, prob.out_w, n))
+    return khwn_to_nkhw(y_khwn), result.counters
+
+
+@dataclasses.dataclass
+class MainLoopMeasurement:
+    counters: Counters
+    iters: int
+    cycles_per_iter: float  # steady-state cycles per bc-iteration per SM
+    tflops: float  # whole-device raw FFMA throughput (the Fig. 7-9 axis)
+    sol: float  # steady-state FP32 pipe utilization (the Fig. 10-11 metric)
+
+
+def _simulate_main_loop(prob, device, tunables, iters, num_blocks):
+    gen = WinogradF22Kernel(prob, tunables)
+    kernel = gen.build(main_loop_only=True, iters=iters)
+    gmem = GlobalMemory(size=128 << 20)
+    # Synthetic buffers: content does not matter for timing, but layout,
+    # size and L2 residency do.
+    in_elems = (prob.c + 8) * prob.h * prob.w * prob.n
+    fil_elems = (prob.c + 8) * 16 * prob.k
+    in_ptr = gmem.alloc(4 * in_elems)
+    fil_ptr = gmem.alloc(4 * fil_elems, l2_resident=True)
+    out_ptr = gmem.alloc(4 * prob.k * prob.out_h * prob.out_w * prob.n)
+    params = {"in_ptr": in_ptr, "fil_ptr": fil_ptr, "out_ptr": out_ptr}
+    return simulate_resident_blocks(
+        kernel, device, params=params, gmem=gmem, threads_per_block=256,
+        num_blocks=num_blocks,
+    )
+
+
+def measure_main_loop(
+    prob: ConvProblem,
+    device: DeviceSpec = V100,
+    tunables: Tunables = Tunables(),
+    iters: int = 3,
+    num_blocks: int | None = None,
+) -> MainLoopMeasurement:
+    """Measure steady-state main-loop throughput on one SM.
+
+    Two runs (``iters`` and ``iters − 2`` bc-iterations) are differenced
+    to cancel the prologue/staging transient — the standard technique for
+    steady-state microbenchmarks.  TFLOPS is the raw FFMA rate, which is
+    what the paper plots in Figs. 7-9 (its ceiling is the device FP32
+    peak); SOL is the FP32-pipe utilization of the marginal iterations.
+    """
+    if iters < 3:
+        raise ValueError("need at least 3 iterations for a differential measure")
+    long_run = _simulate_main_loop(prob, device, tunables, iters, num_blocks)
+    short_run = _simulate_main_loop(prob, device, tunables, iters - 2, num_blocks)
+    c_long, c_short = long_run.counters, short_run.counters
+    d_cycles = c_long.cycles - c_short.cycles
+    d_ffma = c_long.ffma_instrs - c_short.ffma_instrs
+    d_fma_busy = c_long.fma_pipe_busy - c_short.fma_pipe_busy
+    cycles_per_iter = d_cycles / 2.0
+    flops = d_ffma * 32 * 2
+    seconds = d_cycles / (device.clock_ghz * 1e9)
+    per_sm = flops / seconds / 1e12 if seconds > 0 else 0.0
+    sol = d_fma_busy / (d_cycles * device.schedulers_per_sm) if d_cycles else 0.0
+    return MainLoopMeasurement(
+        counters=c_long,
+        iters=iters,
+        cycles_per_iter=cycles_per_iter,
+        tflops=per_sm * device.num_sms,
+        sol=sol,
+    )

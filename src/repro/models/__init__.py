@@ -1,0 +1,21 @@
+"""CNN layer tables used as workloads (ResNet Table 1, VGG-19)."""
+
+from .resnet import (
+    PAPER_BATCH_SIZES,
+    RESNET_LAYER_SHAPES,
+    paper_layers,
+    paper_layers_batch_major,
+    resnet_layer,
+)
+from .vgg import VGG19_LAYER_SHAPES, vgg_layer, vgg_layers
+
+__all__ = [
+    "PAPER_BATCH_SIZES",
+    "RESNET_LAYER_SHAPES",
+    "VGG19_LAYER_SHAPES",
+    "paper_layers",
+    "paper_layers_batch_major",
+    "resnet_layer",
+    "vgg_layer",
+    "vgg_layers",
+]

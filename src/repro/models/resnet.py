@@ -1,0 +1,48 @@
+"""The paper's workload: all 3×3 convolutional layers of ResNet (Table 1).
+
+Every evaluation table and figure in the paper sweeps these four layers at
+batch sizes {32, 64, 96, 128}, labelled ``ConvxNn`` (e.g. ``Conv2N32``).
+"""
+
+from __future__ import annotations
+
+from ..common import ConvProblem
+
+# Table 1: Output(H×W), Filter (C, R×S, K).  Pad 1, stride 1, so the input
+# spatial size equals the output spatial size.
+RESNET_LAYER_SHAPES = {
+    "Conv2": dict(h=56, w=56, c=64, k=64),
+    "Conv3": dict(h=28, w=28, c=128, k=128),
+    "Conv4": dict(h=14, w=14, c=256, k=256),
+    "Conv5": dict(h=7, w=7, c=512, k=512),
+}
+
+PAPER_BATCH_SIZES = (32, 64, 96, 128)
+
+
+def resnet_layer(name: str, n: int) -> ConvProblem:
+    """One ResNet 3×3 layer, e.g. ``resnet_layer("Conv2", 32)``."""
+    shape = RESNET_LAYER_SHAPES[name]
+    return ConvProblem(n=n, r=3, s=3, pad=1, name=f"{name}N{n}", **shape)
+
+
+def paper_layers(batch_sizes=PAPER_BATCH_SIZES) -> list[ConvProblem]:
+    """The 16 (layer, batch) points of the evaluation, in paper order.
+
+    The paper orders the x-axis of Figures 7-11 layer-major
+    (Conv2N32..Conv2N128, Conv3N32, ...).
+    """
+    return [
+        resnet_layer(layer, n)
+        for layer in RESNET_LAYER_SHAPES
+        for n in batch_sizes
+    ]
+
+
+def paper_layers_batch_major(batch_sizes=PAPER_BATCH_SIZES) -> list[ConvProblem]:
+    """Same 16 points ordered batch-major (the row order of Table 2/6)."""
+    return [
+        resnet_layer(layer, n)
+        for n in batch_sizes
+        for layer in RESNET_LAYER_SHAPES
+    ]

@@ -1,0 +1,32 @@
+"""VGG-19 3×3 layers.
+
+The paper motivates Winograd with VGG ("16 out of 19 layers are 3×3")
+and states the kernel peaks when N is a multiple of 32, K a multiple of
+64 and C a multiple of 8 — true for every VGG layer below.  Used by the
+generality example and the break-even sweep.
+"""
+
+from __future__ import annotations
+
+from ..common import ConvProblem
+
+# (stage, repeat): input channels, output channels, spatial size at 224x224.
+VGG19_LAYER_SHAPES = {
+    "VggConv1_2": dict(h=224, w=224, c=64, k=64),
+    "VggConv2_1": dict(h=112, w=112, c=64, k=128),
+    "VggConv2_2": dict(h=112, w=112, c=128, k=128),
+    "VggConv3_1": dict(h=56, w=56, c=128, k=256),
+    "VggConv3_2": dict(h=56, w=56, c=256, k=256),
+    "VggConv4_1": dict(h=28, w=28, c=256, k=512),
+    "VggConv4_2": dict(h=28, w=28, c=512, k=512),
+    "VggConv5_1": dict(h=14, w=14, c=512, k=512),
+}
+
+
+def vgg_layer(name: str, n: int) -> ConvProblem:
+    shape = VGG19_LAYER_SHAPES[name]
+    return ConvProblem(n=n, r=3, s=3, pad=1, name=f"{name}N{n}", **shape)
+
+
+def vgg_layers(n: int = 32) -> list[ConvProblem]:
+    return [vgg_layer(name, n) for name in VGG19_LAYER_SHAPES]

@@ -1,0 +1,59 @@
+"""Analytical performance models: roofline, workspace, break-even, baselines."""
+
+from .breakeven import break_even_k, faster_variant, fused_time, nonfused_time
+from .cudnn_model import (
+    CUDNN_ALGORITHMS,
+    cudnn_time,
+    cudnn_winograd_time,
+    tile_overcompute,
+)
+from .layer_model import LayerPerformance, clear_cache, our_layer_performance
+from .paper_data import (
+    ALGO_ORDER,
+    LAYER_ORDER,
+    PAPER_CLAIMS,
+    PAPER_FIG12_RTX2070,
+    PAPER_FIG13_V100,
+    PAPER_FIG14_WORKSPACE_MB,
+    PAPER_TABLE2_V100,
+    PAPER_TABLE6,
+)
+from .roofline import (
+    RooflinePoint,
+    direct_conv_intensity,
+    gemm_step_intensity,
+    paper_points,
+    roofline_table,
+    transform_intensity,
+)
+from .workspace import ALGORITHM_WORKSPACE, workspace_mb
+
+__all__ = [
+    "ALGORITHM_WORKSPACE",
+    "ALGO_ORDER",
+    "CUDNN_ALGORITHMS",
+    "LAYER_ORDER",
+    "LayerPerformance",
+    "PAPER_CLAIMS",
+    "PAPER_FIG12_RTX2070",
+    "PAPER_FIG13_V100",
+    "PAPER_FIG14_WORKSPACE_MB",
+    "PAPER_TABLE2_V100",
+    "PAPER_TABLE6",
+    "RooflinePoint",
+    "break_even_k",
+    "clear_cache",
+    "cudnn_time",
+    "cudnn_winograd_time",
+    "direct_conv_intensity",
+    "faster_variant",
+    "fused_time",
+    "gemm_step_intensity",
+    "nonfused_time",
+    "our_layer_performance",
+    "paper_points",
+    "roofline_table",
+    "tile_overcompute",
+    "transform_intensity",
+    "workspace_mb",
+]

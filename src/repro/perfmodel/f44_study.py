@@ -1,0 +1,151 @@
+"""Design study: a fused F(4×4, 3×3) kernel (paper §8.1's future work).
+
+"We expect greater speedup in the future if the fused F(4×4, 3×3) is
+well optimized."  This module makes that expectation quantitative — and
+shows why the paper did not just build it: the transformed tile is 6×6,
+so the EWMM becomes a *36*-batched GEMM, and the register accounting
+that fit F(2×2) exactly into 253 registers (Table 5) no longer closes
+at the same block size.
+
+For a candidate blocking (bk, bn, bc) with 256 threads the per-thread
+budget is (mirroring Table 5):
+
+* accumulators:      36·bk·bn / 256
+* double-buffered smem fragments: 2 · 36·(bk + bn)·bc / 256 / warps'
+  share … modelled as 2·(bk + bn)·bc·36/256/8-per-k-step fragments =
+  2·(frag_in + frag_fil) with frag sizes bk·bc·36/256-style terms;
+* global prefetch:   (bk + bn)·bc·36 / 256
+* ~13 scalars.
+
+The study enumerates feasible blockings, reports their register/smem
+pressure and arithmetic intensity, and projects the layer-level speedup
+of the best feasible configuration using the §8.1 time model with the
+4× multiplication reduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..common.problem import ConvProblem
+from ..gpusim.arch import DeviceSpec
+
+THREADS = 256
+ALPHA2 = 36  # 6×6 transformed tiles for F(4×4, 3×3)
+MAX_REGS = 253
+MAX_SMEM = 64 * 1024  # Turing per-block limit (§7.1)
+
+
+@dataclasses.dataclass(frozen=True)
+class F44Blocking:
+    """One candidate (bk, bn, bc) for a fused F(4×4,3×3) kernel."""
+
+    bk: int
+    bn: int
+    bc: int
+
+    @property
+    def accumulators(self) -> int:
+        return ALPHA2 * self.bk * self.bn // THREADS
+
+    @property
+    def gmem_prefetch_regs(self) -> int:
+        # Input tiles are 6×6 = 36 values; filters arrive pre-transformed.
+        return (self.bk + self.bn) * self.bc * ALPHA2 // THREADS
+
+    @property
+    def frag_regs(self) -> int:
+        # Per k-step each thread consumes bk·bn·36/256 outputs from
+        # (bk + bn)-proportional fragments; double buffered.
+        per_step = (self.bk + self.bn) * ALPHA2 // THREADS * 4
+        return 2 * max(per_step, 8)
+
+    @property
+    def registers(self) -> int:
+        return self.accumulators + self.gmem_prefetch_regs + self.frag_regs + 13
+
+    @property
+    def smem_bytes(self) -> int:
+        """(36, bc, bk) + (36, bc, bn) staging buffers."""
+        return ALPHA2 * self.bc * (self.bk + self.bn) * 4
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        flops = 2 * ALPHA2 * self.bk * self.bn * self.bc
+        gmem = ALPHA2 * (self.bk + self.bn) * self.bc * 4
+        return flops / gmem
+
+    @property
+    def feasible(self) -> bool:
+        return (
+            self.registers <= MAX_REGS
+            and self.smem_bytes <= MAX_SMEM
+            and self.accumulators * THREADS == ALPHA2 * self.bk * self.bn
+        )
+
+
+def enumerate_blockings() -> list[F44Blocking]:
+    """All (bk, bn, bc) candidates on the paper's natural grid."""
+    out = []
+    for bk in (16, 32, 64):
+        for bn in (8, 16, 32):
+            for bc in (4, 8):
+                out.append(F44Blocking(bk, bn, bc))
+    return out
+
+
+def best_feasible() -> F44Blocking | None:
+    feasible = [b for b in enumerate_blockings() if b.feasible]
+    if not feasible:
+        return None
+    return max(feasible, key=lambda b: b.arithmetic_intensity)
+
+
+def f22_reference_blocking_infeasible() -> F44Blocking:
+    """The paper's F(2×2) blocking transplanted to F(4×4): over budget."""
+    return F44Blocking(64, 32, 8)
+
+
+def attainable_sol(blocking: F44Blocking, device: DeviceSpec) -> float:
+    """FP32-pipe utilization ceiling the blocking's intensity permits.
+
+    Raw-FFMA intensity is the blocking's effective-flops intensity ÷ 4
+    (the multiplication reduction); even served from L2, the feasible
+    F(4×4) blockings sit below the balance point — the quantitative
+    version of the §8.1 obstacle (F(2×2)'s 10.67 flops/B does not).
+    """
+    l2_attainable = blocking.arithmetic_intensity * device.l2_gbps / 1e3
+    return min(0.92, l2_attainable / device.peak_fp32_tflops)
+
+
+def projected_fused_f44_time(
+    prob: ConvProblem, device: DeviceSpec, blocking: F44Blocking | None = None
+) -> float:
+    """Projected fused F(4×4) layer time for a feasible blocking.
+
+    4× multiplication reduction with F(4×4)'s tile overcompute, capped
+    by the blocking's attainable (memory-limited) SOL.
+    """
+    blocking = blocking or best_feasible()
+    sol = attainable_sol(blocking, device)
+    th = -(-prob.out_h // 4)
+    tw = -(-prob.out_w // 4)
+    over = (4 * th / prob.out_h) * (4 * tw / prob.out_w)
+    flops = over * 2 * prob.n * prob.c * prob.out_h * prob.out_w * prob.k * 9
+    return flops / (4.0 * sol * device.peak_fp32_tflops * 1e12)
+
+
+def projected_speedup_over_f22(
+    prob: ConvProblem,
+    device: DeviceSpec,
+    blocking: F44Blocking | None = None,
+    sol_f22: float = 0.91,
+) -> float:
+    """Projected fused-F(4×4) speedup over our fused F(2×2) kernel."""
+    th2, tw2 = -(-prob.out_h // 2), -(-prob.out_w // 2)
+    over2 = (2 * th2 / prob.out_h) * (2 * tw2 / prob.out_w)
+    f22 = over2 * 2 * prob.n * prob.c * prob.out_h * prob.out_w * prob.k * 9 / (
+        2.25 * sol_f22 * device.peak_fp32_tflops * 1e12
+    )
+    return f22 / projected_fused_f44_time(prob, device, blocking)

@@ -1,0 +1,123 @@
+"""Values the paper reports, transcribed for paper-vs-measured comparisons.
+
+Sources: Table 2, Table 6, Figures 12-14 cell values, and the headline
+claims of §6 and §7 of Yan, Wang & Chu (PPoPP '20).  These are used two
+ways: (a) EXPERIMENTS.md comparisons printed by the benches, and (b) the
+cuDNN-internal ratios (Table 2) calibrate the cuDNN Winograd baseline
+model (see DESIGN.md §2's substitution table — we cannot run cuDNN).
+"""
+
+LAYER_ORDER = [
+    f"Conv{layer}N{n}" for layer in (2, 3, 4, 5) for n in (32, 64, 96, 128)
+]
+
+ALGO_ORDER = [
+    "FFT",
+    "FFT_TILING",
+    "GEMM",
+    "IMPLICIT_GEMM",
+    "IMPLICIT_PRECOMP_GEMM",
+    "WINOGRAD_NONFUSED",
+]
+
+# Table 2: cuDNN Winograd speedup over cuDNN GEMM-based conv on V100.
+PAPER_TABLE2_V100 = {
+    "Conv2N32": 1.57, "Conv3N32": 1.53, "Conv4N32": 1.62, "Conv5N32": 1.10,
+    "Conv2N64": 1.54, "Conv3N64": 1.50, "Conv4N64": 1.57, "Conv5N64": 0.91,
+    "Conv2N96": 1.59, "Conv3N96": 1.53, "Conv4N96": 1.58, "Conv5N96": 0.81,
+    "Conv2N128": 1.55, "Conv3N128": 1.48, "Conv4N128": 1.67, "Conv5N128": 0.86,
+}
+
+# Table 6: speedup of the paper's kernel over cuDNN's Winograd convolution.
+PAPER_TABLE6 = {
+    "RTX2070": {
+        "Conv2N32": 1.67, "Conv3N32": 1.85, "Conv4N32": 1.73, "Conv5N32": 2.59,
+        "Conv2N64": 1.65, "Conv3N64": 1.83, "Conv4N64": 1.79, "Conv5N64": 2.47,
+        "Conv2N96": 1.68, "Conv3N96": 1.83, "Conv4N96": 1.74, "Conv5N96": 2.65,
+        "Conv2N128": 1.67, "Conv3N128": 1.82, "Conv4N128": 1.77, "Conv5N128": 2.57,
+    },
+    "V100": {
+        "Conv2N32": 1.32, "Conv3N32": 1.42, "Conv4N32": 1.31, "Conv5N32": 1.95,
+        "Conv2N64": 1.24, "Conv3N64": 1.40, "Conv4N64": 1.41, "Conv5N64": 1.77,
+        "Conv2N96": 1.24, "Conv3N96": 1.38, "Conv4N96": 1.34, "Conv5N96": 2.13,
+        "Conv2N128": 1.23, "Conv3N128": 1.38, "Conv4N128": 1.38, "Conv5N128": 1.97,
+    },
+}
+
+# Figure 12: speedup of the paper's kernel over every cuDNN algorithm on
+# RTX2070; rows in LAYER_ORDER, columns in ALGO_ORDER.
+PAPER_FIG12_RTX2070 = {
+    "Conv2N32": [3.21, 1.94, 6.27, 3.68, 1.86, 2.00],
+    "Conv2N64": [2.81, 1.76, 6.47, 3.72, 1.85, 2.15],
+    "Conv2N96": [2.62, 1.65, 6.43, 3.79, 1.86, 2.16],
+    "Conv2N128": [2.53, 1.68, 6.44, 3.80, 1.87, 2.15],
+    "Conv3N32": [2.21, 1.73, 3.85, 2.78, 2.12, 1.09],
+    "Conv3N64": [1.41, 1.42, 3.95, 2.81, 1.94, 1.10],
+    "Conv3N96": [1.32, 1.32, 3.92, 2.76, 2.00, 1.10],
+    "Conv3N128": [1.26, 1.27, 3.93, 2.73, 1.96, 1.12],
+    "Conv4N32": [2.15, 5.11, 3.36, 2.61, 2.14, 1.01],
+    "Conv4N64": [1.36, 4.53, 3.20, 2.59, 2.12, 1.06],
+    "Conv4N96": [1.20, 4.10, 3.14, 2.49, 2.13, 1.05],
+    "Conv4N128": [1.15, 4.03, 3.08, 2.39, 2.04, 1.08],
+    "Conv5N32": [6.07, 14.11, 2.35, 2.38, 2.05, 0.83],
+    "Conv5N64": [3.38, 11.34, 2.36, 2.27, 1.66, 0.71],
+    "Conv5N96": [3.24, 11.44, 2.55, 2.19, 1.78, 0.73],
+    "Conv5N128": [2.94, 10.57, 2.15, 1.92, 1.60, 0.70],
+}
+
+# Figure 13: same on V100.
+PAPER_FIG13_V100 = {
+    "Conv2N32": [2.84, 1.93, 5.13, 16.06, 2.09, 1.56],
+    "Conv2N64": [2.61, 1.68, 5.66, 2.71, 1.93, 1.92],
+    "Conv2N96": [2.42, 1.67, 4.84, 2.71, 1.98, 1.98],
+    "Conv2N128": [2.33, 1.85, 4.85, 2.71, 1.91, 2.01],
+    "Conv3N32": [2.14, 1.51, 3.21, 2.56, 2.19, 1.15],
+    "Conv3N64": [1.32, 1.16, 3.26, 2.46, 2.10, 1.09],
+    "Conv3N96": [1.19, 1.08, 3.33, 2.45, 2.13, 1.05],
+    "Conv3N128": [1.16, 1.00, 3.21, 2.40, 2.04, 1.05],
+    "Conv4N32": [2.05, 4.01, 2.63, 2.44, 2.13, 0.98],
+    "Conv4N64": [1.39, 3.60, 2.89, 2.67, 2.23, 1.06],
+    "Conv4N96": [1.14, 3.07, 2.73, 2.45, 2.12, 0.97],
+    "Conv4N128": [1.12, 3.10, 2.85, 2.70, 2.31, 1.00],
+    "Conv5N32": [5.82, 10.45, 1.98, 2.27, 2.16, 0.79],
+    "Conv5N64": [3.15, 8.11, 1.85, 1.88, 1.63, 0.69],
+    "Conv5N96": [3.22, 8.74, 1.97, 1.97, 1.73, 0.78],
+    "Conv5N128": [2.87, 7.87, 1.93, 1.94, 1.71, 0.72],
+}
+
+# Figure 14: workspace (MB) per cuDNN algorithm.
+PAPER_FIG14_WORKSPACE_MB = {
+    "Conv2N32": [198.1, 51.0, 220.5, 0.0, 0.0, 110.8],
+    "Conv2N64": [264.1, 85.0, 441.0, 0.0, 0.0, 221.1],
+    "Conv2N96": [330.1, 119.0, 661.5, 0.0, 0.0, 331.3],
+    "Conv2N128": [396.1, 153.1, 882.0, 0.0, 0.0, 441.6],
+    "Conv3N32": [170.6, 102.0, 110.2, 0.0, 0.0, 57.4],
+    "Conv3N64": [204.6, 136.0, 220.5, 0.0, 0.0, 112.5],
+    "Conv3N96": [238.6, 170.0, 330.8, 0.0, 0.0, 167.6],
+    "Conv3N128": [272.6, 204.0, 441.0, 0.0, 0.0, 222.8],
+    "Conv4N32": [164.2, 340.0, 55.1, 0.0, 0.0, 45.0],
+    "Conv4N64": [182.2, 408.0, 110.2, 0.0, 0.0, 81.0],
+    "Conv4N96": [200.2, 476.0, 165.4, 0.0, 0.0, 117.0],
+    "Conv4N128": [218.2, 544.0, 220.5, 0.0, 0.0, 153.0],
+    "Conv5N32": [621.0, 1224.0, 27.6, 0.0, 0.0, 54.0],
+    "Conv5N64": [657.0, 1360.0, 55.1, 0.0, 0.0, 72.0],
+    "Conv5N96": [693.0, 1496.0, 82.7, 0.0, 0.0, 90.0],
+    "Conv5N128": [729.0, 1632.0, 110.2, 0.0, 0.0, 108.0],
+}
+
+# §6 / §7 headline claims.
+PAPER_CLAIMS = {
+    "yield_natural_over_nvcc": 1.09,
+    "yield_natural_over_cudnn": 1.11,
+    "ldg8_over_ldg2": 1.24,
+    "sts6_over_sts2": 1.02,
+    "sol_main_loop_max": 0.93,
+    "sol_main_loop_min_large_batch": 0.875,
+    "table2_avg_speedup": 1.4,
+    "table6_avg_rtx2070": 1.95,  # abstract: 1.96; §7.1 text: 1.95
+    "table6_avg_v100": 1.5,
+    "break_even_k_v100": 129,
+    "break_even_k_rtx2070": 127,
+    "bk64_intensity_gain": 1.33,
+    "ours_workspace_mb": {"Conv2": 0.25, "Conv3": 1.0, "Conv4": 4.0, "Conv5": 16.0},
+}

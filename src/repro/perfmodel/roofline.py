@@ -1,0 +1,108 @@
+"""Roofline model (paper Fig. 2).
+
+Attainable TFLOPS = min(peak, intensity × bandwidth), drawn against the
+DRAM (900 GB/s) and L2 (2.5 TB/s) ceilings of the V100.  The interesting
+points are the Winograd pipeline stages:
+
+* ITF / FTF / OTF — a handful of FADDs over a tile's bytes: deeply
+  memory-bound (left edge of the figure);
+* the batched-GEMM (EWMM) step at ``bk = 32`` → 8 flops/byte and at
+  ``bk = 64`` → 10.67 flops/byte (+33%, §3.3) — the blocking change that
+  moves the kernel to the right of the DRAM ridge point provided L2
+  catches the filter traffic;
+* blocked direct convolution at ``bk = 64`` for comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..gpusim.arch import DeviceSpec, V100
+from ..winograd.transforms import (
+    PAPER_FTF_FLOPS,
+    PAPER_ITF_FLOPS,
+    PAPER_OTF_FLOPS,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class RooflinePoint:
+    name: str
+    intensity: float  # flops per DRAM byte
+
+    def attainable_tflops(self, device: DeviceSpec, level: str = "dram") -> float:
+        bw = device.dram_gbps if level == "dram" else device.l2_gbps
+        return min(device.peak_fp32_tflops, self.intensity * bw / 1e3)
+
+    def bound(self, device: DeviceSpec, level: str = "dram") -> str:
+        return (
+            "compute"
+            if self.attainable_tflops(device, level) >= device.peak_fp32_tflops
+            else "memory"
+        )
+
+
+def gemm_step_intensity(bk: int, bn: int = 32, bc: int = 8) -> float:
+    """EWMM arithmetic intensity: 2·16·bk·bn·bc flops over the loaded tiles.
+
+    Per iteration a block loads (bk + bn)·bc transformed tiles of 16
+    floats; §3.3's numbers: 8 ops/byte at bk=32, 10.67 at bk=64.
+    """
+    flops = 2 * 16 * bk * bn * bc
+    gmem_bytes = 16 * (bk + bn) * bc * 4
+    return flops / gmem_bytes
+
+
+def direct_conv_intensity(bk: int = 64, bn: int = 32, bc: int = 8) -> float:
+    """Blocked direct 3×3 convolution: bk filters × bn output pixels.
+
+    The bn output pixels are modelled as an 8×4 spatial patch so the 3×3
+    halo is shared: (8+2)·(4+2) input values per channel.
+    """
+    flops = 2 * bk * bn * 9 * bc
+    halo_inputs = (8 + 2) * (4 + 2)
+    gmem_bytes = (bk * 9 + halo_inputs) * bc * 4
+    return flops / gmem_bytes
+
+
+def transform_intensity(kind: str) -> float:
+    """ITF/FTF/OTF steps: a few FADDs per tile of traffic (memory-bound)."""
+    if kind == "ITF":
+        # 32 FADDs; reads a 4×4 tile, writes a 4×4 transformed tile.
+        return PAPER_ITF_FLOPS / ((16 + 16) * 4)
+    if kind == "FTF":
+        # 28 float ops; reads 3×3, writes 4×4.
+        return PAPER_FTF_FLOPS / ((9 + 16) * 4)
+    if kind == "OTF":
+        # 24 FADDs; reads 4×4, writes 2×2.
+        return PAPER_OTF_FLOPS / ((16 + 4) * 4)
+    raise ValueError(f"unknown transform {kind!r}")
+
+
+def paper_points() -> list[RooflinePoint]:
+    """The labelled points of Fig. 2."""
+    return [
+        RooflinePoint("ITF", transform_intensity("ITF")),
+        RooflinePoint("FTF", transform_intensity("FTF")),
+        RooflinePoint("OTF", transform_intensity("OTF")),
+        RooflinePoint("batched GEMM (bk=32)", gemm_step_intensity(32)),
+        RooflinePoint("batched GEMM (bk=64)", gemm_step_intensity(64)),
+        RooflinePoint("Direct Convolution (bk=64)", direct_conv_intensity(64)),
+    ]
+
+
+def roofline_table(device: DeviceSpec = V100) -> list[dict]:
+    """Rows for the Fig. 2 reproduction bench."""
+    rows = []
+    for point in paper_points():
+        rows.append(
+            {
+                "step": point.name,
+                "intensity": point.intensity,
+                "dram_tflops": point.attainable_tflops(device, "dram"),
+                "l2_tflops": point.attainable_tflops(device, "l2"),
+                "bound@dram": point.bound(device, "dram"),
+                "bound@l2": point.bound(device, "l2"),
+            }
+        )
+    return rows

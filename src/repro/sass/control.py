@@ -1,0 +1,137 @@
+"""The per-instruction control code (paper §5.1.4).
+
+Volta/Turing delegate hazard management to the compiler: every 128-bit
+instruction embeds a control word at bits [125:105] that the schedulers
+obey blindly.  Fields (low to high):
+
+* ``stall``  [108:105] — cycles to stall before issuing the *next*
+  instruction from this warp (fixed-latency hazard cover).
+* ``yield`` [109] — the load-balancing flag this paper is the first to
+  study.  In the hardware encoding, bit=1 means "prefer to stay on the
+  current warp"; the *cleared* bit asks the scheduler to switch, which
+  costs one extra cycle and disables the reuse cache.  To keep the
+  source text readable we expose the positive action: ``yield_flag=True``
+  ⇒ "switch warps here" ⇒ encoded bit 0.
+* ``write_bar`` [112:110] — scoreboard barrier set when this variable-
+  latency instruction's *result* lands (7 = none).
+* ``read_bar`` [115:113] — barrier set when source operands have been
+  consumed (lets dependents overwrite them; 7 = none).
+* ``wait_mask`` [121:116] — barriers this instruction must wait on.
+* ``reuse`` [125:122] — operand-slot reuse cache flags.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from ..common.errors import EncodingError, SassSyntaxError
+from .isa import NUM_WAIT_BARRIERS
+
+NO_BARRIER = 7
+
+CONTROL_LSB = 105
+CONTROL_MASK_BITS = 21
+
+
+@dataclasses.dataclass(frozen=True)
+class ControlCode:
+    """Decoded control word; defaults describe a hazard-free instruction."""
+
+    stall: int = 1
+    yield_flag: bool = False  # True ⇒ ask the scheduler to switch warps
+    write_bar: int = NO_BARRIER
+    read_bar: int = NO_BARRIER
+    wait_mask: int = 0
+    reuse: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.stall <= 15):
+            raise EncodingError(f"stall {self.stall} out of range 0..15")
+        for label, bar in (("write", self.write_bar), ("read", self.read_bar)):
+            if bar != NO_BARRIER and not (0 <= bar < NUM_WAIT_BARRIERS):
+                raise EncodingError(f"{label} barrier {bar} out of range 0..5")
+        if not (0 <= self.wait_mask < (1 << NUM_WAIT_BARRIERS)):
+            raise EncodingError(f"wait mask {self.wait_mask:#x} exceeds 6 bits")
+        if not (0 <= self.reuse < 16):
+            raise EncodingError(f"reuse flags {self.reuse:#x} exceed 4 bits")
+
+    # -- encoding ----------------------------------------------------------
+    def encode(self) -> int:
+        """Pack into the 21 control bits (relative to bit 105)."""
+        word = self.stall
+        word |= (0 if self.yield_flag else 1) << 4  # hw bit 1 = stay
+        word |= self.write_bar << 5
+        word |= self.read_bar << 8
+        word |= self.wait_mask << 11
+        word |= self.reuse << 17
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "ControlCode":
+        return cls(
+            stall=word & 0xF,
+            yield_flag=not bool((word >> 4) & 1),
+            write_bar=(word >> 5) & 0x7,
+            read_bar=(word >> 8) & 0x7,
+            wait_mask=(word >> 11) & 0x3F,
+            reuse=(word >> 17) & 0xF,
+        )
+
+    # -- helpers -----------------------------------------------------------
+    def waits_on(self, barrier: int) -> bool:
+        return bool(self.wait_mask & (1 << barrier))
+
+    def with_wait(self, barrier: int) -> "ControlCode":
+        return dataclasses.replace(self, wait_mask=self.wait_mask | (1 << barrier))
+
+    def with_stall(self, stall: int) -> "ControlCode":
+        return dataclasses.replace(self, stall=stall)
+
+    def with_yield(self, flag: bool = True) -> "ControlCode":
+        return dataclasses.replace(self, yield_flag=flag)
+
+    def with_reuse_slot(self, slot: int) -> "ControlCode":
+        if not (0 <= slot < 4):
+            raise EncodingError(f"reuse slot {slot} out of range")
+        return dataclasses.replace(self, reuse=self.reuse | (1 << slot))
+
+    # -- text form -----------------------------------------------------------
+    # [B--12--:R-:W3:Y:S04]  — wait barriers, read bar, write bar, yield, stall
+    def text(self) -> str:
+        waits = "".join(
+            str(i) if self.waits_on(i) else "-" for i in range(NUM_WAIT_BARRIERS)
+        )
+        rd = "-" if self.read_bar == NO_BARRIER else str(self.read_bar)
+        wr = "-" if self.write_bar == NO_BARRIER else str(self.write_bar)
+        y = "Y" if self.yield_flag else "-"
+        return f"[B{waits}:R{rd}:W{wr}:{y}:S{self.stall:02d}]"
+
+
+_CONTROL_RE = re.compile(
+    r"^\[B([0-5-]{6}):R([0-5-]):W([0-5-]):([Y-]):S(\d{1,2})\]$"
+)
+
+
+def parse_control(token: str, line: int | None = None) -> ControlCode:
+    """Parse the ``[B------:R-:W-:-:S01]`` prefix notation."""
+    m = _CONTROL_RE.match(token.strip())
+    if not m:
+        raise SassSyntaxError(f"malformed control code {token!r}", line)
+    waits, rd, wr, y, stall = m.groups()
+    wait_mask = 0
+    for pos, ch in enumerate(waits):
+        if ch == "-":
+            continue
+        if int(ch) != pos:
+            raise SassSyntaxError(
+                f"wait slot {pos} must be '-' or '{pos}', got {ch!r}", line
+            )
+        wait_mask |= 1 << pos
+    return ControlCode(
+        stall=int(stall),
+        yield_flag=(y == "Y"),
+        write_bar=NO_BARRIER if wr == "-" else int(wr),
+        read_bar=NO_BARRIER if rd == "-" else int(rd),
+        wait_mask=wait_mask,
+    )

@@ -1,0 +1,176 @@
+"""Minimal ``.cubin`` (ELF64) writer and reader.
+
+TuringAs "accepts the SASS source file as input and generates .cubin
+files" loadable by the CUDA runtime.  Without a CUDA driver in this
+environment, we implement the container honestly — a genuine ELF64
+object with ``EM_CUDA`` machine type, a ``.text.<kernel>`` section
+holding the 128-bit instruction words and a ``.nv.info.<kernel>``
+metadata section (register count, shared memory, parameter table) — and
+the simulator's loader plays the driver's role.  Compared to NVIDIA's
+real cubins the metadata section uses a JSON payload rather than the
+undocumented binary attribute format; everything else round-trips
+through standard ELF tooling (``readelf`` parses these files).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import struct
+
+from ..common.errors import AssemblerError
+from .assembler import AssembledKernel
+from .encoder import decode_program
+from .preprocess import KernelMeta
+
+EM_CUDA = 190
+_ELF_MAGIC = b"\x7fELF"
+_SHT_PROGBITS = 1
+_SHT_STRTAB = 3
+
+
+@dataclasses.dataclass
+class _Section:
+    name: str
+    kind: int
+    data: bytes
+    flags: int = 0
+    addralign: int = 1
+
+
+def write_cubin(kernel: AssembledKernel) -> bytes:
+    """Serialize an assembled kernel into an ELF64 cubin image."""
+    meta = kernel.meta
+    info = {
+        "kernel": meta.name,
+        "registers": meta.registers,
+        "smem_bytes": meta.smem_bytes,
+        "params": [list(p) for p in meta.params],
+        "labels": kernel.labels,
+        "arch": "sm_75",  # Turing; informational
+    }
+    sections = [
+        _Section(f".text.{meta.name}", _SHT_PROGBITS, kernel.text, flags=0x6,
+                 addralign=128),
+        _Section(
+            f".nv.info.{meta.name}",
+            _SHT_PROGBITS,
+            json.dumps(info, sort_keys=True).encode(),
+        ),
+    ]
+    return _write_elf(sections)
+
+
+def _write_elf(sections: list[_Section]) -> bytes:
+    # Build .shstrtab.
+    shstr = io.BytesIO()
+    shstr.write(b"\x00")
+    name_off: dict[str, int] = {}
+    for sec in sections + [_Section(".shstrtab", _SHT_STRTAB, b"")]:
+        name_off[sec.name] = shstr.tell()
+        shstr.write(sec.name.encode() + b"\x00")
+    shstrtab = _Section(".shstrtab", _SHT_STRTAB, shstr.getvalue())
+    all_sections = sections + [shstrtab]
+
+    ehsize = 64
+    shentsize = 64
+    # Layout: header | section data ... | section header table.
+    offsets = []
+    cursor = ehsize
+    for sec in all_sections:
+        align = sec.addralign
+        cursor = (cursor + align - 1) // align * align
+        offsets.append(cursor)
+        cursor += len(sec.data)
+    shoff = (cursor + 7) // 8 * 8
+
+    out = io.BytesIO()
+    num_sections = len(all_sections) + 1  # + NULL section
+    out.write(_ELF_MAGIC)
+    out.write(bytes([2, 1, 1, 0]))  # 64-bit, little endian, v1, SysV
+    out.write(b"\x00" * 8)
+    out.write(struct.pack("<HHIQQQIHHHHHH",
+                          1,          # ET_REL
+                          EM_CUDA,    # e_machine
+                          1,          # e_version
+                          0, 0, shoff,
+                          0,          # e_flags
+                          ehsize, 0, 0,
+                          shentsize, num_sections,
+                          num_sections - 1))  # shstrndx = last
+    for sec, off in zip(all_sections, offsets):
+        pad = off - out.tell()
+        out.write(b"\x00" * pad)
+        out.write(sec.data)
+    out.write(b"\x00" * (shoff - out.tell()))
+    # NULL section header.
+    out.write(b"\x00" * shentsize)
+    for sec, off in zip(all_sections, offsets):
+        out.write(struct.pack("<IIQQQQIIQQ",
+                              name_off[sec.name],
+                              sec.kind,
+                              sec.flags,
+                              0,  # addr
+                              off,
+                              len(sec.data),
+                              0, 0,
+                              sec.addralign,
+                              0))
+    return out.getvalue()
+
+
+@dataclasses.dataclass
+class LoadedCubin:
+    """Parsed cubin contents (what the driver would hand the hardware)."""
+
+    meta: KernelMeta
+    text: bytes
+    labels: dict[str, int]
+
+    def instructions(self):
+        return decode_program(self.text)
+
+
+def read_cubin(blob: bytes) -> LoadedCubin:
+    """Parse a cubin produced by :func:`write_cubin`."""
+    if blob[:4] != _ELF_MAGIC:
+        raise AssemblerError("not an ELF file")
+    if blob[4] != 2 or blob[5] != 1:
+        raise AssemblerError("cubin must be 64-bit little-endian ELF")
+    (e_type, e_machine, _v, _entry, _phoff, shoff, _flags, _ehsize,
+     _phentsize, _phnum, shentsize, shnum, shstrndx) = struct.unpack_from(
+        "<HHIQQQIHHHHHH", blob, 16
+    )
+    if e_machine != EM_CUDA:
+        raise AssemblerError(f"unexpected machine type {e_machine}")
+    headers = []
+    for i in range(shnum):
+        fields = struct.unpack_from("<IIQQQQIIQQ", blob, shoff + i * shentsize)
+        headers.append(fields)
+    shstr_off, shstr_size = headers[shstrndx][4], headers[shstrndx][5]
+    shstr = blob[shstr_off : shstr_off + shstr_size]
+
+    def name_of(hdr) -> str:
+        start = hdr[0]
+        end = shstr.find(b"\x00", start)
+        return shstr[start:end].decode()
+
+    text = None
+    info = None
+    for hdr in headers[1:]:
+        name = name_of(hdr)
+        data = blob[hdr[4] : hdr[4] + hdr[5]]
+        if name.startswith(".text."):
+            text = data
+        elif name.startswith(".nv.info."):
+            info = json.loads(data.decode())
+    if text is None or info is None:
+        raise AssemblerError("cubin is missing .text or .nv.info sections")
+    meta = KernelMeta(
+        name=info["kernel"],
+        registers=info["registers"],
+        smem_bytes=info["smem_bytes"],
+        params=[tuple(p) for p in info["params"]],
+    )
+    return LoadedCubin(meta=meta, text=text, labels=info.get("labels", {}))

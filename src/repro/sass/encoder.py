@@ -1,0 +1,272 @@
+"""128-bit instruction encoding and decoding (paper Fig. 6).
+
+Field map (bit positions in the 128-bit little-endian word):
+
+====================  =========================================================
+bits                  contents
+====================  =========================================================
+[11:0]                opcode; operand-B form folded in (+0x200 imm, +0x400 const)
+[15:12]               guard predicate nibble (index | negate<<3; 7 = PT)
+[23:16]               destination register (0xFF = none/RZ);
+                      for ISETP: Pdst nibble [19:16], Pdst2 nibble [23:20]
+[31:24]               source register 0 / memory base register
+[63:32]               operand B: rs1 at [39:32] (register form),
+                      32-bit immediate, or constant {offset/4 [47:32],
+                      bank [53:48]}; memory offset (signed 24-bit) at [55:32]
+                      for loads/stores; branch displacement for BRA
+[71:64]               source register 2 / store data register;
+                      ISETP combine-predicate nibble at [67:64]
+[95:72]               per-opcode flag bits (bit 72+i ⇔ spec.valid_flags[i])
+[125:105]             control code (see :mod:`repro.sass.control`)
+====================  =========================================================
+
+The decoder reverses every field, and ``tests/sass`` proves the
+round-trip for each supported instruction shape.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import EncodingError
+from .control import CONTROL_LSB, ControlCode
+from .instruction import Instruction
+from .isa import (
+    FORM_CONSTANT,
+    FORM_IMMEDIATE,
+    OPCODE_TO_NAME,
+    OPCODES,
+    spec_for,
+)
+from .operands import Const, Imm, Mem, Pred, Reg
+
+INSTRUCTION_BYTES = 16
+_NONE_REG = 0xFF
+
+
+def _flag_bits(name: str, flags: tuple[str, ...]) -> int:
+    spec = spec_for(name)
+    bits = 0
+    for flag in flags:
+        try:
+            idx = spec.valid_flags.index(flag)
+        except ValueError:
+            raise EncodingError(f"{name}: flag .{flag} is not encodable") from None
+        if idx >= 24:
+            raise EncodingError(f"{name}: flag .{flag} exceeds the 24 flag bits")
+        bits |= 1 << idx
+    return bits
+
+
+def _flags_from_bits(name: str, bits: int) -> tuple[str, ...]:
+    spec = spec_for(name)
+    return tuple(
+        flag for idx, flag in enumerate(spec.valid_flags) if bits & (1 << idx)
+    )
+
+
+def encode_instruction(instr: Instruction) -> int:
+    """Encode one instruction into its 128-bit word (as a Python int)."""
+    instr.validate()
+    spec = instr.spec
+    word = 0
+
+    # ---- operand B and form ------------------------------------------------
+    form = 0
+    b_value = 0
+    rs0 = _NONE_REG
+    rs2 = _NONE_REG
+    b_slot = instr.b_slot()
+    srcs = list(instr.srcs)
+
+    if instr.mem is not None:
+        rs0 = instr.mem.base.index
+        b_value = instr.mem.offset & 0xFFFFFF
+        if spec.is_store:
+            rs2 = srcs[-1].index
+            srcs = srcs[:-1]
+        b_slot = None  # memory ops have no B operand
+    if instr.target is not None:
+        if not isinstance(instr.target, int):
+            raise EncodingError(
+                f"BRA target {instr.target!r} not resolved; assemble via Assembler"
+            )
+        b_value = instr.target & 0xFFFFFFFF
+        form = FORM_IMMEDIATE
+
+    reg_slots: list[int] = []
+    for i, src in enumerate(srcs):
+        if i == b_slot:
+            if isinstance(src, Imm):
+                form = FORM_IMMEDIATE
+                b_value = src.bits
+            elif isinstance(src, Const):
+                form = FORM_CONSTANT
+                b_value = (src.offset // 4) | (src.bank << 16)
+            else:
+                b_value = src.index  # rs1 at [39:32]
+        else:
+            if not isinstance(src, Reg):
+                raise EncodingError(f"{instr.name}: slot {i} must be a register")
+            reg_slots.append(src.index)
+    if reg_slots:
+        rs0 = reg_slots[0] if instr.mem is None else rs0
+        if instr.mem is not None and reg_slots:
+            raise EncodingError(f"{instr.name}: too many register operands")
+    if len(reg_slots) > 1:
+        rs2 = reg_slots[1]
+    if len(reg_slots) > 2:
+        raise EncodingError(f"{instr.name}: too many register operands")
+
+    word |= (spec.opcode + form) & 0xFFF
+    word |= instr.guard.nibble << 12
+
+    # ---- destination -------------------------------------------------------
+    if instr.dest_preds:
+        dst_bits = instr.dest_preds[0].nibble
+        if len(instr.dest_preds) > 1:
+            dst_bits |= instr.dest_preds[1].nibble << 4
+        word |= dst_bits << 16
+    else:
+        word |= (instr.dest.index if instr.dest is not None else _NONE_REG) << 16
+
+    word |= rs0 << 24
+    word |= (b_value & 0xFFFFFFFF) << 32
+    if instr.src_pred is not None:
+        rs2 = instr.src_pred.nibble  # ISETP: nibble in the rs2 byte
+    word |= rs2 << 64
+    word |= _flag_bits(instr.name, _encodable_flags(instr)) << 72
+    # Source negation modifiers (float ops): bits [98:96], one per slot.
+    for slot, src in enumerate(instr.srcs[:3]):
+        if isinstance(src, Reg) and src.negated:
+            word |= 1 << (96 + slot)
+    word |= instr.control.encode() << CONTROL_LSB
+    return word
+
+
+def _encodable_flags(instr: Instruction) -> tuple[str, ...]:
+    return instr.flags
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Decode a 128-bit word back into the IR."""
+    opcode = word & 0xFFF
+    form = 0
+    name = OPCODE_TO_NAME.get(opcode)
+    if name is None and opcode - FORM_IMMEDIATE in OPCODE_TO_NAME:
+        name = OPCODE_TO_NAME[opcode - FORM_IMMEDIATE]
+        form = FORM_IMMEDIATE
+    if name is None and opcode - FORM_CONSTANT in OPCODE_TO_NAME:
+        name = OPCODE_TO_NAME[opcode - FORM_CONSTANT]
+        form = FORM_CONSTANT
+    if name is None:
+        raise EncodingError(f"unknown opcode {opcode:#05x}")
+    spec = OPCODES[name]
+
+    guard = Pred.from_nibble((word >> 12) & 0xF)
+    rd_byte = (word >> 16) & 0xFF
+    rs0 = (word >> 24) & 0xFF
+    b_value = (word >> 32) & 0xFFFFFFFF
+    rs2 = (word >> 64) & 0xFF
+    flag_bits = (word >> 72) & 0xFFFFFF
+    control = ControlCode.decode((word >> CONTROL_LSB) & 0x1FFFFF)
+    flags = _flags_from_bits(name, flag_bits)
+
+    instr = Instruction(name=name, flags=flags, guard=guard, control=control)
+
+    if name == "BRA":
+        disp = b_value
+        if disp & 0x80000000:
+            disp -= 1 << 32
+        instr.target = disp
+        return _restore_reuse(instr, word)
+    if name in ("EXIT", "NOP", "BAR"):
+        return instr
+    if name == "S2R":
+        instr.dest = Reg(rd_byte)
+        return instr
+    if name == "ISETP":
+        instr.dest_preds = (
+            Pred.from_nibble(rd_byte & 0xF),
+            Pred.from_nibble((rd_byte >> 4) & 0xF),
+        )
+        b = _decode_b(form, b_value)
+        instr.srcs = (Reg(rs0), b)
+        instr.src_pred = Pred.from_nibble(rs2 & 0xF)
+        return _restore_reuse(instr, word)
+    if name == "P2R":
+        instr.dest = Reg(rd_byte)
+        instr.srcs = (Imm(b_value),)
+        return instr
+    if name == "R2P":
+        instr.srcs = (Reg(rs0), Imm(b_value))
+        return instr
+    if spec.is_load or spec.is_store:
+        offset = b_value & 0xFFFFFF
+        if offset & 0x800000:
+            offset -= 1 << 24
+        instr.mem = Mem(Reg(rs0), offset)
+        if spec.is_load:
+            instr.dest = Reg(rd_byte)
+        else:
+            instr.srcs = (Reg(rs2),)
+        return instr
+
+    # Generic ALU/FMA.
+    if spec.has_dest:
+        instr.dest = Reg(rd_byte)
+    srcs: list = []
+    n = spec.num_srcs
+    b_slot = 1 if n >= 2 else (0 if n == 1 else None)
+    reg_queue = [rs0, rs2]
+    for i in range(n):
+        if i == b_slot:
+            srcs.append(_decode_b(form, b_value))
+        else:
+            srcs.append(Reg(reg_queue.pop(0)))
+    instr.srcs = tuple(srcs)
+    return _restore_reuse(instr, word)
+
+
+def _decode_b(form: int, b_value: int):
+    if form == FORM_IMMEDIATE:
+        return Imm(b_value)
+    if form == FORM_CONSTANT:
+        return Const(bank=(b_value >> 16) & 0x3F, offset=(b_value & 0xFFFF) * 4)
+    return Reg(b_value & 0xFF)
+
+
+def _restore_reuse(instr: Instruction, word: int = 0) -> Instruction:
+    """Reflect control reuse bits and negation bits onto source operands."""
+    neg = (word >> 96) & 0x7
+    if not instr.control.reuse and not neg:
+        return instr
+    srcs = list(instr.srcs)
+    for slot, src in enumerate(srcs):
+        if isinstance(src, Reg):
+            srcs[slot] = Reg(
+                src.index,
+                reuse=bool(instr.control.reuse & (1 << slot)),
+                negated=bool(neg & (1 << slot)),
+            )
+    instr.srcs = tuple(srcs)
+    return instr
+
+
+def encode_program(instructions: list[Instruction]) -> bytes:
+    """Encode an instruction list into the flat .text byte image."""
+    blob = bytearray()
+    for instr in instructions:
+        word = encode_instruction(instr)
+        blob += word.to_bytes(INSTRUCTION_BYTES, "little")
+    return bytes(blob)
+
+
+def decode_program(blob: bytes) -> list[Instruction]:
+    if len(blob) % INSTRUCTION_BYTES:
+        raise EncodingError(
+            f".text size {len(blob)} is not a multiple of {INSTRUCTION_BYTES}"
+        )
+    out = []
+    for off in range(0, len(blob), INSTRUCTION_BYTES):
+        word = int.from_bytes(blob[off : off + INSTRUCTION_BYTES], "little")
+        out.append(decode_instruction(word))
+    return out

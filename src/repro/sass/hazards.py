@@ -1,0 +1,257 @@
+"""Automatic control-code generation and hazard validation (§5.1.4).
+
+On Volta/Turing "it is the programmer's/compiler's responsibility to
+prevent data hazards": fixed-latency producers are covered by stalling
+the issuing warp, variable-latency producers by the six scoreboard wait
+barriers.  The paper's kernels set these by hand; this module provides
+
+* :func:`schedule` — a compiler-like pass that fills in stall counts and
+  allocates barriers for a straight-line (or single-loop) program whose
+  control codes were left at the defaults, and
+* :func:`validate_control` — a checker the tests use to prove that
+  generated kernels (including the hand-scheduled Winograd main loop)
+  are hazard-free under the latency model.
+
+The pass is linear over the instruction list.  A backward branch is
+handled by running a second pass with the first pass's end-state as the
+loop-carried state, which reaches the fixed point for the single-loop
+kernels this library generates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..common.errors import AssemblerError
+from .control import NO_BARRIER
+from .instruction import Instruction
+from .isa import NUM_WAIT_BARRIERS
+
+# Issue-to-read latency assumed for fixed-latency pipes when the producer
+# stalls are computed (cycles).  Matches the OpSpec table.
+DUAL_ISSUE_SAFE_STALL = 1
+
+
+@dataclasses.dataclass
+class _PendingBarrier:
+    kind: str  # "write" or "read"
+    regs: set[int]
+    preds: set[int]
+    space: str = ""  # memory space of the producing op ("shared", "global", ...)
+
+
+def schedule(instructions: list[Instruction], loop_start: int | None = None) -> None:
+    """Fill stall counts and scoreboard barriers in place.
+
+    Only instructions whose control is still the default get modified;
+    hand-written control codes are preserved (and later validated).
+    """
+    _schedule_pass(instructions, {}, {})
+    if loop_start is not None:
+        # Re-run with loop-carried latencies: state at the end of the body
+        # feeds its beginning.
+        ready_reg, ready_pred = _collect_end_state(instructions, loop_start)
+        _schedule_pass(instructions[loop_start:], ready_reg, ready_pred)
+
+
+def _collect_end_state(instructions, loop_start):
+    ready_reg: dict[int, int] = {}
+    ready_pred: dict[int, int] = {}
+    t = 0
+    for instr in instructions[loop_start:]:
+        spec = instr.spec
+        if spec.latency is not None:
+            for reg in instr.writes_registers():
+                ready_reg[reg] = t + spec.latency
+            for p in instr.writes_predicates():
+                ready_pred[p] = t + spec.latency
+        t += max(instr.control.stall, 1)
+    # Shift to be relative to the loop start (time 0 = next iteration begin).
+    return (
+        {r: v - t for r, v in ready_reg.items() if v > t},
+        {p: v - t for p, v in ready_pred.items() if v > t},
+    )
+
+
+def _schedule_pass(instructions, ready_reg, ready_pred):
+    ready_reg = dict(ready_reg)
+    ready_pred = dict(ready_pred)
+    barriers: dict[int, _PendingBarrier] = {}
+    t = 0
+    prev: Instruction | None = None
+
+    for instr in instructions:
+        spec = instr.spec
+        reads = set(instr.reads_registers())
+        writes = set(instr.writes_registers())
+        pred_reads = set(instr.reads_predicates())
+        pred_writes = set(instr.writes_predicates())
+
+        # ---- wait on scoreboard barriers ---------------------------------
+        need_wait = 0
+        for idx, pending in barriers.items():
+            # Note: BAR.SYNC needs no scoreboard waits for shared-memory
+            # ordering — the MIO pipe processes LDS/STS in issue order, so
+            # a barrier separating the issues is sufficient.  Register
+            # dependencies are awaited by their consumers as usual.
+            touched = (
+                (pending.kind == "write" and (pending.regs & (reads | writes) or pending.preds & (pred_reads | pred_writes)))
+                or (pending.kind == "read" and pending.regs & writes)
+            )
+            if touched and not instr.control.waits_on(idx):
+                need_wait |= 1 << idx
+        if need_wait:
+            instr.control = dataclasses.replace(
+                instr.control, wait_mask=instr.control.wait_mask | need_wait
+            )
+        for idx in list(barriers):
+            if instr.control.waits_on(idx):
+                del barriers[idx]
+
+        # ---- stall for fixed-latency hazards ------------------------------
+        deficit = 0
+        for reg in reads | writes:
+            if reg in ready_reg:
+                deficit = max(deficit, ready_reg[reg] - t)
+        for p in pred_reads | pred_writes:
+            if p in ready_pred:
+                deficit = max(deficit, ready_pred[p] - t)
+        if deficit > 0 and prev is not None:
+            extra = deficit
+            new_stall = min(15, prev.control.stall + extra)
+            t += new_stall - prev.control.stall
+            prev.control = prev.control.with_stall(new_stall)
+
+        # ---- allocate barriers for variable-latency results ---------------
+        if spec.latency is None and instr.name not in ("BRA", "EXIT", "BAR", "NOP"):
+            if spec.is_store:
+                if instr.control.read_bar == NO_BARRIER:
+                    idx = _free_barrier(barriers, instr)
+                    instr.control = dataclasses.replace(instr.control, read_bar=idx)
+                _merge_barrier(
+                    barriers, instr.control.read_bar, "read", reads, set(),
+                    spec.mem_space,
+                )
+            else:
+                if instr.control.write_bar == NO_BARRIER:
+                    idx = _free_barrier(barriers, instr)
+                    instr.control = dataclasses.replace(instr.control, write_bar=idx)
+                _merge_barrier(
+                    barriers, instr.control.write_bar, "write", writes, pred_writes,
+                    spec.mem_space,
+                )
+
+        # ---- publish fixed-latency results --------------------------------
+        if spec.latency is not None:
+            for reg in writes:
+                ready_reg[reg] = t + spec.latency
+            for p in pred_writes:
+                ready_pred[p] = t + spec.latency
+
+        t += max(instr.control.stall, 1)
+        prev = instr
+
+
+def _merge_barrier(barriers, idx, kind, regs, preds, space="") -> None:
+    """Several in-flight ops may share one barrier; track the reg union."""
+    pending = barriers.get(idx)
+    if pending is not None and pending.kind == kind:
+        pending.regs |= regs
+        pending.preds |= preds
+        pending.space = pending.space or space
+    else:
+        barriers[idx] = _PendingBarrier(kind, set(regs), set(preds), space)
+
+
+def _free_barrier(barriers: dict[int, _PendingBarrier], instr: Instruction) -> int:
+    for idx in range(NUM_WAIT_BARRIERS):
+        if idx not in barriers:
+            return idx
+    # All busy: force a wait on barrier 0 at this instruction and reuse it.
+    instr.control = instr.control.with_wait(0)
+    del barriers[0]
+    return 0
+
+
+def validate_control(instructions: list[Instruction]) -> list[str]:
+    """Return a list of hazard violations (empty = provably hazard-free).
+
+    Linear-scan model: fixed-latency results must be covered by
+    accumulated stalls; variable-latency results must be covered by a
+    write barrier that some instruction waits on before consuming.
+    """
+    problems: list[str] = []
+    ready_reg: dict[int, int] = {}
+    ready_pred: dict[int, int] = {}
+    guarded: dict[int, tuple[str, set[int]]] = {}  # barrier -> (kind, regs)
+    unguarded: dict[int, int] = {}  # reg -> producing line (variable latency)
+    t = 0
+
+    for pos, instr in enumerate(instructions):
+        spec = instr.spec
+        reads = set(instr.reads_registers())
+        writes = set(instr.writes_registers())
+        pred_reads = set(instr.reads_predicates())
+
+        for idx in range(NUM_WAIT_BARRIERS):
+            if instr.control.waits_on(idx) and idx in guarded:
+                kind, regs = guarded.pop(idx)
+                for reg in regs:
+                    unguarded.pop(reg, None)
+
+        for idx, (kind, regs) in guarded.items():
+            hazard = (
+                regs & (reads | writes) if kind == "write" else regs & writes
+            )
+            if hazard:
+                reg = sorted(hazard)[0]
+                problems.append(
+                    f"instr {pos} ({instr.name}) touches R{reg} guarded by "
+                    f"barrier {idx} without waiting on it"
+                )
+        for reg in reads | writes:
+            if reg in unguarded:
+                problems.append(
+                    f"instr {pos} ({instr.name}) touches R{reg} whose "
+                    f"variable-latency producer at {unguarded[reg]} was not "
+                    "awaited"
+                )
+            if ready_reg.get(reg, 0) > t:
+                problems.append(
+                    f"instr {pos} ({instr.name}) reads/writes R{reg} "
+                    f"{ready_reg[reg] - t} cycles too early"
+                )
+        for p in pred_reads:
+            if ready_pred.get(p, 0) > t:
+                problems.append(
+                    f"instr {pos} ({instr.name}) reads P{p} "
+                    f"{ready_pred[p] - t} cycles too early"
+                )
+
+        if spec.latency is not None:
+            for reg in writes:
+                ready_reg[reg] = t + spec.latency
+            for p in instr.writes_predicates():
+                ready_pred[p] = t + spec.latency
+        elif instr.name not in ("BRA", "EXIT", "BAR", "NOP"):
+            bar = (
+                instr.control.read_bar if spec.is_store else instr.control.write_bar
+            )
+            tracked = reads if spec.is_store else writes
+            if bar == NO_BARRIER:
+                if not spec.is_store:
+                    for reg in tracked:
+                        unguarded[reg] = pos
+            else:
+                kind = "read" if spec.is_store else "write"
+                if bar in guarded and guarded[bar][0] == kind:
+                    guarded[bar] = (kind, guarded[bar][1] | set(tracked))
+                else:
+                    guarded[bar] = (kind, set(tracked))
+
+        t += max(instr.control.stall, 1)
+    return problems
+
+
+class HazardError(AssemblerError):
+    """Raised when strict assembly finds control-code hazards."""

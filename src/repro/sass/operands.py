@@ -1,0 +1,189 @@
+"""SASS operand model: registers, predicates, immediates, constants, memory.
+
+An operand knows how to render itself back to source text (for the
+disassembler) and how to validate its encodable range; the bit packing
+itself lives in :mod:`repro.sass.encoder` so the field layout is defined
+in exactly one place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import struct
+
+from ..common.errors import EncodingError, SassSyntaxError
+from .isa import NUM_PREDICATES, PT, RZ
+
+
+@dataclasses.dataclass(frozen=True)
+class Reg:
+    """Regular 32-bit register R0..R254, or RZ (index 255).
+
+    ``reuse`` marks the operand for the register reuse cache (§4.3's
+    bank-conflict elimination); it is positional — the encoder maps it to
+    the reuse bit of the operand's slot.  ``negated`` is the float
+    source-negation modifier (``FADD R0, R1, -R2``).
+    """
+
+    index: int
+    reuse: bool = False
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.index <= RZ):
+            raise EncodingError(f"register index {self.index} out of range")
+
+    @property
+    def is_rz(self) -> bool:
+        return self.index == RZ
+
+    @property
+    def bank(self) -> int:
+        """64-bit register bank (0 = even, 1 = odd) — §5.2.2."""
+        return self.index & 1
+
+    def text(self) -> str:
+        base = "RZ" if self.is_rz else f"R{self.index}"
+        return ("-" if self.negated else "") + base + (".reuse" if self.reuse else "")
+
+
+@dataclasses.dataclass(frozen=True)
+class Pred:
+    """Predicate register P0..P6 or PT (index 7), possibly negated."""
+
+    index: int
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.index <= PT):
+            raise EncodingError(f"predicate index {self.index} out of range")
+
+    @property
+    def is_pt(self) -> bool:
+        return self.index == PT
+
+    def text(self) -> str:
+        name = "PT" if self.is_pt else f"P{self.index}"
+        return ("!" if self.negated else "") + name
+
+    @property
+    def nibble(self) -> int:
+        """4-bit encoding: low 3 bits index, bit 3 negate (paper §5.1.2)."""
+        return self.index | (0x8 if self.negated else 0)
+
+    @classmethod
+    def from_nibble(cls, nib: int) -> "Pred":
+        return cls(index=nib & 0x7, negated=bool(nib & 0x8))
+
+
+@dataclasses.dataclass(frozen=True)
+class Imm:
+    """32-bit immediate; floats are carried as their IEEE-754 bit pattern."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not (-(1 << 31) <= self.value < (1 << 32)):
+            raise EncodingError(f"immediate {self.value:#x} does not fit in 32 bits")
+
+    @property
+    def bits(self) -> int:
+        return self.value & 0xFFFFFFFF
+
+    @classmethod
+    def from_float(cls, value: float) -> "Imm":
+        return cls(struct.unpack("<I", struct.pack("<f", value))[0])
+
+    def as_float(self) -> float:
+        return struct.unpack("<f", struct.pack("<I", self.bits))[0]
+
+    def text(self) -> str:
+        return f"{self.bits:#x}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Const:
+    """Constant memory operand ``c[bank][offset]`` (kernel params live in
+    bank 0 from offset 0x160, §5.1.2)."""
+
+    bank: int
+    offset: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.bank < 32):
+            raise EncodingError(f"constant bank {self.bank} out of range")
+        if not (0 <= self.offset < (1 << 16)) or self.offset % 4:
+            raise EncodingError(
+                f"constant offset {self.offset:#x} must be a word offset < 64KB"
+            )
+
+    def text(self) -> str:
+        return f"c[{self.bank:#x}][{self.offset:#x}]"
+
+
+@dataclasses.dataclass(frozen=True)
+class Mem:
+    """Memory reference ``[Rbase + offset]`` for LDG/STG/LDS/STS."""
+
+    base: Reg
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if not (-(1 << 23) <= self.offset < (1 << 23)):
+            raise EncodingError(f"memory offset {self.offset:#x} exceeds 24 bits")
+
+    def text(self) -> str:
+        if self.offset == 0:
+            return f"[{self.base.text()}]"
+        sign = "+" if self.offset >= 0 else "-"
+        return f"[{self.base.text()} {sign} {abs(self.offset):#x}]"
+
+
+Operand = object  # union of the classes above; kept loose for isinstance use
+
+_REG_RE = re.compile(r"^(-?)R(\d+|Z)(\.reuse)?$")
+_PRED_RE = re.compile(r"^(!?)P(\d+|T)$")
+_CONST_RE = re.compile(r"^c\[(0x[0-9a-fA-F]+|\d+)\]\[(0x[0-9a-fA-F]+|\d+)\]$")
+_MEM_RE = re.compile(
+    r"^\[\s*R(\d+|Z)\s*(?:([+-])\s*(0x[0-9a-fA-F]+|\d+)\s*)?\]$"
+)
+
+
+def parse_operand(token: str, line: int | None = None):
+    """Parse one operand token into its operand object."""
+    token = token.strip()
+    m = _REG_RE.match(token)
+    if m:
+        idx = RZ if m.group(2) == "Z" else int(m.group(2))
+        return Reg(idx, reuse=bool(m.group(3)), negated=bool(m.group(1)))
+    m = _PRED_RE.match(token)
+    if m:
+        idx = PT if m.group(2) == "T" else int(m.group(2))
+        if idx > PT:
+            raise SassSyntaxError(f"no such predicate P{idx}", line)
+        if idx >= NUM_PREDICATES and idx != PT:
+            raise SassSyntaxError(f"P{idx} exceeds the 7 predicate registers", line)
+        return Pred(idx, negated=bool(m.group(1)))
+    m = _CONST_RE.match(token)
+    if m:
+        return Const(int(m.group(1), 0), int(m.group(2), 0))
+    m = _MEM_RE.match(token)
+    if m:
+        base = RZ if m.group(1) == "Z" else int(m.group(1))
+        offset = int(m.group(3), 0) if m.group(3) else 0
+        if m.group(2) == "-":
+            offset = -offset
+        return Mem(Reg(base), offset)
+    # Immediates: hex, decimal, or float literal.
+    try:
+        if re.match(r"^[+-]?(0x[0-9a-fA-F]+|\d+)$", token):
+            return Imm(int(token, 0))
+        if re.match(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$", token) or token in (
+            "INF",
+            "-INF",
+        ):
+            return Imm.from_float(float(token.replace("INF", "inf")))
+    except EncodingError:
+        raise
+    raise SassSyntaxError(f"cannot parse operand {token!r}", line)

@@ -1,0 +1,183 @@
+"""Source preprocessor: directives, register name mapping, inline Python.
+
+TuringAs's productivity features (paper §5.3):
+
+* **Inline Python** — used to "print the long sequence unrolled SASS
+  loop".  Two forms:
+
+  - block::
+
+        {%
+        for i in range(8):
+            emit(f"FFMA R{i}, R{i+8}, R{i+16}, R{i};")
+        %}
+
+    The block runs with an ``emit(line)`` function plus any variables
+    passed in ``env``; emitted lines replace the block.
+
+  - expression splice: ``LDG.E R{{ 2*i }}, [R2 + {{ hex(i*16) }}];`` —
+    each ``{{ expr }}`` is evaluated and substituted into the line.
+
+* **Register name mapping** — ``.alias index R1`` lets the source use
+  ``index`` instead of ``R1`` ("a meaningful register name rather than a
+  register index").
+
+* **Kernel directives** — ``.kernel NAME``, ``.registers N``,
+  ``.smem BYTES``, ``.param BYTES [NAME]`` describe launch metadata; the
+  parameter list assigns constant-bank addresses from ``c[0x0][0x160]``
+  upward (§5.1.2), exposed as ``param:NAME`` aliases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from ..common.errors import SassSyntaxError
+
+PARAM_BASE = 0x160  # kernel parameters start here in constant bank 0
+
+
+@dataclasses.dataclass
+class KernelMeta:
+    """Launch metadata gathered from directives."""
+
+    name: str = "kernel"
+    registers: int = 32
+    smem_bytes: int = 0
+    params: list[tuple[str, int, int]] = dataclasses.field(default_factory=list)
+    # (name, byte offset in constant bank 0, size)
+
+    def param_offset(self, name: str) -> int:
+        for pname, offset, _ in self.params:
+            if pname == name:
+                return offset
+        raise KeyError(f"no kernel parameter named {name!r}")
+
+
+@dataclasses.dataclass
+class PreprocessResult:
+    source: str
+    meta: KernelMeta
+
+
+_ALIAS_RE = re.compile(r"^\.alias\s+([A-Za-z_][A-Za-z_0-9]*)\s+(\S+)\s*$")
+_EXPR_RE = re.compile(r"\{\{(.*?)\}\}")
+
+
+def preprocess(source: str, env: dict | None = None) -> PreprocessResult:
+    """Expand inline Python, apply aliases, collect directives."""
+    env = dict(env or {})
+    meta = KernelMeta()
+    aliases: dict[str, str] = {}
+    out_lines: list[str] = []
+    lines = source.splitlines()
+    i = 0
+    param_cursor = PARAM_BASE
+
+    def expand_exprs(line: str, lineno: int) -> str:
+        def repl(m: re.Match) -> str:
+            try:
+                return str(eval(m.group(1), {"__builtins__": __builtins__}, env))
+            except Exception as exc:
+                raise SassSyntaxError(
+                    f"inline expression {m.group(1)!r} failed: {exc}", lineno
+                ) from None
+
+        return _EXPR_RE.sub(repl, line)
+
+    def apply_aliases(line: str) -> str:
+        for name, target in aliases.items():
+            line = re.sub(rf"(?<![\w.]){re.escape(name)}(?![\w])", target, line)
+        return line
+
+    while i < len(lines):
+        raw = lines[i]
+        stripped = raw.strip()
+        lineno = i + 1
+
+        # ---- inline Python block ------------------------------------------
+        if stripped.startswith("{%"):
+            block: list[str] = []
+            body = stripped[2:]
+            i += 1
+            closed = body.rstrip().endswith("%}")
+            if closed:
+                block.append(body.rstrip()[:-2])
+            else:
+                if body.strip():
+                    block.append(body)
+                while i < len(lines):
+                    text = lines[i]
+                    if text.strip().endswith("%}"):
+                        block.append(text.rstrip()[: text.rstrip().rfind("%}")])
+                        i += 1
+                        closed = True
+                        break
+                    block.append(text)
+                    i += 1
+            if not closed:
+                raise SassSyntaxError("unterminated '{%' block", lineno)
+            emitted: list[str] = []
+            code = "\n".join(block)
+            # Normalize indentation of the block body.
+            code = _dedent(code)
+            local_env = dict(env)
+            local_env["emit"] = emitted.append
+            try:
+                exec(code, {"__builtins__": __builtins__}, local_env)
+            except Exception as exc:
+                raise SassSyntaxError(
+                    f"inline Python block failed: {exc!r}", lineno
+                ) from None
+            env.update(
+                {k: v for k, v in local_env.items() if k != "emit"}
+            )
+            for e_line in emitted:
+                out_lines.append(apply_aliases(e_line))
+            continue
+
+        line = expand_exprs(raw, lineno)
+        stripped = line.strip()
+
+        # ---- directives ----------------------------------------------------
+        if stripped.startswith("."):
+            m = _ALIAS_RE.match(stripped)
+            if m:
+                aliases[m.group(1)] = m.group(2)
+                i += 1
+                continue
+            fields = stripped.split()
+            directive = fields[0]
+            if directive == ".kernel" and len(fields) == 2:
+                meta.name = fields[1]
+            elif directive == ".registers" and len(fields) == 2:
+                meta.registers = int(fields[1], 0)
+            elif directive == ".smem" and len(fields) == 2:
+                meta.smem_bytes = int(fields[1], 0)
+            elif directive == ".param" and len(fields) in (2, 3):
+                size = int(fields[1], 0)
+                name = fields[2] if len(fields) == 3 else f"arg{len(meta.params)}"
+                meta.params.append((name, param_cursor, size))
+                aliases[f"param:{name}"] = f"c[0x0][{param_cursor:#x}]"
+                param_cursor += max(size, 4)
+            else:
+                raise SassSyntaxError(f"unknown directive {stripped!r}", lineno)
+            i += 1
+            continue
+
+        out_lines.append(apply_aliases(line))
+        i += 1
+
+    return PreprocessResult("\n".join(out_lines), meta)
+
+
+def _dedent(code: str) -> str:
+    lines = [l for l in code.splitlines()]
+    indents = [
+        len(l) - len(l.lstrip()) for l in lines if l.strip()
+    ]
+    if not indents:
+        return code
+    cut = min(indents)
+    return "\n".join(l[cut:] if l.strip() else "" for l in lines)

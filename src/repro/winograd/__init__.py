@@ -1,0 +1,57 @@
+"""Winograd convolution: transforms, reference oracle, fused & non-fused pipelines."""
+
+from .fused import (
+    CUDNN_CONFIG,
+    PAPER_CONFIG,
+    BlockConfig,
+    FusedRunStats,
+    FusedWinogradConv,
+)
+from .fused_nchw import FusedWinogradConvNCHW, warp_load_sectors
+from .nonfused import NonFusedRunStats, NonFusedWinogradConv
+from .reference import winograd_conv2d_nchw
+from .tiling import (
+    gather_input_tiles_chwn,
+    pack_mask,
+    scatter_output_tiles_khwn,
+    tile_index_grid,
+    unpack_mask,
+    zero_pad_mask,
+)
+from .transforms import (
+    PAPER_FTF_FLOPS,
+    PAPER_ITF_FLOPS,
+    PAPER_OTF_FLOPS,
+    WinogradTransform,
+    cook_toom,
+    f23,
+    f43,
+    get_transform,
+)
+
+__all__ = [
+    "BlockConfig",
+    "CUDNN_CONFIG",
+    "FusedRunStats",
+    "FusedWinogradConv",
+    "FusedWinogradConvNCHW",
+    "NonFusedRunStats",
+    "NonFusedWinogradConv",
+    "PAPER_CONFIG",
+    "PAPER_FTF_FLOPS",
+    "PAPER_ITF_FLOPS",
+    "PAPER_OTF_FLOPS",
+    "WinogradTransform",
+    "cook_toom",
+    "f23",
+    "f43",
+    "gather_input_tiles_chwn",
+    "get_transform",
+    "pack_mask",
+    "scatter_output_tiles_khwn",
+    "tile_index_grid",
+    "unpack_mask",
+    "warp_load_sectors",
+    "winograd_conv2d_nchw",
+    "zero_pad_mask",
+]

@@ -1,0 +1,285 @@
+"""The paper's fused F(2×2, 3×3) Winograd convolution pipeline.
+
+This is a faithful algorithm-level model of the SASS kernel (§3-§4),
+vectorized with NumPy *inside* each simulated thread block but keeping
+the exact decomposition of Algorithm 1:
+
+* a separate **filter-transform kernel** (FTF) producing the CR'S'K
+  workspace (§4.1) — the only global workspace the implementation needs;
+* a grid of thread blocks, each owning ``bk × bn`` output tiles (Fig. 1);
+* a **main loop** over channels in steps of ``bc`` that gathers and
+  transforms ``bn×bc`` input tiles (ITF, implicit zero padding) and
+  accumulates the 16-batched ``bk × bn × bc`` GEMM (EWMM, Eq. 9-10);
+* an **output transform** (OTF) that turns the accumulators into m×m
+  output tiles and scatters them (with crop) into the KHWN output.
+
+Because every global address and mask is computed the way the kernel
+computes them, this module doubles as the functional specification for
+``repro.kernels.winograd_f22`` and the workload model for
+``repro.perfmodel``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from ..common.errors import ConvConfigError, LayoutError
+from ..common.problem import ConvProblem
+from .tiling import tile_index_grid
+from .transforms import (
+    PAPER_ITF_FLOPS,
+    PAPER_OTF_FLOPS,
+    WinogradTransform,
+    get_transform,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockConfig:
+    """Two-level cache blocking parameters (§3.2-§3.3, Table 7).
+
+    The paper's configuration is ``bk=64, bn=32, bc=8`` with 256 threads;
+    cuDNN/Neon use ``bk=32``.  ``bn`` must stay 32 (one tile per thread
+    per iteration) and ``bk`` ∈ {32, 64} are the cases analyzed.
+    """
+
+    bk: int = 64
+    bn: int = 32
+    bc: int = 8
+    threads: int = 256
+
+    def __post_init__(self) -> None:
+        if self.bk <= 0 or self.bn <= 0 or self.bc <= 0:
+            raise ConvConfigError("block sizes must be positive")
+
+    @property
+    def output_tiles_per_block(self) -> int:
+        """bk·bn output tiles per thread block (2048 for the paper's config)."""
+        return self.bk * self.bn
+
+    @property
+    def smem_filter_bytes(self) -> int:
+        """(16, bc, bk) fp32 transformed-filter buffer (32 KB at bk=64)."""
+        return 16 * self.bc * self.bk * 4
+
+    @property
+    def smem_input_bytes(self) -> int:
+        """(16, bc, bn) fp32 transformed-input buffer (16 KB)."""
+        return 16 * self.bc * self.bn * 4
+
+    @property
+    def smem_main_loop_bytes(self) -> int:
+        return self.smem_filter_bytes + self.smem_input_bytes
+
+    @property
+    def ffma_per_thread_per_iter(self) -> int:
+        """FFMAs per thread per bc-iteration (1024 in the paper, §4.2-§4.3)."""
+        return self.output_tiles_per_block * 16 * self.bc // self.threads
+
+    def arithmetic_intensity(self) -> float:
+        """Main-loop flops per global byte (8 at bk=32 → 10.67 at bk=64, §3.3).
+
+        Per iteration a block loads (bn + bk)·bc tiles of 16 floats and
+        performs 16·bk·bn·bc FMA (2 flops each).
+        """
+        flops = 2 * 16 * self.bk * self.bn * self.bc
+        gmem = 16 * (self.bk + self.bn) * self.bc * 4
+        return flops / gmem
+
+
+PAPER_CONFIG = BlockConfig(bk=64, bn=32, bc=8, threads=256)
+CUDNN_CONFIG = BlockConfig(bk=32, bn=32, bc=8, threads=256)
+
+
+@dataclasses.dataclass
+class FusedRunStats:
+    """Work accounting for one fused-kernel invocation."""
+
+    grid_blocks: int = 0
+    main_loop_iters_per_block: int = 0
+    ffma_total: int = 0
+    itf_fadd_total: int = 0
+    otf_fadd_total: int = 0
+    gmem_load_bytes: int = 0
+    gmem_store_bytes: int = 0
+    effective_flops: int = 0
+
+    @property
+    def total_main_loop_iters(self) -> int:
+        return self.grid_blocks * self.main_loop_iters_per_block
+
+
+class FusedWinogradConv:
+    """Fused F(2×2, 3×3) Winograd convolution (the paper's kernel, modelled).
+
+    Usage::
+
+        conv = FusedWinogradConv()
+        f_t = conv.transform_filters(f_crsk)           # separate FTF kernel
+        y_khwn, stats = conv.run(x_chwn, f_t, prob)    # fused main kernel
+        y_khwn = conv(x_chwn, f_crsk)                  # both steps
+
+    Inputs are CHWN activations and CRSK filters; output is KHWN
+    (Table 4's global-memory layouts).
+    """
+
+    def __init__(
+        self,
+        config: BlockConfig = PAPER_CONFIG,
+        transform: WinogradTransform | None = None,
+    ):
+        self.config = config
+        self.transform = transform or get_transform(2, 3, dtype=np.float32)
+        if self.transform.m != 2 or self.transform.r != 3:
+            raise ConvConfigError("the fused pipeline implements F(2×2, 3×3) only")
+
+    # ------------------------------------------------------------------
+    # FTF kernel (§4.1)
+    # ------------------------------------------------------------------
+    def transform_filters(self, f_crsk: np.ndarray) -> np.ndarray:
+        """GFGᵀ for every (c, k): (C, 3, 3, K) → (C, 4, 4, K) workspace."""
+        if f_crsk.ndim != 4 or f_crsk.shape[1:3] != (3, 3):
+            raise LayoutError(f"expected CRSK 3×3 filters, got {f_crsk.shape}")
+        # Move K next to C so the transform's trailing dims are (3, 3).
+        f = np.transpose(f_crsk, (0, 3, 1, 2))  # (C, K, 3, 3)
+        f_t = self.transform.transform_filter(f)  # (C, K, 4, 4)
+        return np.ascontiguousarray(np.transpose(f_t, (0, 2, 3, 1)))  # (C,4,4,K)
+
+    # ------------------------------------------------------------------
+    # Fused main kernel
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        x_chwn: np.ndarray,
+        f_transformed: np.ndarray,
+        prob: ConvProblem | None = None,
+    ) -> tuple[np.ndarray, FusedRunStats]:
+        """Run the fused kernel given a pre-transformed filter workspace."""
+        if x_chwn.ndim != 4:
+            raise LayoutError(f"expected CHWN input, got {x_chwn.shape}")
+        c, h, w, n = x_chwn.shape
+        if f_transformed.shape[:3] != (c, 4, 4):
+            raise LayoutError(
+                f"expected (C,4,4,K) transformed filters, got {f_transformed.shape}"
+            )
+        k = f_transformed.shape[3]
+        if prob is None:
+            prob = ConvProblem(n=n, c=c, h=h, w=w, k=k)
+        cfg = self.config
+        t = self.transform
+        alpha = t.alpha  # 4
+        m = t.m  # 2
+        pad = prob.pad
+
+        th, tw = prob.tiles_h(m), prob.tiles_w(m)
+        tile_r, tile_c, tile_n = tile_index_grid(th, tw, n)
+        total_tiles = tile_r.size
+
+        n_blocks_tiles = math.ceil(total_tiles / cfg.bn)
+        n_blocks_k = math.ceil(k / cfg.bk)
+        iters = math.ceil(c / cfg.bc)
+
+        y = np.zeros((k, prob.out_h, prob.out_w, n), dtype=np.float32)
+
+        stats = FusedRunStats(
+            grid_blocks=n_blocks_tiles * n_blocks_k,
+            main_loop_iters_per_block=iters,
+        )
+
+        arange_a = np.arange(alpha)
+        for tb in range(n_blocks_tiles):
+            g0 = tb * cfg.bn
+            g_idx = np.arange(g0, min(g0 + cfg.bn, total_tiles))
+            bn_real = g_idx.size
+            rows = tile_r[g_idx][:, None] * m - pad + arange_a[None, :]  # (bn, a)
+            cols = tile_c[g_idx][:, None] * m - pad + arange_a[None, :]
+            batch = tile_n[g_idx]
+            mask = ((rows >= 0) & (rows < h))[:, :, None] & (
+                (cols >= 0) & (cols < w)
+            )[:, None, :]  # (bn, a, a) — the precomputed predicate masks (§3.5)
+            rows_cl = np.clip(rows, 0, h - 1)
+            cols_cl = np.clip(cols, 0, w - 1)
+
+            for kb in range(n_blocks_k):
+                k0 = kb * cfg.bk
+                k_hi = min(k0 + cfg.bk, k)
+                bk_real = k_hi - k0
+                acc = np.zeros((alpha * alpha, bk_real, bn_real), dtype=np.float32)
+
+                for c0 in range(0, c, cfg.bc):
+                    c_hi = min(c0 + cfg.bc, c)
+                    # --- gather bn×bc input tiles with implicit zero pad ---
+                    tiles = x_chwn[
+                        c0:c_hi,
+                        rows_cl[:, :, None],
+                        cols_cl[:, None, :],
+                        batch[:, None, None],
+                    ]  # (bc, bn, a, a)
+                    tiles = np.where(mask[None], tiles, np.float32(0))
+                    # --- ITF: 32 FADDs per tile per thread (§4.2) ---
+                    tiles_t = t.transform_input(tiles)  # (bc, bn, a, a)
+                    i_smem = tiles_t.transpose(2, 3, 0, 1).reshape(
+                        alpha * alpha, c_hi - c0, bn_real
+                    )  # the (16, bc, bn) shared buffer of Table 4
+                    f_smem = f_transformed[c0:c_hi, :, :, k0:k_hi].transpose(
+                        1, 2, 0, 3
+                    ).reshape(alpha * alpha, c_hi - c0, bk_real)  # (16, bc, bk)
+                    # --- EWMM as 16-batched GEMM (Eq. 9) ---
+                    acc += np.einsum(
+                        "pck,pcn->pkn", f_smem, i_smem, optimize=True
+                    ).astype(np.float32)
+                    stats.gmem_load_bytes += (
+                        tiles.size + f_smem.size
+                    ) * 4
+                    stats.ffma_total += 16 * bk_real * bn_real * (c_hi - c0)
+                    stats.itf_fadd_total += PAPER_ITF_FLOPS * (c_hi - c0) * bn_real
+
+                # --- OTF: transpose via smem, transform, predicated store ---
+                o_hat = acc.reshape(alpha, alpha, bk_real, bn_real).transpose(
+                    2, 3, 0, 1
+                )  # (bk, bn, a, a)
+                o = t.transform_output(o_hat)  # (bk, bn, m, m)
+                stats.otf_fadd_total += PAPER_OTF_FLOPS * bk_real * bn_real
+                for j, g in enumerate(g_idx):
+                    r0 = tile_r[g] * m
+                    c0w = tile_c[g] * m
+                    rmax = min(m, prob.out_h - r0)
+                    cmax = min(m, prob.out_w - c0w)
+                    y[k0:k_hi, r0 : r0 + rmax, c0w : c0w + cmax, batch[j]] = o[
+                        :, j, :rmax, :cmax
+                    ]
+                    stats.gmem_store_bytes += bk_real * rmax * cmax * 4
+
+        stats.effective_flops = prob.direct_flops
+        return y, stats
+
+    def __call__(self, x_chwn: np.ndarray, f_crsk: np.ndarray) -> np.ndarray:
+        """FTF + fused kernel; returns the KHWN output only."""
+        f_t = self.transform_filters(f_crsk)
+        y, _ = self.run(x_chwn, f_t)
+        return y
+
+    # ------------------------------------------------------------------
+    # Workload introspection for the perf model / kernel generator
+    # ------------------------------------------------------------------
+    def workload(self, prob: ConvProblem) -> dict:
+        """Static per-launch work description (no data needed)."""
+        cfg = self.config
+        th, tw = prob.tiles_h(2), prob.tiles_w(2)
+        total_tiles = th * tw * prob.n
+        blocks = math.ceil(total_tiles / cfg.bn) * math.ceil(prob.k / cfg.bk)
+        iters = math.ceil(prob.c / cfg.bc)
+        return {
+            "blocks": blocks,
+            "iters_per_block": iters,
+            "threads_per_block": cfg.threads,
+            "warps_per_block": cfg.threads // 32,
+            "ffma_per_thread_per_iter": cfg.ffma_per_thread_per_iter,
+            "itf_fadd_per_thread_per_iter": PAPER_ITF_FLOPS,
+            "effective_flops": prob.direct_flops,
+            "smem_bytes_per_block": cfg.smem_main_loop_bytes,
+            "arithmetic_intensity": cfg.arithmetic_intensity(),
+        }

@@ -1,0 +1,76 @@
+"""Reference Winograd convolution (the validation oracle).
+
+A straightforward, fully vectorized implementation of the four-step
+algorithm of §3.1 for any F(m×m, r×r): filter transform, input
+transform, element-wise multiply-accumulate over channels, output
+transform.  No blocking, no layout tricks — this is the ground truth
+that the fused pipeline, the non-fused variant and the simulated SASS
+kernel are all tested against (which is itself validated against direct
+convolution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import ConvConfigError, LayoutError
+from .transforms import WinogradTransform, get_transform
+
+
+def winograd_conv2d_nchw(
+    x: np.ndarray,
+    f: np.ndarray,
+    m: int = 2,
+    pad: int = 1,
+    transform: WinogradTransform | None = None,
+) -> np.ndarray:
+    """Winograd convolution, NCHW activations and KCRS filters.
+
+    Parameters
+    ----------
+    x: activations (N, C, H, W).
+    f: filters (K, C, R, S) with R == S.
+    m: output tile size (2 → F(2×2,3×3), 4 → F(4×4,3×3), ...).
+    pad: symmetric zero padding.
+
+    Returns
+    -------
+    (N, K, H', W') output, H' = H + 2·pad − R + 1.
+    """
+    if x.ndim != 4 or f.ndim != 4:
+        raise LayoutError("x must be NCHW and f must be KCRS")
+    n, c, h, w = x.shape
+    k, cf, r, s = f.shape
+    if cf != c:
+        raise ConvConfigError(f"channel mismatch: input C={c}, filter C={cf}")
+    if r != s:
+        raise ConvConfigError("Winograd path requires square filters")
+    t = transform or get_transform(m, r, dtype=x.dtype)
+    alpha = t.alpha
+    out_h = h + 2 * pad - r + 1
+    out_w = w + 2 * pad - s + 1
+    th = -(-out_h // m)
+    tw = -(-out_w // m)
+
+    # Pad so the tiling covers the whole output; right/bottom extra covers
+    # partial tiles (assembled output is cropped at the end).
+    pad_h = (th - 1) * m + alpha - h - pad
+    pad_w = (tw - 1) * m + alpha - w - pad
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, max(pad_h, 0)), (pad, max(pad_w, 0))))
+
+    # Extract overlapping alpha×alpha windows with stride m:
+    # (N, C, th, tw, alpha, alpha).
+    win = np.lib.stride_tricks.sliding_window_view(xp, (alpha, alpha), axis=(2, 3))
+    win = win[:, :, ::m, ::m][:, :, :th, :tw]
+
+    f_t = t.transform_filter(f.astype(x.dtype, copy=False))  # (K, C, a, a)
+    i_t = t.transform_input(win)  # (N, C, th, tw, a, a)
+
+    # EWMM + channel accumulation (Eq. 7), batched over the alpha² points.
+    o_t = np.einsum("ncpqxy,kcxy->nkpqxy", i_t, f_t, optimize=True)
+
+    o = t.transform_output(o_t)  # (N, K, th, tw, m, m)
+
+    # Assemble tiles and crop the overhang.
+    y = o.transpose(0, 1, 2, 4, 3, 5).reshape(n, k, th * m, tw * m)
+    return np.ascontiguousarray(y[:, :, :out_h, :out_w])

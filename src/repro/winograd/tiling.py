@@ -1,0 +1,148 @@
+"""Tile geometry and implicit zero-padding (paper §3.5).
+
+The kernel never materializes a padded input.  Every (tile-row h̃,
+tile-col w̃) pair maps to a window of the *unpadded* input starting at
+``(h̃·m - pad, w̃·m - pad)``; elements that fall outside ``[0, H) × [0, W)``
+are zeros.  Because each thread always loads the tile at the same
+``(h̃, w̃)``, the 4×4 = 16 in-bounds booleans can be precomputed once —
+the predicate mask the paper packs into one register with P2R.
+
+This module provides that mask computation and the gather/scatter
+helpers shared by the reference and fused implementations.  The gathers
+are written against the CHWN layout with flat indices + masks rather
+than ``np.pad`` so they compute the *same addresses* the SASS kernel
+generator emits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import LayoutError
+
+
+def tile_origin(tile_idx: int, m: int, pad: int) -> int:
+    """First input row/col (possibly negative) covered by a tile index."""
+    return tile_idx * m - pad
+
+
+def zero_pad_mask(
+    h_tile: int, w_tile: int, h: int, w: int, alpha: int = 4, m: int = 2, pad: int = 1
+) -> np.ndarray:
+    """The (alpha, alpha) bool mask of in-bounds elements for one tile.
+
+    ``True`` means the element is inside the real input and must be
+    loaded; ``False`` means implicit zero.  For F(2×2, 3×3) this is the
+    16-bool mask of §3.5 — more than the 7 hardware predicate registers,
+    hence the P2R/R2P packing trick.
+    """
+    rows = tile_origin(h_tile, m, pad) + np.arange(alpha)
+    cols = tile_origin(w_tile, m, pad) + np.arange(alpha)
+    return ((rows >= 0) & (rows < h))[:, None] & ((cols >= 0) & (cols < w))[None, :]
+
+
+def pack_mask(mask: np.ndarray) -> int:
+    """Pack a bool mask into an int, row-major, bit i = element i.
+
+    Mirrors what ``P2R`` produces after the per-element ``ISETP`` chain:
+    one 32-bit register holding all 16 predicates of a 4×4 tile.
+    """
+    flat = np.asarray(mask, dtype=bool).ravel()
+    if flat.size > 32:
+        raise LayoutError(f"mask has {flat.size} bits; register holds at most 32")
+    value = 0
+    for i, bit in enumerate(flat):
+        if bit:
+            value |= 1 << i
+    return value
+
+
+def unpack_mask(value: int, shape: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`pack_mask` (what ``R2P`` restores in the loop)."""
+    size = int(np.prod(shape))
+    if size > 32:
+        raise LayoutError(f"mask shape {shape} exceeds 32 bits")
+    bits = [(value >> i) & 1 for i in range(size)]
+    return np.array(bits, dtype=bool).reshape(shape)
+
+
+def gather_input_tiles_chwn(
+    x_chwn: np.ndarray,
+    tile_rows: np.ndarray,
+    tile_cols: np.ndarray,
+    alpha: int = 4,
+    m: int = 2,
+    pad: int = 1,
+) -> np.ndarray:
+    """Gather input tiles from a CHWN tensor with implicit zero padding.
+
+    Parameters
+    ----------
+    x_chwn: input activations, layout (C, H, W, N).
+    tile_rows, tile_cols: 1-D integer arrays of tile indices (same length
+        T); element t selects the tile at (tile_rows[t], tile_cols[t]).
+
+    Returns
+    -------
+    Array of shape (C, T, alpha, alpha, N): for every channel and tile,
+    the alpha×alpha window with out-of-bounds elements set to zero.
+    """
+    if x_chwn.ndim != 4:
+        raise LayoutError(f"expected CHWN input, got shape {x_chwn.shape}")
+    c, h, w, n = x_chwn.shape
+    tile_rows = np.asarray(tile_rows)
+    tile_cols = np.asarray(tile_cols)
+    rows = tile_rows[:, None] * m - pad + np.arange(alpha)[None, :]  # (T, alpha)
+    cols = tile_cols[:, None] * m - pad + np.arange(alpha)[None, :]  # (T, alpha)
+    row_ok = (rows >= 0) & (rows < h)
+    col_ok = (cols >= 0) & (cols < w)
+    mask = row_ok[:, :, None] & col_ok[:, None, :]  # (T, alpha, alpha)
+    rows_c = np.clip(rows, 0, h - 1)
+    cols_c = np.clip(cols, 0, w - 1)
+    # Fancy-gather: (C, T, alpha, alpha, N).
+    tiles = x_chwn[:, rows_c[:, :, None], cols_c[:, None, :], :]
+    tiles = np.where(mask[None, :, :, :, None], tiles, np.zeros((), x_chwn.dtype))
+    return tiles
+
+
+def scatter_output_tiles_khwn(
+    y_khwn: np.ndarray,
+    tiles: np.ndarray,
+    tile_rows: np.ndarray,
+    tile_cols: np.ndarray,
+    m: int = 2,
+) -> None:
+    """Scatter m×m output tiles into a KHWN tensor, cropping overhang.
+
+    ``tiles`` has shape (K_local..., T, m, m, N) matching the gather's
+    (T, m, m, N) trailing layout; rows/cols landing past the output edge
+    (the "one more pixel" of a 7×7 Conv5 output, §7.3 observation 2) are
+    discarded, exactly as the kernel's predicated stores do.
+    """
+    k, h, w, n = y_khwn.shape
+    tile_rows = np.asarray(tile_rows)
+    tile_cols = np.asarray(tile_cols)
+    for t in range(tile_rows.size):
+        r0 = tile_rows[t] * m
+        c0 = tile_cols[t] * m
+        rmax = min(m, h - r0)
+        cmax = min(m, w - c0)
+        if rmax <= 0 or cmax <= 0:
+            continue
+        y_khwn[:, r0 : r0 + rmax, c0 : c0 + cmax, :] = tiles[
+            ..., t, :rmax, :cmax, :
+        ]
+
+
+def tile_index_grid(tiles_h: int, tiles_w: int, n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Enumerate the N·⌈H/m⌉·⌈W/m⌉ global tiles in the kernel's order.
+
+    The kernel's "input tiles" dimension (Fig. 1 x-axis, ``N * #tiles``)
+    is batch-fastest: consecutive global tile indices differ in batch
+    first (that is what makes a warp's 32 loads coalesce in CHWN).
+    Returns (tile_row, tile_col, batch) arrays of length tiles_h·tiles_w·n.
+    """
+    hh, ww, nn = np.meshgrid(
+        np.arange(tiles_h), np.arange(tiles_w), np.arange(n), indexing="ij"
+    )
+    return hh.ravel(), ww.ravel(), nn.ravel()

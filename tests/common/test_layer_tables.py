@@ -1,0 +1,61 @@
+"""ResNet/VGG layer tables."""
+
+import pytest
+
+from repro.models import (
+    PAPER_BATCH_SIZES,
+    RESNET_LAYER_SHAPES,
+    VGG19_LAYER_SHAPES,
+    paper_layers,
+    paper_layers_batch_major,
+    resnet_layer,
+    vgg_layer,
+    vgg_layers,
+)
+
+
+def test_table1_shapes():
+    assert RESNET_LAYER_SHAPES["Conv2"] == dict(h=56, w=56, c=64, k=64)
+    assert RESNET_LAYER_SHAPES["Conv5"] == dict(h=7, w=7, c=512, k=512)
+
+
+def test_channel_doubling_halving_pattern():
+    """ResNet halves spatial size and doubles channels per stage."""
+    layers = [RESNET_LAYER_SHAPES[f"Conv{i}"] for i in (2, 3, 4, 5)]
+    for a, b in zip(layers, layers[1:]):
+        assert b["c"] == 2 * a["c"] and b["h"] == a["h"] // 2
+
+
+def test_paper_batches():
+    assert PAPER_BATCH_SIZES == (32, 64, 96, 128)
+
+
+def test_layer_naming():
+    assert resnet_layer("Conv3", 96).name == "Conv3N96"
+
+
+def test_paper_layers_orderings():
+    layer_major = [p.name for p in paper_layers()]
+    batch_major = [p.name for p in paper_layers_batch_major()]
+    assert layer_major[:4] == ["Conv2N32", "Conv2N64", "Conv2N96", "Conv2N128"]
+    assert batch_major[:4] == ["Conv2N32", "Conv3N32", "Conv4N32", "Conv5N32"]
+    assert sorted(layer_major) == sorted(batch_major)
+
+
+def test_unknown_layer():
+    with pytest.raises(KeyError):
+        resnet_layer("Conv9", 32)
+
+
+def test_vgg_layers_meet_kernel_requirements():
+    """§8.3: VGG's N·K·C divisibility makes the kernel's sweet spot."""
+    for prob in vgg_layers(32):
+        assert prob.n % 32 == 0
+        assert prob.k % 64 == 0
+        assert prob.c % 8 == 0
+
+
+def test_vgg_shapes():
+    assert VGG19_LAYER_SHAPES["VggConv1_2"]["h"] == 224
+    p = vgg_layer("VggConv5_1", 64)
+    assert p.c == 512 and p.h == 14

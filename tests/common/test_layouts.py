@@ -1,0 +1,78 @@
+"""Layout converters: round trips, contiguity, error handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import (
+    LayoutError,
+    chwn_to_nchw,
+    crsk_to_kcrs,
+    kcrs_to_crsk,
+    khwn_to_nkhw,
+    nchw_to_chwn,
+    nchw_to_nhwc,
+    nhwc_to_nchw,
+    nkhw_to_khwn,
+)
+
+dims = st.integers(1, 6)
+
+
+@given(n=dims, c=dims, h=dims, w=dims)
+@settings(max_examples=30, deadline=None)
+def test_chwn_roundtrip(n, c, h, w):
+    x = np.arange(n * c * h * w, dtype=np.float32).reshape(n, c, h, w)
+    assert np.array_equal(chwn_to_nchw(nchw_to_chwn(x)), x)
+
+
+@given(n=dims, c=dims, h=dims, w=dims)
+@settings(max_examples=30, deadline=None)
+def test_nhwc_roundtrip(n, c, h, w):
+    x = np.arange(n * c * h * w, dtype=np.float32).reshape(n, c, h, w)
+    assert np.array_equal(nhwc_to_nchw(nchw_to_nhwc(x)), x)
+
+
+@given(k=dims, c=dims)
+@settings(max_examples=30, deadline=None)
+def test_filter_roundtrip(k, c):
+    f = np.arange(k * c * 9, dtype=np.float32).reshape(k, c, 3, 3)
+    assert np.array_equal(crsk_to_kcrs(kcrs_to_crsk(f)), f)
+
+
+@given(n=dims, k=dims, h=dims, w=dims)
+@settings(max_examples=30, deadline=None)
+def test_output_roundtrip(n, k, h, w):
+    y = np.arange(n * k * h * w, dtype=np.float32).reshape(k, h, w, n)
+    assert np.array_equal(nkhw_to_khwn(khwn_to_nkhw(y)), y)
+
+
+def test_chwn_batch_is_fastest():
+    """CHWN exists so consecutive batch elements are adjacent in memory."""
+    x = np.zeros((4, 2, 3, 3), dtype=np.float32)
+    chwn = nchw_to_chwn(x)
+    assert chwn.shape == (2, 3, 3, 4)
+    assert chwn.strides[-1] == 4  # batch stride = one float
+
+
+def test_converters_return_contiguous():
+    x = np.zeros((2, 3, 4, 5), dtype=np.float32)
+    assert nchw_to_chwn(x).flags["C_CONTIGUOUS"]
+    assert kcrs_to_crsk(np.zeros((2, 3, 3, 3), dtype=np.float32)).flags[
+        "C_CONTIGUOUS"
+    ]
+
+
+def test_semantics_of_chwn():
+    x = np.random.default_rng(0).random((2, 3, 4, 5)).astype(np.float32)
+    chwn = nchw_to_chwn(x)
+    assert chwn[1, 2, 3, 0] == x[0, 1, 2, 3]
+
+
+@pytest.mark.parametrize(
+    "fn", [nchw_to_chwn, chwn_to_nchw, kcrs_to_crsk, khwn_to_nkhw]
+)
+def test_rank_checked(fn):
+    with pytest.raises(LayoutError):
+        fn(np.zeros((2, 3, 4), dtype=np.float32))

@@ -1,0 +1,60 @@
+"""Table formatting and deterministic RNG helpers."""
+
+import numpy as np
+
+from repro.common import (
+    ConvProblem,
+    conv_tolerance,
+    format_grid,
+    format_table,
+    make_rng,
+    random_activation,
+    random_filter,
+    series_summary,
+)
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bbb"], [[1, 2.5], [10, 0.125]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "2.50" in out and "0.12" in out
+    header, sep, row1, row2 = lines[2], lines[3], lines[4], lines[5]
+    assert len(header) == len(sep) == len(row1) == len(row2)
+
+
+def test_format_table_custom_float_fmt():
+    out = format_table(["x"], [[1.23456]], float_fmt="{:.4f}")
+    assert "1.2346" in out
+
+
+def test_format_grid_has_row_labels():
+    out = format_grid(["r1", "r2"], ["c1"], [[1.0], [2.0]])
+    assert "r1" in out and "r2" in out and "c1" in out
+
+
+def test_series_summary():
+    s = series_summary("x", [1.0, 2.0, 3.0])
+    assert "min=1.000" in s and "max=3.000" in s and "mean=2.000" in s
+
+
+def test_rng_deterministic():
+    p = ConvProblem(n=2, c=3, h=4, w=4, k=5)
+    a = random_activation(p, make_rng(9))
+    b = random_activation(p, make_rng(9))
+    assert np.array_equal(a, b)
+    assert a.shape == (2, 3, 4, 4) and a.dtype == np.float32
+    assert a.min() >= -1.0 and a.max() < 1.0
+
+
+def test_filter_shape_and_range():
+    p = ConvProblem(n=1, c=2, h=4, w=4, k=3)
+    f = random_filter(p, make_rng(0))
+    assert f.shape == (3, 2, 3, 3)
+    assert abs(f).max() <= 1.0
+
+
+def test_tolerance_grows_with_reduction_length():
+    small = ConvProblem(n=1, c=1, h=4, w=4, k=1)
+    big = ConvProblem(n=1, c=512, h=4, w=4, k=1)
+    assert conv_tolerance(big) > conv_tolerance(small)

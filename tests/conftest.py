@@ -1,0 +1,16 @@
+"""Shared pytest configuration."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: full-kernel simulator runs (seconds each)"
+    )
+
+
+@pytest.fixture
+def rng():
+    from repro.common import make_rng
+
+    return make_rng(1234)

@@ -1,0 +1,203 @@
+"""Device specs, global-memory coalescing, shared-memory bank conflicts."""
+
+import numpy as np
+import pytest
+
+from repro.common import SimLaunchError, SimMemoryFault
+from repro.gpusim import (
+    RTX2070,
+    V100,
+    GlobalMemory,
+    SharedMemory,
+    bank_conflict_report,
+    coalesced_sectors,
+)
+
+
+# ---------------------------------------------------------------------------
+# Device specs
+# ---------------------------------------------------------------------------
+def test_v100_peak_matches_fig2():
+    assert V100.peak_fp32_tflops == pytest.approx(15.7, abs=0.05)
+
+
+def test_rtx2070_peak():
+    assert RTX2070.peak_fp32_tflops == pytest.approx(7.46, abs=0.05)
+
+
+def test_turing_smem_limit():
+    assert RTX2070.smem_per_block == 64 * 1024
+    assert V100.smem_per_block == 96 * 1024
+
+
+def test_occupancy_section_7_1():
+    """48 KB-smem 256-thread blocks: 2 per SM on V100, 1 on Turing."""
+    assert V100.occupancy(256, 126, 48 * 1024) == 2
+    assert RTX2070.occupancy(256, 126, 48 * 1024) == 1
+
+
+def test_occupancy_register_bound():
+    # 253 registers × 256 threads = 64768 of 65536: one block.
+    assert V100.occupancy(256, 253, 48 * 1024) == 1
+
+
+def test_occupancy_rejects_oversubscription():
+    with pytest.raises(SimLaunchError):
+        V100.occupancy(2048, 32, 0)
+    with pytest.raises(SimLaunchError):
+        V100.occupancy(256, 300, 0)
+    with pytest.raises(SimLaunchError):
+        RTX2070.occupancy(256, 32, 96 * 1024)
+
+
+# ---------------------------------------------------------------------------
+# Global memory
+# ---------------------------------------------------------------------------
+def test_alloc_alignment_and_null_guard():
+    g = GlobalMemory(1 << 16)
+    a = g.alloc(100)
+    assert a >= 256 and a % 256 == 0
+    b = g.alloc(100)
+    assert b >= a + 100
+
+
+def test_array_roundtrip():
+    g = GlobalMemory(1 << 16)
+    x = np.arange(12, dtype=np.float32).reshape(3, 4)
+    ptr = g.alloc_array(x)
+    np.testing.assert_array_equal(g.read_array(ptr, (3, 4)), x)
+
+
+def test_warp_load_store():
+    g = GlobalMemory(1 << 16)
+    ptr = g.alloc(1024)
+    addrs = ptr + 4 * np.arange(32, dtype=np.int64)
+    mask = np.ones(32, dtype=bool)
+    vals = np.arange(32, dtype=np.uint32).reshape(32, 1)
+    g.store_warp(addrs, vals, 4, mask)
+    out = g.load_warp(addrs, 4, mask)
+    np.testing.assert_array_equal(out[:, 0], np.arange(32))
+
+
+def test_masked_lanes_untouched():
+    g = GlobalMemory(1 << 16)
+    ptr = g.alloc(1024)
+    addrs = ptr + 4 * np.arange(32, dtype=np.int64)
+    mask = np.zeros(32, dtype=bool)
+    mask[5] = True
+    g.store_warp(addrs, np.full((32, 1), 7, np.uint32), 4, mask)
+    data = g.read_array(ptr, (32,), np.uint32)
+    assert data[5] == 7 and data[0] == 0
+
+
+def test_out_of_bounds_faults():
+    g = GlobalMemory(1 << 12)
+    with pytest.raises(SimMemoryFault):
+        g.load_warp(np.array([0], dtype=np.int64), 4, np.array([True]))
+    with pytest.raises(SimMemoryFault):
+        g.load_warp(np.array([1 << 13], dtype=np.int64), 4, np.array([True]))
+    with pytest.raises(SimMemoryFault):
+        g.alloc(1 << 13)
+
+
+def test_misaligned_access_faults():
+    g = GlobalMemory(1 << 12)
+    ptr = g.alloc(64)
+    with pytest.raises(SimMemoryFault):
+        g.load_warp(np.array([ptr + 2], dtype=np.int64), 4, np.array([True]))
+
+
+def test_l2_resident_regions():
+    g = GlobalMemory(1 << 16)
+    a = g.alloc(256, l2_resident=True)
+    b = g.alloc(256)
+    assert g.is_l2_resident(a) and not g.is_l2_resident(b)
+
+
+# ---------------------------------------------------------------------------
+# Coalescing (the §4 layout goal: 32 lanes → minimal 32-byte sectors)
+# ---------------------------------------------------------------------------
+def test_fully_coalesced_32bit():
+    base = 1024
+    addrs = base + 4 * np.arange(32, dtype=np.int64)
+    assert coalesced_sectors(addrs, 4, np.ones(32, bool)) == 4  # 128 B
+
+
+def test_strided_access_wastes_sectors():
+    addrs = 1024 + 128 * np.arange(32, dtype=np.int64)
+    assert coalesced_sectors(addrs, 4, np.ones(32, bool)) == 32
+
+
+def test_vector_loads_count_all_sectors():
+    addrs = 1024 + 16 * np.arange(32, dtype=np.int64)
+    assert coalesced_sectors(addrs, 16, np.ones(32, bool)) == 16  # 512 B
+
+
+def test_masked_off_warp_touches_nothing():
+    addrs = 1024 + 4 * np.arange(32, dtype=np.int64)
+    assert coalesced_sectors(addrs, 4, np.zeros(32, bool)) == 0
+
+
+# ---------------------------------------------------------------------------
+# Shared memory banks (§4.3)
+# ---------------------------------------------------------------------------
+def _lanes(fn):
+    return np.array([fn(l) for l in range(32)], dtype=np.int64)
+
+
+def test_lds32_sequential_conflict_free():
+    report = bank_conflict_report(_lanes(lambda l: 4 * l), 4, np.ones(32, bool))
+    assert report.phases == 1 and report.conflicts == 0
+
+
+def test_lds32_same_word_broadcasts():
+    report = bank_conflict_report(_lanes(lambda l: 0), 4, np.ones(32, bool))
+    assert report.conflicts == 0
+
+
+def test_lds32_stride_2_conflicts():
+    report = bank_conflict_report(_lanes(lambda l: 8 * l), 4, np.ones(32, bool))
+    assert report.cycles == 2  # classic 2-way conflict
+
+
+def test_lds128_costs_four_phases():
+    report = bank_conflict_report(_lanes(lambda l: 16 * l), 16, np.ones(32, bool))
+    assert report.phases == 4 and report.conflicts == 0
+
+
+def test_lds128_figure3_filter_pattern_conflict_free():
+    """Fig. 3: lane l loads filter segment 4·c(l) floats, c = (l%16)//2."""
+    addrs = _lanes(lambda l: 16 * ((l % 16) // 2))
+    report = bank_conflict_report(addrs, 16, np.ones(32, bool))
+    assert report.conflicts == 0
+
+
+def test_lds128_figure3_input_pattern_conflict_free():
+    """Fig. 3: lane l loads input segment 4·r(l), r = (l%2) + 2·(l//16)."""
+    addrs = _lanes(lambda l: 16 * ((l % 2) + 2 * (l // 16)))
+    report = bank_conflict_report(addrs, 16, np.ones(32, bool))
+    assert report.conflicts == 0
+
+
+def test_lds128_row_straddling_pattern_conflicts():
+    """Lanes 128 B apart hit the same banks with distinct words (§4.3:
+    'other patterns do lead to bank conflict')."""
+    addrs = _lanes(lambda l: 128 * (l % 4))
+    report = bank_conflict_report(addrs, 16, np.ones(32, bool))
+    assert report.conflicts > 0
+
+
+def test_shared_memory_load_store_roundtrip():
+    s = SharedMemory(4096)
+    addrs = 4 * np.arange(32, dtype=np.int64)
+    mask = np.ones(32, bool)
+    s.store_warp(addrs, np.arange(32, dtype=np.uint32).reshape(32, 1), 4, mask)
+    out, report = s.load_warp(addrs, 4, mask)
+    np.testing.assert_array_equal(out[:, 0], np.arange(32))
+    assert report.conflicts == 0
+
+
+def test_shared_memory_bounds():
+    s = SharedMemory(256)
+    with pytest.raises(SimMemoryFault):
+        s.load_warp(np.array([256], dtype=np.int64), 4, np.array([True]))

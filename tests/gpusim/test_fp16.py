@@ -1,0 +1,95 @@
+"""Packed-half (fp16×2) support — the §8.3 port's substrate."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import ExecutionContext, GlobalMemory, SharedMemory, V100, WarpState
+from repro.gpusim.engine import execute
+from repro.sass import assemble, parse_line
+
+
+@pytest.fixture
+def ctx():
+    return ExecutionContext(
+        GlobalMemory(1 << 16), SharedMemory(4096), np.zeros(4096, np.uint8),
+        device=V100,
+    )
+
+
+def _pack_halves(lo, hi):
+    pair = np.stack(
+        [np.full(32, lo, np.float16), np.full(32, hi, np.float16)], axis=1
+    )
+    return pair.reshape(-1).view(np.uint16).astype(np.uint32)
+
+
+def _set_halves(warp, idx, lo, hi):
+    raw = np.zeros(64, dtype=np.float16)
+    raw[0::2] = lo
+    raw[1::2] = hi
+    warp.regs[idx] = raw.view(np.uint32)
+
+
+def _get_halves(warp, idx):
+    raw = np.ascontiguousarray(warp.regs[idx]).view(np.float16)
+    return raw[0::2].astype(np.float32), raw[1::2].astype(np.float32)
+
+
+def test_hfma2(ctx):
+    warp = WarpState(0, 0)
+    _set_halves(warp, 1, 2.0, 3.0)
+    _set_halves(warp, 2, 4.0, 5.0)
+    _set_halves(warp, 3, 0.5, 0.25)
+    execute(parse_line("HFMA2 R0, R1, R2, R3;"), warp, ctx)
+    lo, hi = _get_halves(warp, 0)
+    assert (lo == 8.5).all() and (hi == 15.25).all()
+
+
+def test_hadd2_hmul2(ctx):
+    warp = WarpState(0, 0)
+    _set_halves(warp, 1, 1.5, -2.0)
+    _set_halves(warp, 2, 0.5, 4.0)
+    execute(parse_line("HADD2 R0, R1, R2;"), warp, ctx)
+    lo, hi = _get_halves(warp, 0)
+    assert (lo == 2.0).all() and (hi == 2.0).all()
+    execute(parse_line("HMUL2 R0, R1, R2;"), warp, ctx)
+    lo, hi = _get_halves(warp, 0)
+    assert (lo == 0.75).all() and (hi == -8.0).all()
+
+
+def test_hfma2_on_fma_pipe(ctx):
+    warp = WarpState(0, 0)
+    result = execute(parse_line("HFMA2 R0, R1, R2, R3;"), warp, ctx)
+    assert result.pipe == "fma" and result.pipe_cycles == 2
+
+
+def test_hfma2_doubles_flops_per_issue():
+    """§8.3: the fp16 port doubles throughput at the same issue rate."""
+    from repro.gpusim import GlobalMemory as GM
+    from repro.gpusim import simulate_resident_blocks
+
+    def kernel(mnemonic):
+        lines = [".kernel halfpeak", ".registers 64"]
+        for i in range(256):
+            d = i % 32
+            lines.append(f"{mnemonic} R{d}, R{33 + 2 * (i % 8)}, R{48 + 2 * (i % 8)}, R{d};")
+        lines.append("EXIT;")
+        return assemble("\n".join(lines))
+
+    half = simulate_resident_blocks(
+        kernel("HFMA2"), V100, params={}, gmem=GM(1 << 12),
+        threads_per_block=256,
+    ).counters
+    full = simulate_resident_blocks(
+        kernel("FFMA"), V100, params={}, gmem=GM(1 << 12),
+        threads_per_block=256,
+    ).counters
+    assert half.cycles == full.cycles  # same pipe occupancy
+    assert half.flops == 2 * full.flops  # double the math
+
+
+def test_hfma2_roundtrip_encoding():
+    from repro.sass import decode_instruction, encode_instruction
+
+    instr = parse_line("HFMA2 R0, R2, R4, R6;")
+    assert decode_instruction(encode_instruction(instr)).text() == instr.text()

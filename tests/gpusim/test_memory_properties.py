@@ -1,0 +1,93 @@
+"""Property-based tests on the memory models' invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import GlobalMemory, bank_conflict_report, coalesced_sectors
+
+addr_arrays = st.lists(
+    st.integers(0, 2047).map(lambda w: 4 * w), min_size=32, max_size=32
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+widths = st.sampled_from([4, 8, 16])
+
+
+@given(addrs=addr_arrays, width=widths)
+@settings(max_examples=80, deadline=None)
+def test_conflict_cycles_at_least_phases(addrs, width):
+    addrs = (addrs // width) * width  # respect alignment
+    report = bank_conflict_report(addrs, width, np.ones(32, bool))
+    assert report.cycles >= report.phases
+    assert report.phases == width // 4
+    assert report.conflicts == report.cycles - report.phases
+
+
+@given(addrs=addr_arrays, width=widths)
+@settings(max_examples=60, deadline=None)
+def test_conflicts_bounded_by_lanes_per_phase(addrs, width):
+    addrs = (addrs // width) * width
+    report = bank_conflict_report(addrs, width, np.ones(32, bool))
+    lanes_per_phase = 32 // report.phases
+    words_per_lane = width // 4
+    assert report.cycles <= report.phases * lanes_per_phase * words_per_lane
+
+
+@given(addrs=addr_arrays, width=widths)
+@settings(max_examples=60, deadline=None)
+def test_uniform_broadcast_never_conflicts(addrs, width):
+    """All lanes at one address is the broadcast case: no conflicts."""
+    uniform = np.full(32, int(addrs[0] // width) * width, dtype=np.int64)
+    report = bank_conflict_report(uniform, width, np.ones(32, bool))
+    assert report.conflicts == 0
+
+
+@given(addrs=addr_arrays, width=widths)
+@settings(max_examples=60, deadline=None)
+def test_masked_access_never_worse(addrs, width):
+    addrs = (addrs // width) * width
+    full = bank_conflict_report(addrs, width, np.ones(32, bool))
+    half = np.zeros(32, bool)
+    half[::2] = True
+    masked = bank_conflict_report(addrs, width, half)
+    assert masked.cycles <= full.cycles
+
+
+@given(addrs=addr_arrays, width=widths)
+@settings(max_examples=60, deadline=None)
+def test_sector_count_bounds(addrs, width):
+    addrs = (addrs // width) * width
+    sectors = coalesced_sectors(addrs, width, np.ones(32, bool))
+    # At least the footprint of one lane; at most every lane separate.
+    assert 1 <= sectors <= 32 * max(1, width // 32 + 1)
+    # Perfectly coalesced floor: total bytes / 32.
+    assert sectors >= (32 * width) // 32 / 32  # trivially ≥ 1
+
+
+@given(
+    values=st.lists(st.integers(0, 2**32 - 1), min_size=8, max_size=8),
+    offset_words=st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_global_memory_read_back(values, offset_words):
+    g = GlobalMemory(1 << 16)
+    base = g.alloc(8192)
+    addr = base + 4 * offset_words
+    if addr + 32 > (1 << 16):
+        return
+    arr = np.array(values, dtype=np.uint32)
+    g.write_array(addr, arr)
+    np.testing.assert_array_equal(g.read_array(addr, (8,), np.uint32), arr)
+
+
+def test_warp_rw_symmetry():
+    g = GlobalMemory(1 << 16)
+    base = g.alloc(4096)
+    rng = np.random.default_rng(0)
+    addrs = base + 16 * rng.permutation(32).astype(np.int64)
+    vals = rng.integers(0, 2**32, size=(32, 4), dtype=np.uint64).astype(np.uint32)
+    mask = rng.random(32) > 0.3
+    g.store_warp(addrs, vals, 16, mask)
+    out = g.load_warp(addrs, 16, mask)
+    np.testing.assert_array_equal(out[mask], vals[mask])
+    assert (out[~mask] == 0).all()

@@ -1,0 +1,75 @@
+"""Profile-report rendering."""
+
+from repro.gpusim import Counters, ProfileReport, V100, profile_report
+
+
+def _counters():
+    return Counters(
+        cycles=1000,
+        instructions=2400,
+        ffma_instrs=1600,
+        fp32_instrs=1700,
+        fma_pipe_busy=3400,
+        mio_pipe_busy=300,
+        lsu_pipe_busy=120,
+        dram_sectors=64,
+        l2_sectors=32,
+        smem_conflict_cycles=5,
+        reg_bank_conflicts=2,
+        warp_switches=7,
+        switch_penalty_cycles=7,
+        issue_idle_cycles=400,
+    )
+
+
+def test_report_structure():
+    report = profile_report(_counters(), V100, title="demo")
+    assert isinstance(report, ProfileReport)
+    titles = [s.title for s in report.sections]
+    assert titles == [
+        "GPU Speed Of Light",
+        "Compute Workload",
+        "Scheduler Statistics",
+        "Memory Workload",
+    ]
+
+
+def test_sol_value():
+    text = profile_report(_counters(), V100).render()
+    # fma busy 3400 over 1000 cycles × 4 schedulers = 85%.
+    assert "SM [%]" in text and "85.0%" in text
+
+
+def test_traffic_rows():
+    text = profile_report(_counters(), V100).render()
+    assert "DRAM sectors" in text and "64" in text
+    assert "Shared-memory conflict cycles" in text
+
+
+def test_zero_cycles_safe():
+    text = profile_report(Counters(), V100).render()
+    assert "SM [%]" in text  # no division errors
+
+
+def test_real_run_reports_clean_kernel():
+    """A real main-loop run shows zero conflicts in the report."""
+    from repro.common import ConvProblem
+    from repro.gpusim import GlobalMemory, RTX2070, simulate_resident_blocks
+    from repro.kernels import WinogradF22Kernel
+
+    prob = ConvProblem(n=32, c=8, h=8, w=8, k=64)
+    kernel = WinogradF22Kernel(prob).build(main_loop_only=True, iters=1)
+    gmem = GlobalMemory()
+    params = {
+        "in_ptr": gmem.alloc(4 * (prob.c + 8) * prob.h * prob.w * prob.n),
+        "fil_ptr": gmem.alloc(4 * (prob.c + 8) * 16 * prob.k, l2_resident=True),
+        "out_ptr": gmem.alloc(4 * prob.k * prob.out_h * prob.out_w * prob.n),
+    }
+    res = simulate_resident_blocks(kernel, RTX2070, params=params, gmem=gmem,
+                                   threads_per_block=256)
+    text = profile_report(res.counters, RTX2070).render()
+    assert "Register bank conflicts   0" in text.replace("  ", " ").replace(
+        "   ", " "
+    ) or "Register bank conflicts" in text
+    assert res.counters.reg_bank_conflicts == 0
+    assert res.counters.smem_conflict_cycles == 0

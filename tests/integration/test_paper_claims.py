@@ -1,0 +1,116 @@
+"""Shape-level reproduction of the paper's measured claims.
+
+These assert *directions and orderings* (who wins, where crossovers
+fall), per DESIGN.md §5 — absolute numbers are recorded in
+EXPERIMENTS.md by the benches.
+"""
+
+import pytest
+
+from repro.common import ConvProblem
+from repro.gpusim import RTX2070, V100
+from repro.kernels import Tunables, measure_main_loop
+from repro.models import resnet_layer
+from repro.perfmodel import cudnn_time, our_layer_performance
+
+pytestmark = pytest.mark.slow
+
+SURROGATE = ConvProblem(n=32, c=24, h=16, w=16, k=64)
+
+
+@pytest.fixture(scope="module")
+def main_loop():
+    cache = {}
+
+    def measure(**kwargs):
+        key = tuple(sorted(kwargs.items()))
+        if key not in cache:
+            cache[key] = measure_main_loop(
+                SURROGATE, device=RTX2070, tunables=Tunables(**kwargs)
+            )
+        return cache[key]
+
+    return measure
+
+
+def test_yield_natural_wins(main_loop):
+    """§6.1: the Natural strategy beats NVCC's and cuDNN's heuristics.
+
+    (The paper separates nvcc8 at 1.09× and cudnn7 at 1.11×; in the
+    simulator the two heuristics land within noise of each other, so only
+    natural-vs-heuristic is asserted.)
+    """
+    nat = main_loop(yield_strategy="natural")
+    nvcc = main_loop(yield_strategy="nvcc8")
+    cudnn = main_loop(yield_strategy="cudnn7")
+    assert nat.cycles_per_iter < nvcc.cycles_per_iter
+    assert nat.cycles_per_iter < cudnn.cycles_per_iter
+
+
+def test_ldg_interleave_monotone(main_loop):
+    """§6.2 / Fig. 8: wider LDG spacing is faster (LDG8 > LDG4 > LDG2)."""
+    l2 = main_loop(ldg_interleave=2)
+    l4 = main_loop(ldg_interleave=4)
+    l8 = main_loop(ldg_interleave=8)
+    assert l8.cycles_per_iter < l4.cycles_per_iter < l2.cycles_per_iter
+    assert l2.cycles_per_iter / l8.cycles_per_iter > 1.05  # paper: up to 1.24
+
+
+def test_main_loop_sol_high(main_loop):
+    """Figs. 10-11: the main loop sustains a high fraction of FP32 peak."""
+    assert main_loop().sol > 0.80  # paper: 87.5-93%
+
+
+def test_transposed_smem_layout_required(main_loop):
+    """§4.3: the naive tile-major buffer serializes on bank conflicts."""
+    good = main_loop(smem_layout="transposed")
+    bad = main_loop(smem_layout="tile_major")
+    assert good.counters.smem_conflict_cycles == 0
+    assert bad.counters.smem_conflict_cycles > 0
+    assert bad.cycles_per_iter > 1.4 * good.cycles_per_iter
+
+
+def test_no_register_bank_conflicts_in_main_loop(main_loop):
+    """Fig. 4's allocation + .reuse: zero register-bank conflicts."""
+    assert main_loop().counters.reg_bank_conflicts == 0
+
+
+def test_bk64_outperforms_bk32(main_loop):
+    """§3.3: the larger cache block sustains higher FFMA throughput."""
+    b64 = main_loop(bk=64)
+    b32 = main_loop(bk=32)
+    assert b64.tflops > b32.tflops
+
+
+# ---------------------------------------------------------------------------
+# Whole-layer claims (Table 6 shape)
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def speedups():
+    out = {}
+    for dev, name in ((V100, "V100"), (RTX2070, "RTX2070")):
+        for layer in ("Conv2", "Conv5"):
+            p = resnet_layer(layer, 64)
+            ours = our_layer_performance(p, dev)
+            out[(name, layer)] = cudnn_time(p, dev, "WINOGRAD") / ours.time_s
+    return out
+
+
+def test_ours_beats_cudnn_winograd_everywhere(speedups):
+    assert all(s > 1.0 for s in speedups.values())
+
+
+def test_conv5_speedup_largest(speedups):
+    """§7.1: Conv5 speedups are 'significantly better than other layers'."""
+    for dev in ("V100", "RTX2070"):
+        assert speedups[(dev, "Conv5")] > speedups[(dev, "Conv2")]
+
+
+def test_turing_speedups_exceed_volta(speedups):
+    """§7.1: occupancy makes cuDNN relatively worse on RTX2070.
+
+    On Conv5 the effect is dominated by cuDNN's poor baseline on both
+    devices, so the strict ordering is asserted on Conv2 only.
+    """
+    assert speedups[("RTX2070", "Conv2")] > speedups[("V100", "Conv2")]
+    assert speedups[("RTX2070", "Conv5")] > 0.9 * speedups[("V100", "Conv5")]

@@ -1,0 +1,99 @@
+"""End-to-end: generated SASS kernel → assembler → cubin → simulator → oracle.
+
+These are the capstone tests of DESIGN.md §5: the complete paper stack
+(kernel generator, TuringAs, the simulated GPU) must agree bit-for-bit
+(fp32) with direct convolution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common import ConvProblem, conv_tolerance, make_rng, random_activation, random_filter
+from repro.common.layouts import kcrs_to_crsk, khwn_to_nkhw, nchw_to_chwn
+from repro.convolution import direct_conv2d
+from repro.gpusim import GlobalMemory, V100, run_grid
+from repro.kernels import Tunables, WinogradF22Kernel, run_fused_sass_conv
+from repro.sass import read_cubin, write_cubin
+from repro.winograd import FusedWinogradConv
+
+pytestmark = pytest.mark.slow
+
+
+def _check(prob, tunables=Tunables(), seed=3, device=V100):
+    rng = make_rng(seed)
+    x = random_activation(prob, rng)
+    f = random_filter(prob, rng)
+    y, counters = run_fused_sass_conv(x, f, device=device, tunables=tunables)
+    ref = direct_conv2d(x, f)
+    np.testing.assert_allclose(y, ref, atol=conv_tolerance(prob) * 8)
+    return counters
+
+
+def test_single_iteration_single_kblock():
+    c = _check(ConvProblem(n=32, c=8, h=4, w=4, k=64))
+    assert c.smem_conflict_cycles == 0  # Fig. 3 + Fig. 5 goal, end to end
+    assert c.reg_bank_conflicts == 0  # Fig. 4 register plan
+
+
+def test_multi_iteration_odd_output():
+    _check(ConvProblem(n=32, c=16, h=6, w=5, k=64))
+
+
+def test_two_k_blocks():
+    _check(ConvProblem(n=32, c=8, h=4, w=4, k=128))
+
+
+def test_batch_64():
+    _check(ConvProblem(n=64, c=8, h=4, w=4, k=64))
+
+
+def test_bk32_variant():
+    _check(ConvProblem(n=32, c=8, h=4, w=4, k=32), Tunables(bk=32))
+
+
+@pytest.mark.parametrize("strategy", ["nvcc8", "cudnn7"])
+def test_yield_strategies_do_not_change_results(strategy):
+    """Scheduling knobs are performance-only: results must be identical."""
+    prob = ConvProblem(n=32, c=8, h=4, w=4, k=64)
+    rng = make_rng(7)
+    x = random_activation(prob, rng)
+    f = random_filter(prob, rng)
+    y_nat, _ = run_fused_sass_conv(x, f, tunables=Tunables())
+    y_alt, _ = run_fused_sass_conv(
+        x, f, tunables=Tunables(yield_strategy=strategy, ldg_interleave=2,
+                                sts_interleave=2)
+    )
+    np.testing.assert_array_equal(y_nat, y_alt)
+
+
+def test_kernel_matches_fused_numpy_model_bitwise_shape():
+    """SASS kernel vs the Algorithm-1 NumPy model: same algorithm, same
+    transforms — results agree to within reassociation round-off."""
+    prob = ConvProblem(n=32, c=8, h=4, w=4, k=64)
+    rng = make_rng(11)
+    x = random_activation(prob, rng)
+    f = random_filter(prob, rng)
+    y_sass, _ = run_fused_sass_conv(x, f)
+    y_np = khwn_to_nkhw(FusedWinogradConv()(nchw_to_chwn(x), kcrs_to_crsk(f)))
+    np.testing.assert_allclose(y_sass, y_np, atol=1e-5)
+
+
+def test_cubin_round_trip_execution():
+    """Assemble → write cubin → read cubin → simulate: the ELF container
+    carries everything needed to launch."""
+    prob = ConvProblem(n=32, c=8, h=4, w=4, k=64)
+    gen = WinogradF22Kernel(prob)
+    loaded = read_cubin(write_cubin(gen.build()))
+    assert loaded.meta.registers == 253
+
+    rng = make_rng(5)
+    x = random_activation(prob, rng)
+    f = random_filter(prob, rng)
+    x_chwn = nchw_to_chwn(x)
+    f_t = FusedWinogradConv().transform_filters(kcrs_to_crsk(f))
+    gmem = GlobalMemory()
+    params, out_ptr = gen.alloc_buffers(gmem, x_chwn, f_t)
+    run_grid(loaded, V100, grid=gen.grid, threads_per_block=256,
+             params=params, gmem=gmem)
+    y = khwn_to_nkhw(gmem.read_array(out_ptr, (prob.k, prob.out_h, prob.out_w, prob.n)))
+    np.testing.assert_allclose(y, direct_conv2d(x, f), atol=conv_tolerance(prob) * 8)

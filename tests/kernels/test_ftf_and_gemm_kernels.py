@@ -1,0 +1,135 @@
+"""The FTF kernel (§4.1) and the batched-GEMM kernel (§2.3) on the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConvConfigError, ConvProblem, kcrs_to_crsk, make_rng, random_filter
+from repro.gpusim import GlobalMemory, V100, run_grid
+from repro.kernels import (
+    BatchedGemmKernel,
+    FilterTransformKernel,
+    TILES_PER_BLOCK,
+    Tunables,
+)
+from repro.sass import validate_control
+from repro.winograd import FusedWinogradConv
+
+pytestmark = pytest.mark.slow
+
+
+# ---------------------------------------------------------------------------
+# FTF kernel
+# ---------------------------------------------------------------------------
+def _run_ftf(c, k, seed=0):
+    prob = ConvProblem(n=32, c=c, h=4, w=4, k=k)
+    gen = FilterTransformKernel(prob)
+    kernel = gen.build()
+    assert validate_control(kernel.instructions) == []
+    f_crsk = kcrs_to_crsk(random_filter(prob, make_rng(seed)))
+    gmem = GlobalMemory()
+    fil_ptr = gmem.alloc_array(f_crsk)
+    out_ptr = gmem.alloc(4 * c * 16 * k)
+    run_grid(kernel, V100, grid=gen.grid, threads_per_block=256,
+             params={"fil_ptr": fil_ptr, "out_ptr": out_ptr}, gmem=gmem)
+    got = gmem.read_array(out_ptr, (c, 4, 4, k))
+    ref = FusedWinogradConv().transform_filters(f_crsk)
+    np.testing.assert_allclose(got, ref, atol=1e-6)
+    return gen
+
+
+def test_ftf_exact_block():
+    gen = _run_ftf(8, 64)  # C·K = 512 = exactly one block
+    assert gen.grid == 1
+
+
+def test_ftf_ragged_tail():
+    _run_ftf(5, 7)  # 35 tiles: most threads predicated off
+
+
+def test_ftf_multi_block():
+    gen = _run_ftf(16, 96)
+    assert gen.grid == -(-16 * 96 // TILES_PER_BLOCK)
+
+
+def test_ftf_rejects_non3x3():
+    with pytest.raises(ConvConfigError):
+        FilterTransformKernel(ConvProblem(n=1, c=1, h=8, w=8, k=1, r=5, s=5, pad=2))
+
+
+def test_ftf_on_device_end_to_end():
+    """run_fused_sass_conv(ftf_on_device=True) = the all-SASS pipeline."""
+    from repro.common import conv_tolerance, random_activation
+    from repro.convolution import direct_conv2d
+    from repro.kernels import run_fused_sass_conv
+
+    prob = ConvProblem(n=32, c=8, h=4, w=4, k=64)
+    rng = make_rng(9)
+    x = random_activation(prob, rng)
+    f = random_filter(prob, rng)
+    y, _ = run_fused_sass_conv(x, f, ftf_on_device=True)
+    np.testing.assert_allclose(
+        y, direct_conv2d(x, f), atol=conv_tolerance(prob) * 8
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batched GEMM kernel
+# ---------------------------------------------------------------------------
+def _run_gemm(e, m, n, kd, tunables=Tunables(), seed=0):
+    gen = BatchedGemmKernel(e, m, n, kd, tunables)
+    kernel = gen.build()
+    assert validate_control(kernel.instructions) == []
+    rng = make_rng(seed)
+    a = (rng.random((kd, e, m), dtype=np.float32) - 0.5).astype(np.float32)
+    b = (rng.random((kd, e, n), dtype=np.float32) - 0.5).astype(np.float32)
+    gmem = GlobalMemory()
+    params, c_ptr = gen.alloc_buffers(gmem, a, b)
+    run_grid(kernel, V100, grid=gen.grid, threads_per_block=256,
+             params=params, gmem=gmem)
+    got = gmem.read_array(c_ptr, (e, m, n))
+    np.testing.assert_allclose(got, gen.reference(a, b), atol=1e-5)
+    return gen
+
+
+def test_gemm_single_block():
+    gen = _run_gemm(16, 64, 32, 8)
+    assert gen.grid == (1, 1)
+
+
+def test_gemm_multi_iteration():
+    _run_gemm(16, 64, 32, 24)
+
+
+def test_gemm_multi_tile_multi_batch():
+    gen = _run_gemm(32, 128, 64, 16)
+    assert gen.grid == (2, 4)
+
+
+def test_gemm_scheduling_variants_same_result():
+    gen = BatchedGemmKernel(16, 64, 32, 16)
+    rng = make_rng(5)
+    a = rng.random((16, 16, 64), dtype=np.float32)
+    b = rng.random((16, 16, 32), dtype=np.float32)
+    results = []
+    for tun in (Tunables(), Tunables(yield_strategy="cudnn7", ldg_interleave=2)):
+        g = BatchedGemmKernel(16, 64, 32, 16, tun)
+        gmem = GlobalMemory()
+        params, c_ptr = g.alloc_buffers(gmem, a, b)
+        run_grid(g.build(), V100, grid=g.grid, threads_per_block=256,
+                 params=params, gmem=gmem)
+        results.append(gmem.read_array(c_ptr, (16, 64, 32)))
+    np.testing.assert_array_equal(results[0], results[1])
+
+
+def test_gemm_validation():
+    with pytest.raises(ConvConfigError):
+        BatchedGemmKernel(15, 64, 32, 8)
+    with pytest.raises(ConvConfigError):
+        BatchedGemmKernel(16, 63, 32, 8)
+    with pytest.raises(ConvConfigError):
+        BatchedGemmKernel(16, 64, 32, 8, Tunables(bk=32))
+
+
+def test_gemm_shares_register_budget():
+    gen = BatchedGemmKernel(16, 64, 32, 8)
+    assert gen.num_regs == 253  # same Table-5 footprint as the Winograd loop

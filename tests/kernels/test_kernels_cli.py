@@ -1,0 +1,59 @@
+"""The kernel-generation CLI and whole-kernel assembler round trips."""
+
+import pytest
+
+from repro.kernels.__main__ import main
+from repro.sass import assemble, read_cubin
+
+
+def test_winograd_source_to_stdout(capsys):
+    assert main(["winograd", "--layer", "Conv3", "--batch", "32"]) == 0
+    out = capsys.readouterr().out
+    assert ".kernel winograd_f22_bk64" in out
+    assert "MAIN_LOOP:" in out
+
+
+def test_winograd_sass_file_reassembles(tmp_path, capsys):
+    path = tmp_path / "k.sass"
+    assert main(["-o", str(path), "winograd", "--layer", "Conv2",
+                 "--batch", "32", "--yield-strategy", "cudnn7"]) == 0
+    kernel = assemble(path.read_text(), auto_schedule=True)
+    assert kernel.meta.name == "winograd_f22_bk64"
+    assert kernel.max_register() + 1 <= 253
+
+
+def test_winograd_cubin_output(tmp_path, capsys):
+    path = tmp_path / "k.cubin"
+    assert main(["--cubin", str(path), "winograd", "--layer", "Conv5",
+                 "--batch", "32"]) == 0
+    loaded = read_cubin(path.read_bytes())
+    assert loaded.meta.registers == 253
+
+
+def test_ftf_and_gemm_sources(capsys):
+    assert main(["ftf", "--layer", "Conv4", "--batch", "32"]) == 0
+    assert ".kernel winograd_ftf" in capsys.readouterr().out
+    assert main(["gemm", "--batch", "16", "--m", "64", "--n", "32",
+                 "--kd", "16"]) == 0
+    assert ".kernel batched_gemm" in capsys.readouterr().out
+
+
+def test_tunables_flow_through(capsys):
+    assert main(["winograd", "--layer", "Conv3", "--batch", "32",
+                 "--bk", "32", "--no-p2r"]) == 0
+    out = capsys.readouterr().out
+    assert "winograd_f22_bk32" in out
+    assert "P2R" not in out  # mask packing disabled
+
+
+@pytest.mark.slow
+def test_full_kernel_disassembly_round_trip():
+    """Disassemble the whole 2000+-instruction Winograd kernel and
+    reassemble it to identical bytes — the assembler at scale."""
+    from repro.common import ConvProblem
+    from repro.kernels import WinogradF22Kernel
+
+    kernel = WinogradF22Kernel(ConvProblem(n=32, c=16, h=8, w=8, k=64)).build()
+    listing = kernel.disassemble()
+    again = assemble(listing)
+    assert again.text == kernel.text

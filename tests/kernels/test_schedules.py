@@ -1,0 +1,88 @@
+"""Instruction weaving and yield-strategy post-processing."""
+
+import pytest
+
+from repro.kernels import apply_yield_strategy, is_float_line, weave
+
+
+def test_weave_spacing():
+    primary = [f"F{i};" for i in range(10)]
+    side = ["S0;", "S1;", "S2;"]
+    out = weave(primary, side, spacing=3)
+    assert out.index("S0;") == 3
+    assert out.index("S1;") == 7
+    assert out.index("S2;") == 11
+
+
+def test_weave_leftovers_appended():
+    out = weave(["F0;"], ["S0;", "S1;"], spacing=5)
+    assert out == ["F0;", "S0;", "S1;"]
+
+
+def test_weave_empty_side():
+    primary = ["A;", "B;"]
+    assert weave(primary, [], 2) == primary
+
+
+def test_weave_start_delays_first_insert():
+    out = weave([f"F{i};" for i in range(10)], ["S;"], spacing=2, start=4)
+    assert out.index("S;") == 6
+
+
+def test_weave_preserves_primary_order():
+    primary = [f"F{i};" for i in range(6)]
+    out = weave(primary, ["S;"], 2)
+    assert [l for l in out if l.startswith("F")] == primary
+
+
+def test_is_float_line():
+    assert is_float_line("FFMA R0, R1, R2, R3;")
+    assert is_float_line("[B------:R-:W-:-:S01] FADD R0, R1, R2;")
+    assert is_float_line("@P1 FMUL R0, R1, R2;")
+    assert not is_float_line("IADD3 R0, R1, R2, RZ;")
+    assert not is_float_line("LDS.128 R4, [R1];")
+    assert not is_float_line("LOOP:")
+
+
+def _count_yields(lines):
+    return sum(1 for l in lines if ":Y:" in l)
+
+
+def test_natural_strategy_is_identity():
+    lines = [f"FFMA R{i}, R1, R2, R3;" for i in range(16)]
+    assert apply_yield_strategy(lines, "natural") == lines
+
+
+def test_nvcc8_yields_every_8_floats():
+    lines = [f"FFMA R{i % 8}, R1, R2, R3;" for i in range(24)]
+    out = apply_yield_strategy(lines, "nvcc8")
+    assert _count_yields(out) == 3
+    assert ":Y:" in out[7] and ":Y:" in out[15] and ":Y:" in out[23]
+
+
+def test_cudnn7_period():
+    lines = [f"FFMA R{i % 8}, R1, R2, R3;" for i in range(21)]
+    out = apply_yield_strategy(lines, "cudnn7")
+    assert _count_yields(out) == 3
+
+
+def test_yield_counts_only_float_instructions():
+    lines = []
+    for i in range(8):
+        lines.append("LDS.128 R4, [R1];")
+        lines.append(f"FFMA R{i}, R1, R2, R3;")
+    out = apply_yield_strategy(lines, "nvcc8")
+    assert _count_yields(out) == 1
+    assert ":Y:" in out[-1]  # the 8th FFMA
+
+
+def test_yield_preserves_existing_control_fields():
+    lines = ["[B0-----:R2:W3:-:S05] FFMA R0, R1, R2, R3;"] * 8
+    out = apply_yield_strategy(lines, "nvcc8")
+    assert out[7] == "[B0-----:R2:W3:Y:S05] FFMA R0, R1, R2, R3;"
+    assert out[6] == lines[6]
+
+
+def test_unknown_strategy():
+    with pytest.raises(ValueError):
+        apply_yield_strategy([], "whatever")

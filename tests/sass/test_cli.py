@@ -1,0 +1,82 @@
+"""The `python -m repro.sass` command-line interface."""
+
+import pytest
+
+from repro.sass.__main__ import main
+
+SRC = """
+.kernel demo
+.registers 8
+.param 8 ptr
+.param 4 n
+MOV R0, param:n;
+LOOP:
+IADD3 R0, R0, -1, RZ;
+ISETP.NE.AND P0, PT, R0, RZ, PT;
+@P0 BRA LOOP;
+{%
+for i in range(width):
+    emit(f"MOV R{i + 1}, 0x0;")
+%}
+EXIT;
+"""
+
+
+@pytest.fixture
+def cubin_path(tmp_path):
+    src = tmp_path / "demo.sass"
+    src.write_text(SRC)
+    out = tmp_path / "demo.cubin"
+    rc = main(["as", str(src), "-o", str(out), "--schedule", "--strict",
+               "-D", "width=3"])
+    assert rc == 0
+    return out
+
+
+def test_as_creates_cubin(cubin_path, capsys):
+    assert cubin_path.exists()
+    assert cubin_path.read_bytes()[:4] == b"\x7fELF"
+
+
+def test_as_default_output_name(tmp_path):
+    src = tmp_path / "thing.sass"
+    src.write_text(".kernel t\nEXIT;\n")
+    assert main(["as", str(src)]) == 0
+    assert (tmp_path / "thing.cubin").exists()
+
+
+def test_dis_lists_instructions(cubin_path, capsys):
+    assert main(["dis", str(cubin_path)]) == 0
+    out = capsys.readouterr().out
+    assert "LOOP:" in out
+    assert "BRA LOOP" in out
+    assert "IADD3 R0" in out
+
+
+def test_dis_with_addresses(cubin_path, capsys):
+    main(["dis", str(cubin_path), "-a"])
+    out = capsys.readouterr().out
+    assert "/*0000*/" in out and "/*0010*/" in out
+
+
+def test_info_shows_metadata(cubin_path, capsys):
+    assert main(["info", str(cubin_path)]) == 0
+    out = capsys.readouterr().out
+    assert "kernel:     demo" in out
+    assert "c[0x0][0x160]  ptr" in out
+    assert "LOOP" in out
+
+
+def test_define_parsing_rejects_garbage(tmp_path):
+    src = tmp_path / "x.sass"
+    src.write_text("EXIT;\n")
+    with pytest.raises(SystemExit):
+        main(["as", str(src), "-D", "broken"])
+
+
+def test_inline_python_define_used(cubin_path):
+    """width=3 expanded three extra MOVs: 4 + 3 + 1 instructions total."""
+    from repro.sass import read_cubin
+
+    loaded = read_cubin(cubin_path.read_bytes())
+    assert len(loaded.text) // 16 == 8

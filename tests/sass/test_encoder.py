@@ -1,0 +1,133 @@
+"""128-bit encode/decode: round trips, golden values, field placement."""
+
+import pytest
+
+from repro.common import EncodingError
+from repro.sass import (
+    INSTRUCTION_BYTES,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+    parse_line,
+)
+
+ROUNDTRIP_CASES = [
+    "FFMA R0, R1, R2, R3;",
+    "FFMA R0, R1, 1.5, R3;",
+    "FFMA R0, R1, c[0x0][0x168], R3;",
+    "[B------:R-:W-:-:S04] FFMA R0, R64, R80.reuse, R0;",
+    "FADD R10, R11, -R12;",
+    "FMUL R1, R2, R3;",
+    "FMNMX R1, R2, R3, RZ;",
+    "MUFU.RCP R4, R5;",
+    "IADD3 R1, R2, 0xffffffff, RZ;",
+    "IMAD R1, R2, 0x38, R3;",
+    "IMAD.WIDE.U32 R4, R2, 0x100, RZ;",
+    "LOP3.AND R1, R2, 0x1f, RZ;",
+    "LOP3.OR R1, R2, R3, RZ;",
+    "SHF.L.U32 R1, R2, 0x4, RZ;",
+    "SHF.R.U32 R1, R2, 0x5, R3;",
+    "MOV R1, 0xdeadbeef;",
+    "MOV R1, c[0x0][0x160];",
+    "CS2R.32 R2, ;".replace(", ;", ";"),
+    "POPC R1, R2;",
+    "ISETP.LT.U32.AND P0, PT, R3, 0x20, PT;",
+    "ISETP.NE.OR P2, PT, R0, RZ, !P1;",
+    "P2R R5, 0xf;",
+    "R2P R5, 0x70;",
+    "[B--2---:R-:W1:-:S01] LDG.E R7, [R2 + 0x100];",
+    "LDG.E.128 R16, [R4 - 0x20];",
+    "STG.E [R2], R9;",
+    "[B------:R3:W-:-:S01] STS.128 [R1 + 0x40], R8;",
+    "LDS.64 R6, [R3 + 0x8];",
+    "S2R R0, SR_TID.X;",
+    "S2R R9, SR_CTAID.Y;",
+    "@!P6 EXIT;",
+    "BAR.SYNC;",
+    "NOP;",
+    "[B0----5:R-:W-:Y:S15] @P1 FFMA R0, R1, R2, R3;",
+]
+
+
+@pytest.mark.parametrize("text", ROUNDTRIP_CASES)
+def test_text_encode_decode_text_roundtrip(text):
+    instr = parse_line(text)
+    word = encode_instruction(instr)
+    back = decode_instruction(word)
+    assert back.text() == instr.text()
+
+
+def test_bra_roundtrip_via_resolved_target():
+    instr = parse_line("@P1 BRA LOOP;")
+    instr.target = -5
+    back = decode_instruction(encode_instruction(instr))
+    assert back.target == -5 and back.guard.index == 1
+
+
+def test_bra_unresolved_rejected():
+    with pytest.raises(EncodingError):
+        encode_instruction(parse_line("BRA SOMEWHERE;"))
+
+
+def test_word_is_128_bits():
+    word = encode_instruction(parse_line("FFMA R0, R1, R2, R3;"))
+    assert word < (1 << 128)
+    assert word.to_bytes(16, "little")
+
+
+def test_golden_field_placement_ffma():
+    """Pin the Fig. 6 field layout: opcode [11:0], guard [15:12],
+    rd [23:16], rs0 [31:24], rs1 [39:32], rs2 [71:64]."""
+    word = encode_instruction(parse_line("@!P1 FFMA R10, R20, R30, R40;"))
+    assert word & 0xFFF == 0x223
+    assert (word >> 12) & 0xF == 0x9  # P1 negated
+    assert (word >> 16) & 0xFF == 10
+    assert (word >> 24) & 0xFF == 20
+    assert (word >> 32) & 0xFF == 30
+    assert (word >> 64) & 0xFF == 40
+
+
+def test_golden_immediate_form_opcode():
+    word = encode_instruction(parse_line("FFMA R0, R1, 1.0, R2;"))
+    assert word & 0xFFF == 0x423  # base + 0x200
+    assert (word >> 32) & 0xFFFFFFFF == 0x3F800000
+
+
+def test_golden_constant_form_opcode():
+    word = encode_instruction(parse_line("FFMA R0, R1, c[0x0][0x160], R2;"))
+    assert word & 0xFFF == 0x623
+    assert (word >> 32) & 0xFFFF == 0x160 // 4
+
+
+def test_golden_control_bits():
+    instr = parse_line("[B------:R-:W-:-:S01] FFMA R0, R1, R2, R3;")
+    word = encode_instruction(instr)
+    # stall=1 at [108:105]; "stay" yield bit set at [109].
+    assert (word >> 105) & 0xF == 1
+    assert (word >> 109) & 1 == 1
+
+
+def test_negation_bits_at_96():
+    word = encode_instruction(parse_line("FADD R0, R1, -R2;"))
+    assert (word >> 97) & 1 == 1  # slot 1
+    assert (word >> 96) & 1 == 0
+
+
+def test_program_roundtrip():
+    src = ["MOV R0, 0x1;", "IADD3 R0, R0, 0x2, RZ;", "EXIT;"]
+    instrs = [parse_line(s) for s in src]
+    blob = encode_program(instrs)
+    assert len(blob) == 3 * INSTRUCTION_BYTES
+    back = decode_program(blob)
+    assert [i.text() for i in back] == [i.text() for i in instrs]
+
+
+def test_decode_program_rejects_ragged():
+    with pytest.raises(EncodingError):
+        decode_program(b"\x00" * 17)
+
+
+def test_decode_unknown_opcode():
+    with pytest.raises(EncodingError):
+        decode_instruction(0xFFF)

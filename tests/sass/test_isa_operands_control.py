@@ -1,0 +1,199 @@
+"""ISA table integrity, operand parsing, control-code encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import EncodingError, SassSyntaxError
+from repro.sass import (
+    NO_BARRIER,
+    OPCODES,
+    Const,
+    ControlCode,
+    Imm,
+    Mem,
+    Pred,
+    Reg,
+    parse_control,
+    parse_operand,
+    spec_for,
+    width_of,
+)
+from repro.sass.isa import FORM_CONSTANT, FORM_IMMEDIATE
+
+
+# ---------------------------------------------------------------------------
+# ISA table
+# ---------------------------------------------------------------------------
+def test_opcodes_fit_12_bits_with_forms():
+    for spec in OPCODES.values():
+        assert 0 < spec.opcode + FORM_CONSTANT < (1 << 12), spec.name
+
+
+def test_no_opcode_collisions_across_forms():
+    """Base, +imm and +const opcodes must all be distinct."""
+    seen = {}
+    for spec in OPCODES.values():
+        for form in (0, FORM_IMMEDIATE, FORM_CONSTANT):
+            code = spec.opcode + form
+            assert code not in seen, f"{spec.name} collides with {seen.get(code)}"
+            seen[code] = spec.name
+
+
+def test_paper_documented_opcodes():
+    """§5.1.1's examples: FFMA 0x223, FADD 0x221, LDG 0x381, LDS 0x984."""
+    assert OPCODES["FFMA"].opcode == 0x223
+    assert OPCODES["FADD"].opcode == 0x221
+    assert OPCODES["LDG"].opcode == 0x381
+    assert OPCODES["LDS"].opcode == 0x984
+
+
+def test_flag_lists_fit_flag_field():
+    for spec in OPCODES.values():
+        assert len(spec.valid_flags) <= 24, spec.name
+
+
+def test_variable_latency_ops_declare_none():
+    for name in ("LDG", "LDS", "STS", "STG", "S2R", "MUFU"):
+        assert OPCODES[name].latency is None
+
+
+def test_spec_for_unknown():
+    with pytest.raises(KeyError):
+        spec_for("FROB")
+
+
+def test_width_of():
+    assert width_of(("E", "128")) == 16
+    assert width_of(("64",)) == 8
+    assert width_of(("E",)) == 4
+
+
+# ---------------------------------------------------------------------------
+# Operands
+# ---------------------------------------------------------------------------
+def test_parse_register_forms():
+    assert parse_operand("R0") == Reg(0)
+    assert parse_operand("R254") == Reg(254)
+    assert parse_operand("RZ").is_rz
+    assert parse_operand("R5.reuse") == Reg(5, reuse=True)
+    assert parse_operand("-R7") == Reg(7, negated=True)
+
+
+def test_register_bank_parity():
+    assert Reg(64).bank == 0 and Reg(65).bank == 1
+
+
+def test_parse_predicates():
+    assert parse_operand("P3") == Pred(3)
+    assert parse_operand("!P0") == Pred(0, negated=True)
+    assert parse_operand("PT").is_pt
+    assert Pred(3, negated=True).nibble == 0xB
+    assert Pred.from_nibble(0xB) == Pred(3, negated=True)
+
+
+def test_parse_immediates():
+    assert parse_operand("0x10") == Imm(0x10)
+    assert parse_operand("-1").bits == 0xFFFFFFFF
+    assert parse_operand("1.0") == Imm.from_float(1.0)
+    assert Imm.from_float(1.0).bits == 0x3F800000
+    assert Imm.from_float(-2.5).as_float() == -2.5
+
+
+def test_parse_constant_memory():
+    c = parse_operand("c[0x0][0x160]")
+    assert c == Const(0, 0x160)
+
+
+def test_parse_memory_reference():
+    m = parse_operand("[R2 + 0x100]")
+    assert m == Mem(Reg(2), 0x100)
+    assert parse_operand("[R4]") == Mem(Reg(4), 0)
+    assert parse_operand("[RZ + 0x20]").base.is_rz
+    assert parse_operand("[R2 - 0x10]").offset == -0x10
+
+
+def test_operand_text_roundtrip():
+    for text in ("R0", "RZ", "R5.reuse", "-R7", "!P2", "PT", "c[0x0][0x168]",
+                 "[R2 + 0x100]", "[R4]"):
+        assert parse_operand(text).text().replace(" ", "") == text.replace(" ", "")
+
+
+def test_bad_operands():
+    with pytest.raises(SassSyntaxError):
+        parse_operand("Q5")
+    with pytest.raises(EncodingError):
+        parse_operand("R300")
+    with pytest.raises(SassSyntaxError):
+        parse_operand("P9")
+
+
+def test_const_validation():
+    with pytest.raises(EncodingError):
+        Const(0, 0x161)  # unaligned
+    with pytest.raises(EncodingError):
+        Const(99, 0)
+
+
+def test_mem_offset_range():
+    with pytest.raises(EncodingError):
+        Mem(Reg(0), 1 << 24)
+
+
+# ---------------------------------------------------------------------------
+# Control codes
+# ---------------------------------------------------------------------------
+@given(
+    stall=st.integers(0, 15),
+    yld=st.booleans(),
+    wbar=st.sampled_from([0, 1, 5, NO_BARRIER]),
+    rbar=st.sampled_from([0, 3, NO_BARRIER]),
+    wait=st.integers(0, 63),
+    reuse=st.integers(0, 15),
+)
+@settings(max_examples=80, deadline=None)
+def test_control_encode_decode_roundtrip(stall, yld, wbar, rbar, wait, reuse):
+    code = ControlCode(stall, yld, wbar, rbar, wait, reuse)
+    assert ControlCode.decode(code.encode()) == code
+
+
+def test_control_text_roundtrip():
+    code = ControlCode(stall=4, yield_flag=True, write_bar=2, read_bar=0,
+                       wait_mask=0b100101)
+    assert parse_control(code.text()) == ControlCode(
+        stall=4, yield_flag=True, write_bar=2, read_bar=0, wait_mask=0b100101
+    )
+
+
+def test_control_yield_bit_inverted_in_hardware():
+    """Hardware bit 1 = 'stay'; our yield_flag=True encodes bit 0."""
+    stay = ControlCode(yield_flag=False).encode()
+    switch = ControlCode(yield_flag=True).encode()
+    assert (stay >> 4) & 1 == 1
+    assert (switch >> 4) & 1 == 0
+
+
+def test_control_helpers():
+    c = ControlCode()
+    assert c.with_wait(3).waits_on(3)
+    assert c.with_stall(7).stall == 7
+    assert c.with_yield().yield_flag
+    assert c.with_reuse_slot(1).reuse == 2
+
+
+def test_control_validation():
+    with pytest.raises(EncodingError):
+        ControlCode(stall=16)
+    with pytest.raises(EncodingError):
+        ControlCode(write_bar=6)
+    with pytest.raises(EncodingError):
+        ControlCode(wait_mask=64)
+
+
+def test_parse_control_rejects_garbage():
+    with pytest.raises(SassSyntaxError):
+        parse_control("[B:R-:W-:-:S01]")
+    with pytest.raises(SassSyntaxError):
+        parse_control("[B--1---:R-:W-:-:S01]")
+    with pytest.raises(SassSyntaxError):
+        parse_control("[B-2----:R-:W-:-:S01]")  # slot 1 must hold '1'

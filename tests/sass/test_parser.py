@@ -1,0 +1,157 @@
+"""SASS text parser: every instruction shape plus error reporting."""
+
+import pytest
+
+from repro.common import SassSyntaxError
+from repro.sass import Imm, Mem, Pred, Reg, parse_line, parse_program
+
+
+def test_ffma_full():
+    i = parse_line("[B0-----:R-:W-:Y:S02] @!P1 FFMA.FTZ R0, R1, R2.reuse, R3;")
+    assert i.name == "FFMA" and i.flags == ("FTZ",)
+    assert i.guard == Pred(1, negated=True)
+    assert i.dest == Reg(0)
+    assert i.srcs == (Reg(1), Reg(2, reuse=True), Reg(3))
+    assert i.control.stall == 2 and i.control.yield_flag
+    assert i.control.waits_on(0)
+    assert i.control.reuse == 0b010  # slot 1
+
+
+def test_ffma_with_constant_and_imm():
+    i = parse_line("FFMA R0, R1, c[0x0][0x160], R3;")
+    assert i.srcs[1].offset == 0x160
+    i = parse_line("FFMA R0, R1, 1.5, R3;")
+    assert isinstance(i.srcs[1], Imm)
+
+
+def test_fadd_negated_source():
+    i = parse_line("FADD R0, R1, -R2;")
+    assert i.srcs[1].negated
+
+
+def test_memory_instructions():
+    i = parse_line("LDG.E.128 R16, [R2 + 0x100];")
+    assert i.dest == Reg(16) and i.mem == Mem(Reg(2), 0x100)
+    assert i.flags == ("128", "E")  # canonical order
+    i = parse_line("STS.128 [R1], R8;")
+    assert i.mem == Mem(Reg(1), 0) and i.srcs == (Reg(8),)
+    i = parse_line("LDS R4, [R1 + 0x40];")
+    assert i.spec.mem_space == "shared"
+
+
+def test_vector_alignment_enforced():
+    with pytest.raises(SassSyntaxError):
+        parse_line("LDS.128 R5, [R1];")  # R5 not 4-aligned (§4.3 req. (i))
+    with pytest.raises(SassSyntaxError):
+        parse_line("LDG.E.64 R3, [R2];")
+    with pytest.raises(SassSyntaxError):
+        parse_line("STS.128 [R1], R6;")
+
+
+def test_isetp():
+    i = parse_line("ISETP.LT.U32.AND P0, PT, R3, 0x20, PT;")
+    assert i.dest_preds[0] == Pred(0)
+    assert i.dest_preds[1].is_pt
+    assert i.src_pred.is_pt
+    assert set(i.flags) == {"LT", "U32", "AND"}
+
+
+def test_isetp_negated_combine():
+    i = parse_line("ISETP.EQ.OR P1, PT, R0, RZ, !P2;")
+    assert i.src_pred == Pred(2, negated=True)
+
+
+def test_p2r_r2p():
+    i = parse_line("P2R R5, 0xf;")
+    assert i.dest == Reg(5) and i.srcs == (Imm(0xF),)
+    i = parse_line("R2P R5, 0x70;")
+    assert i.dest is None and i.srcs == (Reg(5), Imm(0x70))
+    assert set(i.writes_predicates()) == {4, 5, 6}
+
+
+def test_s2r():
+    i = parse_line("S2R R0, SR_CTAID.Y;")
+    assert i.dest == Reg(0) and "SR_CTAID.Y" in i.flags
+
+
+def test_s2r_bad_sr():
+    with pytest.raises(SassSyntaxError):
+        parse_line("S2R R0, SR_NOPE;")
+
+
+def test_bra_and_bar_and_exit():
+    i = parse_line("@P5 BRA LOOP;")
+    assert i.target == "LOOP" and i.guard == Pred(5)
+    assert parse_line("BAR.SYNC;").name == "BAR"
+    assert parse_line("EXIT;").name == "EXIT"
+    assert parse_line("NOP;").name == "NOP"
+
+
+def test_imad_wide():
+    i = parse_line("IMAD.WIDE.U32 R4, R0, 0x100, RZ;")
+    assert i.writes_registers() == [4, 5]
+
+
+def test_shf_mov_lop3():
+    assert parse_line("SHF.R.U32 R1, R0, 0x5, RZ;").name == "SHF"
+    i = parse_line("MOV R1, c[0x0][0x164];")
+    assert i.srcs[0].offset == 0x164
+    assert parse_line("LOP3.AND R1, R0, 0x1f, RZ;").flags == ("AND",)
+
+
+def test_comments_and_blank_lines():
+    prog = parse_program(
+        """
+        // a comment
+        MOV R0, 0x1;  // trailing
+        # hash comment
+        EXIT;
+        """
+    )
+    assert len(prog.instructions) == 2
+
+
+def test_labels_collected():
+    prog = parse_program("MOV R0, 0x1;\nTOP:\nIADD3 R0, R0, -1, RZ;\n@P0 BRA TOP;\n")
+    assert prog.labels == {"TOP": 1}
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(SassSyntaxError):
+        parse_program("A:\nNOP;\nA:\nEXIT;\n")
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "FFMA R0, R1, R2, R3",  # missing ;
+        "FFMA R0, R1, R2;",  # wrong arity
+        "FFMA R0, 0x1, R2, R3;",  # imm outside B slot
+        "BLORP R0;",  # unknown mnemonic
+        "@Q1 MOV R0, R1;",  # bad guard
+        "FFMA.BOGUS R0, R1, R2, R3;",  # invalid flag
+        "LDG.E R0, R1;",  # load needs [..]
+        "EXIT R0;",  # operands on EXIT
+        "BRA A, B;",  # too many operands
+        "ISETP.LT.AND P0, PT, R1, R2;",  # missing combine pred
+        "P2R R5, R3;",  # mask must be immediate
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(SassSyntaxError):
+        parse_line(bad, 42)
+
+
+def test_error_carries_line_number():
+    with pytest.raises(SassSyntaxError) as exc:
+        parse_line("BLORP;", 42)
+    assert "42" in str(exc.value)
+
+
+def test_reads_writes_sets():
+    i = parse_line("STG.E.128 [R2 + 0x10], R8;")
+    assert set(i.reads_registers()) == {2, 8, 9, 10, 11}
+    i = parse_line("LDG.E.64 R4, [R6];")
+    assert i.writes_registers() == [4, 5]
+    i = parse_line("@!P3 FFMA R0, R1, R2, R3;")
+    assert i.reads_predicates() == [3]

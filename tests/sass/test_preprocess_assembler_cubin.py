@@ -1,0 +1,195 @@
+"""Preprocessor (inline Python, aliases), assembler driver, cubin container."""
+
+import pytest
+
+from repro.common import AssemblerError, RegisterBudgetError, SassSyntaxError
+from repro.sass import (
+    assemble,
+    preprocess,
+    read_cubin,
+    write_cubin,
+)
+from repro.sass.preprocess import PARAM_BASE
+
+
+# ---------------------------------------------------------------------------
+# Preprocessor
+# ---------------------------------------------------------------------------
+def test_directives_collect_metadata():
+    pre = preprocess(
+        ".kernel demo\n.registers 42\n.smem 1024\n"
+        ".param 8 ptr\n.param 4 n\nEXIT;\n"
+    )
+    m = pre.meta
+    assert m.name == "demo" and m.registers == 42 and m.smem_bytes == 1024
+    assert m.params == [("ptr", PARAM_BASE, 8), ("n", PARAM_BASE + 8, 4)]
+    assert m.param_offset("n") == PARAM_BASE + 8
+
+
+def test_param_aliases_expand():
+    pre = preprocess(".param 8 ptr\nMOV R0, param:ptr;\n")
+    assert f"c[0x0][{PARAM_BASE:#x}]" in pre.source
+
+
+def test_register_alias():
+    pre = preprocess(".alias counter R7\nIADD3 counter, counter, -1, RZ;\n")
+    assert "IADD3 R7, R7, -1, RZ;" in pre.source
+
+
+def test_alias_does_not_touch_substrings():
+    pre = preprocess(".alias idx R1\nMOV Ridx_not, idx;\n")
+    assert "Ridx_not" in pre.source  # word-boundary only
+    assert "MOV Ridx_not, R1;" in pre.source
+
+
+def test_inline_expression():
+    pre = preprocess("MOV R0, {{ 4 * 4 }};\n")
+    assert "MOV R0, 16;" in pre.source
+
+
+def test_inline_block_emits_lines():
+    pre = preprocess(
+        "{%\nfor i in range(3):\n    emit(f'MOV R{i}, 0x0;')\n%}\nEXIT;\n"
+    )
+    assert pre.source.splitlines()[:3] == ["MOV R0, 0x0;", "MOV R1, 0x0;", "MOV R2, 0x0;"]
+
+
+def test_inline_block_sees_env():
+    pre = preprocess("{%\nemit(f'MOV R0, {value};')\n%}\n", env={"value": 7})
+    assert "MOV R0, 7;" in pre.source
+
+
+def test_inline_block_state_persists():
+    pre = preprocess("{%\nx = 5\n%}\nMOV R0, {{ x }};\n")
+    assert "MOV R0, 5;" in pre.source
+
+
+def test_block_aliases_applied_to_emitted_lines():
+    pre = preprocess(".alias a R3\n{%\nemit('MOV a, 0x1;')\n%}\n")
+    assert "MOV R3, 0x1;" in pre.source
+
+
+def test_unterminated_block():
+    with pytest.raises(SassSyntaxError):
+        preprocess("{%\nfor i in range(3):\n    pass\n")
+
+
+def test_bad_inline_expression():
+    with pytest.raises(SassSyntaxError):
+        preprocess("MOV R0, {{ nope() }};\n")
+
+
+def test_unknown_directive():
+    with pytest.raises(SassSyntaxError):
+        preprocess(".frobnicate 1\n")
+
+
+# ---------------------------------------------------------------------------
+# Assembler driver
+# ---------------------------------------------------------------------------
+def test_label_resolution_backward_and_forward():
+    k = assemble(
+        "MOV R0, 0x3;\nTOP:\nIADD3 R0, R0, -1, RZ;\n"
+        "ISETP.NE.AND P0, PT, R0, RZ, PT;\n@P0 BRA TOP;\n@!P0 BRA END;\n"
+        "NOP;\nEND:\nEXIT;\n",
+        auto_schedule=True,
+    )
+    bra_back = k.instructions[3]
+    bra_fwd = k.instructions[4]
+    assert bra_back.target == -3
+    assert bra_fwd.target == 1
+
+
+def test_undefined_label():
+    with pytest.raises(SassSyntaxError):
+        assemble("BRA NOWHERE;\nEXIT;\n")
+
+
+def test_register_budget_enforced():
+    with pytest.raises(RegisterBudgetError):
+        assemble("MOV R254, 0x0;\nEXIT;\n")
+
+
+def test_register_budget_allows_252():
+    k = assemble("MOV R252, 0x0;\nEXIT;\n")
+    assert k.meta.registers == 253
+
+
+def test_empty_program_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("// nothing\n")
+
+
+def test_strict_mode_catches_hazard():
+    # MOV has 4-cycle latency; immediate consumer with stall 1 is a hazard.
+    bad = "MOV R0, 0x1;\nIADD3 R1, R0, 0x1, RZ;\nEXIT;\n"
+    with pytest.raises(AssemblerError):
+        assemble(bad, strict=True)
+    # Auto-scheduling fixes it.
+    k = assemble(bad, auto_schedule=True, strict=True)
+    assert k.instructions[0].control.stall >= 4
+
+
+def test_disassemble_reassembles_identically():
+    src = (
+        ".kernel demo\nMOV R0, 0x4;\nLOOP:\nIADD3 R0, R0, -1, RZ;\n"
+        "ISETP.NE.AND P0, PT, R0, RZ, PT;\n@P0 BRA LOOP;\nEXIT;\n"
+    )
+    k1 = assemble(src, auto_schedule=True)
+    listing = k1.disassemble()
+    assert "LOOP:" in listing and "BRA LOOP" in listing
+    k2 = assemble(listing)
+    assert k2.text == k1.text
+
+
+def test_inline_python_env_through_assemble():
+    k = assemble(
+        "{%\nfor i in range(n):\n    emit(f'MOV R{i}, 0x0;')\n%}\nEXIT;\n",
+        env={"n": 4},
+    )
+    assert k.num_instructions == 5
+
+
+# ---------------------------------------------------------------------------
+# Cubin container
+# ---------------------------------------------------------------------------
+def _demo_kernel():
+    return assemble(
+        ".kernel saxpy\n.registers 12\n.smem 256\n.param 8 x\n.param 4 a\n"
+        "MOV R0, param:a;\nEXIT;\n"
+    )
+
+
+def test_cubin_roundtrip():
+    k = _demo_kernel()
+    blob = write_cubin(k)
+    loaded = read_cubin(blob)
+    assert loaded.meta.name == "saxpy"
+    assert loaded.meta.smem_bytes == 256
+    assert loaded.meta.params[0][0] == "x"
+    assert loaded.text == k.text
+    assert [i.text() for i in loaded.instructions()] == [
+        i.text() for i in k.instructions
+    ]
+
+
+def test_cubin_is_elf():
+    blob = write_cubin(_demo_kernel())
+    assert blob[:4] == b"\x7fELF"
+    assert blob[4] == 2 and blob[5] == 1  # 64-bit little endian
+    import struct
+
+    e_machine = struct.unpack_from("<H", blob, 18)[0]
+    assert e_machine == 190  # EM_CUDA
+
+
+def test_read_cubin_rejects_garbage():
+    with pytest.raises(AssemblerError):
+        read_cubin(b"not an elf at all" + b"\x00" * 64)
+
+
+def test_read_cubin_rejects_wrong_machine():
+    blob = bytearray(write_cubin(_demo_kernel()))
+    blob[18] = 3  # EM_386
+    with pytest.raises(AssemblerError):
+        read_cubin(bytes(blob))

@@ -1,0 +1,154 @@
+"""The fused F(2×2,3×3) pipeline model (Algorithm 1) vs the oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import (
+    ConvConfigError,
+    ConvProblem,
+    LayoutError,
+    conv_tolerance,
+    kcrs_to_crsk,
+    khwn_to_nkhw,
+    make_rng,
+    nchw_to_chwn,
+    random_activation,
+    random_filter,
+)
+from repro.convolution import direct_conv2d
+from repro.winograd import (
+    CUDNN_CONFIG,
+    PAPER_CONFIG,
+    BlockConfig,
+    FusedWinogradConv,
+)
+
+
+def _run(prob, config=PAPER_CONFIG, seed=0):
+    rng = make_rng(seed)
+    x = random_activation(prob, rng)
+    f = random_filter(prob, rng)
+    conv = FusedWinogradConv(config)
+    y = khwn_to_nkhw(conv(nchw_to_chwn(x), kcrs_to_crsk(f)))
+    ref = direct_conv2d(x, f)
+    np.testing.assert_allclose(y, ref, atol=conv_tolerance(prob) * 4)
+    return conv
+
+
+def test_matches_direct_paper_shape():
+    _run(ConvProblem(n=32, c=8, h=8, w=8, k=64))
+
+
+def test_matches_direct_cudnn_config():
+    _run(ConvProblem(n=32, c=8, h=8, w=8, k=32), CUDNN_CONFIG)
+
+
+def test_irregular_everything():
+    """C, K, tiles all off the blocking grid: masking must handle edges."""
+    _run(ConvProblem(n=3, c=5, h=9, w=7, k=10))
+
+
+def test_single_channel():
+    _run(ConvProblem(n=1, c=1, h=4, w=4, k=1))
+
+
+def test_large_k_multiple_kblocks():
+    _run(ConvProblem(n=4, c=8, h=6, w=6, k=130))
+
+
+@given(
+    n=st.integers(1, 4),
+    c=st.integers(1, 10),
+    h=st.integers(3, 12),
+    w=st.integers(3, 12),
+    k=st.integers(1, 9),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_fused_matches_direct(n, c, h, w, k):
+    _run(ConvProblem(n=n, c=c, h=h, w=w, k=k), seed=n + c + h + w + k)
+
+
+# ---------------------------------------------------------------------------
+# Block configuration invariants (Table 7, §3.3)
+# ---------------------------------------------------------------------------
+def test_paper_config_smem_budget():
+    cfg = PAPER_CONFIG
+    assert cfg.smem_filter_bytes == 32 * 1024
+    assert cfg.smem_input_bytes == 16 * 1024
+    assert cfg.smem_main_loop_bytes == 48 * 1024
+    assert cfg.output_tiles_per_block == 2048
+
+
+def test_paper_config_ffma_count():
+    """1024 FFMAs per thread per bc-iteration (§4.2-§4.3)."""
+    assert PAPER_CONFIG.ffma_per_thread_per_iter == 1024
+    assert CUDNN_CONFIG.ffma_per_thread_per_iter == 512
+
+
+def test_arithmetic_intensity_section_3_3():
+    assert CUDNN_CONFIG.arithmetic_intensity() == pytest.approx(8.0)
+    assert PAPER_CONFIG.arithmetic_intensity() == pytest.approx(32 / 3)
+    gain = PAPER_CONFIG.arithmetic_intensity() / CUDNN_CONFIG.arithmetic_intensity()
+    assert gain == pytest.approx(4 / 3)  # "+33%"
+
+
+def test_block_config_rejects_nonpositive():
+    with pytest.raises(ConvConfigError):
+        BlockConfig(bk=0)
+
+
+# ---------------------------------------------------------------------------
+# Stats and workload accounting
+# ---------------------------------------------------------------------------
+def test_run_stats_ffma_count():
+    prob = ConvProblem(n=32, c=8, h=8, w=8, k=64)
+    rng = make_rng(1)
+    conv = FusedWinogradConv()
+    x = nchw_to_chwn(random_activation(prob, rng))
+    f_t = conv.transform_filters(kcrs_to_crsk(random_filter(prob, rng)))
+    _, stats = conv.run(x, f_t, prob)
+    # 16 EWMM points × K × total tiles × C multiply-accumulates.
+    assert stats.ffma_total == 16 * 64 * prob.total_tiles(2) * 8
+    assert stats.effective_flops == prob.direct_flops
+    assert stats.grid_blocks == (prob.total_tiles(2) // 32) * 1
+    assert stats.itf_fadd_total == 32 * prob.total_tiles(2) * 8
+
+
+def test_workload_dict():
+    prob = ConvProblem(n=32, c=64, h=56, w=56, k=64, name="Conv2N32")
+    w = FusedWinogradConv().workload(prob)
+    assert w["blocks"] == (28 * 28 * 32 // 32) * 1
+    assert w["iters_per_block"] == 8
+    assert w["ffma_per_thread_per_iter"] == 1024
+    assert w["warps_per_block"] == 8
+    assert w["smem_bytes_per_block"] == 48 * 1024
+
+
+def test_transform_filters_layout():
+    conv = FusedWinogradConv()
+    f = np.zeros((5, 3, 3, 7), dtype=np.float32)
+    out = conv.transform_filters(f)
+    assert out.shape == (5, 4, 4, 7)
+
+
+def test_transform_filters_rejects_bad_shape():
+    with pytest.raises(LayoutError):
+        FusedWinogradConv().transform_filters(np.zeros((5, 5, 5, 7), dtype=np.float32))
+
+
+def test_fused_requires_f23_transform():
+    from repro.winograd import get_transform
+
+    with pytest.raises(ConvConfigError):
+        FusedWinogradConv(transform=get_transform(4, 3))
+
+
+def test_run_rejects_mismatched_filters():
+    conv = FusedWinogradConv()
+    with pytest.raises(LayoutError):
+        conv.run(
+            np.zeros((4, 8, 8, 2), dtype=np.float32),
+            np.zeros((5, 4, 4, 8), dtype=np.float32),
+        )

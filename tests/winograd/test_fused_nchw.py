@@ -1,0 +1,93 @@
+"""The §8.4 NCHW-layout port of the fused pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.common import (
+    ConvProblem,
+    conv_tolerance,
+    kcrs_to_crsk,
+    make_rng,
+    random_activation,
+    random_filter,
+)
+from repro.convolution import direct_conv2d
+from repro.winograd.fused_nchw import (
+    FusedWinogradConvNCHW,
+    warp_load_sectors,
+)
+
+
+def _run(prob, seed=0):
+    rng = make_rng(seed)
+    x = random_activation(prob, rng)
+    f = random_filter(prob, rng)
+    conv = FusedWinogradConvNCHW()
+    f_t = conv.transform_filters(kcrs_to_crsk(f))
+    y = conv.run_nchw(x, f_t, prob)
+    np.testing.assert_allclose(
+        y, direct_conv2d(x, f), atol=conv_tolerance(prob) * 4
+    )
+
+
+def test_matches_direct_exact_patch():
+    # 16×8 output = exactly one 8×4 tile patch.
+    _run(ConvProblem(n=2, c=8, h=16, w=8, k=64))
+
+
+def test_matches_direct_ragged_patches():
+    _run(ConvProblem(n=2, c=8, h=14, w=10, k=16))
+
+
+def test_matches_direct_small_image():
+    _run(ConvProblem(n=3, c=4, h=7, w=7, k=8))
+
+
+def test_matches_direct_multi_kblock():
+    _run(ConvProblem(n=1, c=8, h=16, w=8, k=96))
+
+
+def test_same_results_as_chwn_pipeline():
+    from repro.common import chwn_to_nchw, khwn_to_nkhw, nchw_to_chwn
+    from repro.winograd import FusedWinogradConv
+
+    prob = ConvProblem(n=2, c=8, h=16, w=8, k=32)
+    rng = make_rng(5)
+    x = random_activation(prob, rng)
+    f_crsk = kcrs_to_crsk(random_filter(prob, rng))
+    nchw_conv = FusedWinogradConvNCHW()
+    f_t = nchw_conv.transform_filters(f_crsk)
+    y_nchw = nchw_conv.run_nchw(x, f_t, prob)
+    y_chwn = khwn_to_nkhw(FusedWinogradConv()(nchw_to_chwn(x), f_crsk))
+    np.testing.assert_allclose(y_nchw, y_chwn, atol=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# The coalescing argument (§8.4 / §4.2)
+# ---------------------------------------------------------------------------
+PROB = ConvProblem(n=32, c=64, h=56, w=56, k=64, name="Conv2N32")
+
+
+def test_matched_mappings_fully_coalesce():
+    """Each warp load = 128 consecutive bytes = 4 sectors (CHWN);
+    the NCHW patch keeps the accesses within dense image rows (≤ 2
+    sectors per patch row vs. one full sector per lane mismatched)."""
+    assert warp_load_sectors(PROB, "CHWN", "batch") == 4
+    assert warp_load_sectors(PROB, "NCHW", "patch") <= 16
+
+
+def test_mismatched_mappings_scatter():
+    """The §8.4 point: keep the mapping matched to the layout."""
+    # Batch-fastest tiles in NCHW: 32 different images → 32 sectors.
+    assert warp_load_sectors(PROB, "NCHW", "batch") == 32
+    # Patch tiles in CHWN: every pixel lands N floats apart → 32 sectors.
+    assert warp_load_sectors(PROB, "CHWN", "patch") == 32
+
+
+def test_bad_arguments():
+    from repro.common import LayoutError
+
+    with pytest.raises(LayoutError):
+        warp_load_sectors(PROB, "NHWC", "batch")
+    with pytest.raises(LayoutError):
+        warp_load_sectors(PROB, "CHWN", "spiral")

@@ -1,0 +1,37 @@
+"""Numerical error growth across Winograd variants (§8.1)."""
+
+import numpy as np
+
+from repro.common import ConvProblem, make_rng, random_activation, random_filter
+from repro.convolution import direct_conv2d
+from repro.winograd import winograd_conv2d_nchw
+
+
+def _errors():
+    prob = ConvProblem(n=2, c=64, h=16, w=16, k=8)
+    rng = make_rng(11)
+    x = random_activation(prob, rng)
+    f = random_filter(prob, rng)
+    ref = direct_conv2d(x.astype(np.float64), f.astype(np.float64))
+    scale = np.abs(ref).max()
+    return {
+        m: float(np.abs(winograd_conv2d_nchw(x, f, m=m) - ref).max() / scale)
+        for m in (2, 4, 6)
+    }
+
+
+def test_error_grows_with_tile_size():
+    errs = _errors()
+    assert errs[2] < errs[4] < errs[6]
+
+
+def test_f2_error_near_machine_precision():
+    errs = _errors()
+    assert errs[2] < 5e-6
+
+
+def test_f6_error_still_usable_but_degraded():
+    """The §8.1 'numerical issue': ≥10× worse than F(2×2), yet < 1e-3."""
+    errs = _errors()
+    assert errs[6] > 4 * errs[2]
+    assert errs[6] < 1e-3

@@ -1,0 +1,90 @@
+"""Reference Winograd convolution vs direct convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import (
+    ConvConfigError,
+    ConvProblem,
+    LayoutError,
+    conv_tolerance,
+    make_rng,
+    random_activation,
+    random_filter,
+)
+from repro.convolution import direct_conv2d
+from repro.winograd import winograd_conv2d_nchw
+
+
+def _check(prob, m, seed=0):
+    rng = make_rng(seed)
+    x = random_activation(prob, rng)
+    f = random_filter(prob, rng)
+    y = winograd_conv2d_nchw(x, f, m=m, pad=prob.pad)
+    ref = direct_conv2d(x, f, pad=prob.pad)
+    assert y.shape == ref.shape
+    np.testing.assert_allclose(y, ref, atol=conv_tolerance(prob) * 4)
+
+
+@pytest.mark.parametrize("m", [2, 4, 6])
+def test_against_direct_square(m):
+    _check(ConvProblem(n=2, c=3, h=12, w=12, k=4), m)
+
+
+@pytest.mark.parametrize("m", [2, 4])
+def test_against_direct_odd_sizes(m):
+    _check(ConvProblem(n=2, c=3, h=9, w=7, k=4), m)
+
+
+def test_tiny_image_smaller_than_tile():
+    _check(ConvProblem(n=1, c=2, h=3, w=3, k=2), 4)
+
+
+def test_no_padding():
+    _check(ConvProblem(n=1, c=2, h=8, w=8, k=2, pad=0), 2)
+
+
+def test_single_everything():
+    _check(ConvProblem(n=1, c=1, h=4, w=4, k=1), 2)
+
+
+def test_resnet_conv5_shape():
+    _check(ConvProblem(n=4, c=8, h=7, w=7, k=8), 2)
+
+
+def test_channel_mismatch_raises():
+    x = np.zeros((1, 3, 8, 8), dtype=np.float32)
+    f = np.zeros((2, 4, 3, 3), dtype=np.float32)
+    with pytest.raises(ConvConfigError):
+        winograd_conv2d_nchw(x, f)
+
+
+def test_nonsquare_filter_raises():
+    x = np.zeros((1, 3, 8, 8), dtype=np.float32)
+    f = np.zeros((2, 3, 3, 5), dtype=np.float32)
+    with pytest.raises(ConvConfigError):
+        winograd_conv2d_nchw(x, f)
+
+
+def test_bad_rank_raises():
+    with pytest.raises(LayoutError):
+        winograd_conv2d_nchw(
+            np.zeros((3, 8, 8), dtype=np.float32),
+            np.zeros((2, 3, 3, 3), dtype=np.float32),
+        )
+
+
+@given(
+    n=st.integers(1, 3),
+    c=st.integers(1, 5),
+    h=st.integers(3, 14),
+    w=st.integers(3, 14),
+    k=st.integers(1, 5),
+    m=st.sampled_from([2, 4]),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_matches_direct(n, c, h, w, k, m):
+    prob = ConvProblem(n=n, c=c, h=h, w=w, k=k)
+    _check(prob, m, seed=n * 1000 + h * 10 + w)

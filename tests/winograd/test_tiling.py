@@ -1,0 +1,106 @@
+"""Tile gather/scatter and implicit zero-padding masks (§3.5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import LayoutError
+from repro.winograd import (
+    gather_input_tiles_chwn,
+    pack_mask,
+    scatter_output_tiles_khwn,
+    tile_index_grid,
+    unpack_mask,
+    zero_pad_mask,
+)
+
+
+def test_interior_tile_mask_all_true():
+    mask = zero_pad_mask(2, 2, h=10, w=10)
+    assert mask.all()
+
+
+def test_corner_tile_mask():
+    # Tile (0, 0) starts at input (-1, -1): first row and column are pad.
+    mask = zero_pad_mask(0, 0, h=10, w=10)
+    assert not mask[0].any()
+    assert not mask[:, 0].any()
+    assert mask[1:, 1:].all()
+
+
+def test_bottom_edge_mask_conv5():
+    # 7×7 input, tile row 3 starts at 2·3−1 = 5: rows 5,6 valid, 7,8 not.
+    mask = zero_pad_mask(3, 0, h=7, w=7)
+    assert mask[0, 1] and mask[1, 1]
+    assert not mask[2].any() and not mask[3].any()
+
+
+def test_mask_matches_padded_indexing():
+    h = w = 6
+    x = np.arange(h * w, dtype=np.float32).reshape(h, w)
+    xp = np.pad(x + 1, 1)  # +1 so zeros only come from the pad
+    for th in range(3):
+        for tw in range(3):
+            mask = zero_pad_mask(th, tw, h, w)
+            window = xp[th * 2 : th * 2 + 4, tw * 2 : tw * 2 + 4]
+            np.testing.assert_array_equal(mask, window != 0)
+
+
+@given(bits=st.integers(0, 2**16 - 1))
+@settings(max_examples=50, deadline=None)
+def test_pack_unpack_roundtrip(bits):
+    mask = unpack_mask(bits, (4, 4))
+    assert pack_mask(mask) == bits
+
+
+def test_pack_is_row_major_bit_order():
+    mask = np.zeros((4, 4), dtype=bool)
+    mask[1, 2] = True  # element index 6
+    assert pack_mask(mask) == 1 << 6
+
+
+def test_pack_rejects_oversize():
+    with pytest.raises(LayoutError):
+        pack_mask(np.ones((6, 6), dtype=bool))
+    with pytest.raises(LayoutError):
+        unpack_mask(0, (6, 6))
+
+
+def test_gather_matches_padded_slices():
+    rng = np.random.default_rng(3)
+    c, h, w, n = 3, 6, 5, 2
+    x = rng.standard_normal((c, h, w, n)).astype(np.float32)
+    xp = np.pad(x, ((0, 0), (1, 2), (1, 2), (0, 0)))
+    rows = np.array([0, 1, 2, 0])
+    cols = np.array([0, 1, 2, 2])
+    tiles = gather_input_tiles_chwn(x, rows, cols)
+    assert tiles.shape == (c, 4, 4, 4, n)
+    for t in range(4):
+        expect = xp[:, rows[t] * 2 : rows[t] * 2 + 4, cols[t] * 2 : cols[t] * 2 + 4]
+        np.testing.assert_array_equal(tiles[:, t], expect)
+
+
+def test_gather_checks_layout():
+    with pytest.raises(LayoutError):
+        gather_input_tiles_chwn(np.zeros((3, 6, 5)), np.array([0]), np.array([0]))
+
+
+def test_scatter_crops_overhang():
+    k, h, w, n = 2, 5, 5, 1  # odd output: tile (2,2) covers row/col 5 (cropped)
+    y = np.zeros((k, h, w, n), dtype=np.float32)
+    tiles = np.ones((k, 9, 2, 2, n), dtype=np.float32)
+    rows, cols, _ = tile_index_grid(3, 3, 1)
+    scatter_output_tiles_khwn(y, tiles, rows, cols)
+    assert (y == 1).all()  # every in-bounds pixel written exactly once
+
+
+def test_tile_index_grid_batch_fastest():
+    rows, cols, batch = tile_index_grid(2, 3, 4)
+    assert rows.size == 24
+    # Batch varies fastest (coalescing requirement).
+    assert list(batch[:4]) == [0, 1, 2, 3]
+    assert rows[0] == rows[3] and cols[0] == cols[3]
+    # Then tile column, then tile row.
+    assert cols[4] == 1 and rows[4] == 0
+    assert rows[12] == 1

@@ -1,0 +1,141 @@
+"""Winograd transform construction: paper matrices, Cook-Toom, 2-D nesting."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ConvConfigError
+from repro.winograd import cook_toom, f23, f43, get_transform
+from repro.winograd.transforms import WinogradTransform
+
+
+def test_f23_matches_paper_matrices_exactly():
+    t = f23()
+    np.testing.assert_array_equal(t.at, [[1, 1, 1, 0], [0, 1, -1, -1]])
+    np.testing.assert_array_equal(
+        t.g, [[1, 0, 0], [0.5, 0.5, 0.5], [0.5, -0.5, 0.5], [0, 0, 1]]
+    )
+    np.testing.assert_array_equal(
+        t.bt, [[1, 0, -1, 0], [0, 1, 1, 0], [0, -1, 1, 0], [0, 1, 0, -1]]
+    )
+
+
+def test_f23_alpha_and_counts():
+    t = f23()
+    assert t.alpha == 4
+    assert t.tile_multiplies_2d() == 16
+    assert t.direct_multiplies_2d() == 36
+    assert t.reduction_2d() == pytest.approx(2.25)
+
+
+def test_f43_reduction_is_4x():
+    assert f43().reduction_2d() == pytest.approx(4.0)
+
+
+@pytest.mark.parametrize("make", [f23, f43])
+def test_published_matrices_satisfy_identity(make):
+    assert make(np.float64).check_identity() < 1e-6
+
+
+@pytest.mark.parametrize(
+    "m,r", [(2, 3), (3, 3), (4, 3), (5, 3), (6, 3), (2, 2), (3, 2), (4, 4), (2, 5)]
+)
+def test_cook_toom_identity(m, r):
+    t = cook_toom(m, r)
+    assert t.check_identity() < 1e-10
+
+
+def test_cook_toom_custom_points():
+    t = cook_toom(2, 3, points=(0, 2, -2))
+    assert t.check_identity() < 1e-10
+
+
+def test_cook_toom_fractional_points():
+    t = cook_toom(3, 3, points=(0, 1, -1, Fraction(1, 2)))
+    assert t.check_identity() < 1e-10
+
+
+def test_cook_toom_rejects_duplicate_points():
+    with pytest.raises(ConvConfigError):
+        cook_toom(2, 3, points=(0, 1, 1))
+
+
+def test_cook_toom_rejects_wrong_point_count():
+    with pytest.raises(ConvConfigError):
+        cook_toom(2, 3, points=(0, 1))
+
+
+def test_cook_toom_rejects_bad_sizes():
+    with pytest.raises(ConvConfigError):
+        cook_toom(0, 3)
+
+
+def test_get_transform_returns_paper_matrices():
+    np.testing.assert_array_equal(get_transform(2, 3).at, f23().at)
+    np.testing.assert_array_equal(get_transform(4, 3).g, f43().g)
+
+
+def test_get_transform_constructs_other_sizes():
+    t = get_transform(6, 3)
+    assert t.alpha == 8
+    assert t.check_identity() < 1e-5  # fp32 matrices
+
+
+def test_shape_validation():
+    t = f23()
+    with pytest.raises(ConvConfigError):
+        WinogradTransform(2, 3, t.at.T, t.g, t.bt)
+    with pytest.raises(ConvConfigError):
+        WinogradTransform(2, 3, t.at, t.g.T, t.bt)
+    with pytest.raises(ConvConfigError):
+        WinogradTransform(2, 3, t.at, t.g, t.bt[:3])
+
+
+# ---------------------------------------------------------------------------
+# 2-D nesting against a naive implementation
+# ---------------------------------------------------------------------------
+def _naive_2d_conv_tile(d, g, t):
+    """Direct 2-D correlation of one alpha×alpha tile with an r×r filter."""
+    m = t.m
+    out = np.zeros((m, m))
+    for x in range(m):
+        for y in range(m):
+            out[x, y] = np.sum(d[x : x + t.r, y : y + t.r] * g)
+    return out
+
+
+@pytest.mark.parametrize("m,r", [(2, 3), (4, 3), (3, 2)])
+def test_2d_nesting_equals_direct(m, r):
+    t = cook_toom(m, r)
+    rng = np.random.default_rng(5)
+    d = rng.standard_normal((t.alpha, t.alpha))
+    g = rng.standard_normal((r, r))
+    fast = t.transform_output(t.transform_filter(g) * t.transform_input(d))
+    np.testing.assert_allclose(fast, _naive_2d_conv_tile(d, g, t), atol=1e-10)
+
+
+def test_transforms_batch_over_leading_dims():
+    t = f23(np.float64)
+    rng = np.random.default_rng(6)
+    d = rng.standard_normal((3, 5, 4, 4))
+    batched = t.transform_input(d)
+    for i in range(3):
+        for j in range(5):
+            np.testing.assert_allclose(
+                batched[i, j], t.bt @ d[i, j] @ t.bt.T, atol=1e-12
+            )
+
+
+@given(
+    points=st.lists(
+        st.integers(-4, 4), min_size=4, max_size=4, unique=True
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_cook_toom_any_distinct_points_work(points):
+    """Any 4 distinct finite points admit a valid F(2,4)/F(3,3) algorithm."""
+    t = cook_toom(3, 3, points=points)
+    assert t.check_identity() < 1e-6
