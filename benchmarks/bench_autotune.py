@@ -1,0 +1,118 @@
+"""Autotuning dispatcher: workspace-limited selection + plan-cache rates.
+
+Two result blocks:
+
+* a Fig. 14-style table showing, for every Table 1 layer at N=32, which
+  algorithm ``AUTO_HEURISTIC`` selects as the workspace budget tightens
+  from unlimited down to 0 bytes — the runtime re-enactment of the
+  paper's workspace-limited selection discussion (the fused kernel's
+  tiny 16·K·C workspace is exactly why it survives budgets that evict
+  FFT and explicit GEMM);
+* a plan-cache report from real ``conv2d(algo="AUTO")`` dispatches:
+  trials run on the first call per signature, hit rate once shapes
+  repeat, and the per-algorithm mean trial times behind the choice.
+"""
+
+from harness import emit
+
+from repro.common import ConvProblem, format_table, make_rng, random_activation, random_filter
+from repro.convolution import (
+    clear_plan_cache,
+    conv2d,
+    get_dispatch_stats,
+    reset_dispatch_stats,
+)
+from repro.gpusim import V100
+from repro.models import resnet_layer
+from repro.perfmodel import dispatch_workspace_bytes, rank_algorithms
+
+MB = 1024 * 1024
+BUDGETS = (None, 256 * MB, 32 * MB, 2 * MB, 0)
+LAYERS = ("Conv2", "Conv3", "Conv4", "Conv5")
+
+
+def _budget_label(budget):
+    return "unlimited" if budget is None else f"{budget // MB} MB"
+
+
+def selection_grid():
+    """layer → budget → (chosen algorithm, its workspace MB)."""
+    out = {}
+    for layer in LAYERS:
+        prob = resnet_layer(layer, 32)
+        row = {}
+        for budget in BUDGETS:
+            ranked, _ = rank_algorithms(prob, V100, budget)
+            chosen = ranked[0]
+            row[budget] = (chosen, dispatch_workspace_bytes(prob, chosen) / MB)
+        out[layer] = row
+    return out
+
+
+def cache_report(repeats: int = 3):
+    """Dispatch a small shape sweep through AUTO, twice-plus, and report."""
+    reset_dispatch_stats()
+    clear_plan_cache()
+    rng = make_rng(42)
+    problems = [
+        ConvProblem(n=2, c=8, h=12, w=12, k=8),
+        ConvProblem(n=2, c=8, h=9, w=7, k=8),          # non-square
+        ConvProblem(n=1, c=4, h=10, w=10, k=4, r=5, s=5, pad=2),  # no Winograd
+    ]
+    for prob in problems:
+        x = random_activation(prob, rng)
+        f = random_filter(prob, rng)
+        for _ in range(repeats):
+            conv2d(x, f, pad=prob.pad, algo="AUTO")
+    return get_dispatch_stats()
+
+
+def _run():
+    grid = selection_grid()
+    rows = []
+    for layer, row in grid.items():
+        for budget, (algo, ws_mb) in row.items():
+            rows.append((f"{layer}N32", _budget_label(budget), algo, round(ws_mb, 2)))
+    text = format_table(
+        ["layer", "workspace budget", "heuristic choice", "chosen ws MB"],
+        rows,
+        title="Autotune: workspace-limited selection (AUTO_HEURISTIC, V100)",
+    )
+    emit("autotune_selection", text)
+
+    stats = cache_report()
+    rows = [
+        ("dispatched calls", stats.calls),
+        ("plan-cache hits", stats.cache_hits),
+        ("plan-cache misses", stats.cache_misses),
+        ("hit rate", round(stats.hit_rate, 3)),
+        ("trials run", stats.trials_run),
+        ("fallbacks taken", stats.fallbacks),
+    ] + [
+        (f"mean trial ms [{algo}]", round(stats.mean_trial_time(algo) * 1e3, 3))
+        for algo in sorted(stats.trial_times)
+    ]
+    text = format_table(
+        ["metric", "value"], rows, title="Autotune: plan-cache behaviour (AUTO)"
+    )
+    emit("autotune_plan_cache", text)
+    return grid, stats
+
+
+def test_autotune_dispatch(benchmark):
+    grid, stats = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for layer in LAYERS:
+        # Unlimited budget: the model picks this library's fused kernel
+        # on every Table 1 layer (Figs. 12-13's headline result).
+        assert grid[layer][None][0] == "WINOGRAD"
+        # Zero budget: only workspace-free algorithms survive.
+        assert grid[layer][0][0] in ("IMPLICIT_GEMM", "DIRECT")
+    # 3 signatures × 3 repeats → 3 misses, 6 hits, trials only on misses.
+    assert stats.cache_misses == 3
+    assert stats.cache_hits == 6
+    assert stats.hit_rate == 6 / 9
+    assert stats.trials_run > 0
+
+
+if __name__ == "__main__":
+    _run()

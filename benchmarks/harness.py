@@ -15,6 +15,7 @@ from __future__ import annotations
 import functools
 import io
 import os
+import re
 import sys
 
 from repro.common import format_table
@@ -75,12 +76,30 @@ def main_loop_tflops(layer_name: str, device_name: str, **tunable_kwargs) -> flo
     return meas.tflops * util
 
 
+# Slug → title of every result emitted this run, to refuse silent
+# overwrites when two distinct titles sanitize to the same filename.
+_EMITTED: dict = {}
+
+
+def result_slug(title: str) -> str:
+    """Filesystem-safe slug for a result title (lowercase, [a-z0-9._-])."""
+    slug = re.sub(r"[^a-z0-9._-]+", "_", title.lower()).strip("._-")
+    return slug or "untitled"
+
+
 def emit(title: str, text: str) -> None:
     """Print a result block and archive it under benchmarks/results/."""
     print()
     print(text)
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    slug = title.lower().replace(" ", "_").replace("/", "-")
+    slug = result_slug(title)
+    previous = _EMITTED.get(slug)
+    if previous is not None and previous != title:
+        raise RuntimeError(
+            f"benchmark result collision: titles {previous!r} and {title!r} "
+            f"both slugify to {slug!r}; rename one"
+        )
+    _EMITTED[slug] = title
     with open(os.path.join(RESULTS_DIR, f"{slug}.txt"), "w") as fh:
         fh.write(text + "\n")
 

@@ -5,6 +5,15 @@ column labels of the paper's Figures 12-14) plus this library's Winograd
 pipelines.  All algorithms take NCHW activations and KCRS filters and
 return NCHW output, converting to the kernel-native layouts internally,
 so callers can swap algorithms without touching their data.
+
+Two *meta*-algorithms dispatch automatically (see
+``repro.convolution.autotune``): ``AUTO`` runs timed trials of the
+eligible candidates and memoizes the winner in a plan cache, and
+``AUTO_HEURISTIC`` picks from the calibrated ``repro.perfmodel`` time
+models without touching the data — cuDNN's ``Find`` vs ``Get``
+selectors, respectively.  Both honour ``workspace_limit_bytes``
+(Fig. 14's workspace-limited selection) and fall back algorithm by
+algorithm, ultimately to ``DIRECT``, if a candidate cannot run.
 """
 
 from __future__ import annotations
@@ -34,22 +43,54 @@ ALGORITHMS = (
     "WINOGRAD_REFERENCE",  # plain oracle implementation
 )
 
+# Automatic selection modes layered on top of the concrete ALGORITHMS.
+META_ALGORITHMS = (
+    "AUTO",            # measured: timed trials, plan-cached winner
+    "AUTO_HEURISTIC",  # model-ranked: no trials, perfmodel prediction
+)
 
-def conv2d(
-    x: np.ndarray, f: np.ndarray, pad: int = 1, algo: str = "WINOGRAD"
-) -> np.ndarray:
-    """Batched 2-D convolution with a selectable algorithm.
 
-    Parameters
-    ----------
-    x: activations (N, C, H, W).
-    f: filters (K, C, R, S).
-    pad: symmetric zero padding (1 for the paper's layers).
-    algo: one of :data:`ALGORITHMS`.
+def _validate_conv_inputs(x: np.ndarray, f: np.ndarray, pad: int) -> None:
+    """Reject malformed problems up front, at the call site.
+
+    Without this, a channel mismatch or a 3-D activation surfaces as a
+    NumPy broadcast error deep inside whichever algorithm ran — far from
+    the caller's mistake and different per algorithm.
     """
-    algo = algo.upper()
-    if algo not in ALGORITHMS:
-        raise ConvConfigError(f"unknown algorithm {algo!r}; choose from {ALGORITHMS}")
+    x_shape = getattr(x, "shape", None)
+    f_shape = getattr(f, "shape", None)
+    if not isinstance(x, np.ndarray) or x.ndim != 4:
+        raise ConvConfigError(
+            f"x must be a 4-D NCHW ndarray, got shape {x_shape!r}"
+        )
+    if not isinstance(f, np.ndarray) or f.ndim != 4:
+        raise ConvConfigError(
+            f"f must be a 4-D KCRS ndarray, got shape {f_shape!r}"
+        )
+    if x.shape[1] != f.shape[1]:
+        raise ConvConfigError(
+            f"channel mismatch: x (N,C,H,W)={x.shape} has C={x.shape[1]} "
+            f"but f (K,C,R,S)={f.shape} has C={f.shape[1]}"
+        )
+    if isinstance(pad, bool) or not isinstance(pad, (int, np.integer)):
+        raise ConvConfigError(f"pad must be a non-negative int, got {pad!r}")
+    if pad < 0:
+        raise ConvConfigError(f"pad must be >= 0, got {pad}")
+    n, c, h, w = x.shape
+    k, _, r, s = f.shape
+    if min(n, c, h, w, k, r, s) < 1:
+        raise ConvConfigError(
+            f"empty tensor dimension: x={x.shape}, f={f.shape}"
+        )
+    if h + 2 * pad - r + 1 < 1 or w + 2 * pad - s + 1 < 1:
+        raise ConvConfigError(
+            f"filter {r}x{s} with pad={pad} does not fit the {h}x{w} input "
+            "(output would be empty)"
+        )
+
+
+def _run_concrete(algo: str, x: np.ndarray, f: np.ndarray, pad: int) -> np.ndarray:
+    """Execute one concrete algorithm (no AUTO handling, no validation)."""
     if algo == "DIRECT":
         return direct_conv2d(x, f, pad)
     if algo == "GEMM":
@@ -79,10 +120,78 @@ def conv2d(
     return khwn_to_nkhw(y_khwn)
 
 
-def get_algorithm(algo: str) -> Callable[..., np.ndarray]:
-    """Curried form of :func:`conv2d` for benchmarking loops."""
-    def run(x: np.ndarray, f: np.ndarray, pad: int = 1) -> np.ndarray:
-        return conv2d(x, f, pad=pad, algo=algo)
+def conv2d(
+    x: np.ndarray,
+    f: np.ndarray,
+    pad: int = 1,
+    algo: str = "WINOGRAD",
+    *,
+    workspace_limit_bytes: int | None = None,
+    device=None,
+) -> np.ndarray:
+    """Batched 2-D convolution with a selectable (or automatic) algorithm.
 
-    run.__name__ = f"conv2d_{algo.lower()}"
+    Parameters
+    ----------
+    x: activations (N, C, H, W).
+    f: filters (K, C, R, S).
+    pad: symmetric zero padding (1 for the paper's layers).
+    algo: one of :data:`ALGORITHMS`, or a :data:`META_ALGORITHMS` mode
+        (``"AUTO"`` / ``"AUTO_HEURISTIC"``) that selects among them.
+    workspace_limit_bytes: AUTO modes only — exclude candidates whose
+        global workspace (``perfmodel.dispatch_workspace_bytes``)
+        exceeds this budget; ``None`` means unlimited.
+    device: AUTO modes only — the :class:`repro.gpusim.arch.DeviceSpec`
+        the heuristic time models rank for (default: V100).
+    """
+    if not isinstance(algo, str):
+        raise ConvConfigError(f"algo must be a string, got {algo!r}")
+    algo = algo.upper()
+    if algo not in ALGORITHMS + META_ALGORITHMS:
+        raise ConvConfigError(
+            f"unknown algorithm {algo!r}; choose from "
+            f"{ALGORITHMS + META_ALGORITHMS}"
+        )
+    _validate_conv_inputs(x, f, pad)
+    if algo in META_ALGORITHMS:
+        from .autotune import autotune_conv2d
+
+        return autotune_conv2d(
+            x, f, pad, mode=algo,
+            workspace_limit_bytes=workspace_limit_bytes, device=device,
+        )
+    if workspace_limit_bytes is not None or device is not None:
+        raise ConvConfigError(
+            "workspace_limit_bytes/device only apply to the AUTO modes; "
+            f"algo={algo!r} was requested explicitly"
+        )
+    return _run_concrete(algo, x, f, pad)
+
+
+def get_algorithm(algo: str) -> Callable[..., np.ndarray]:
+    """Curried form of :func:`conv2d` for benchmarking loops.
+
+    The returned callable carries ``__name__``/``__qualname__``/
+    ``__doc__`` (so ``pytest-benchmark`` labels and ``help()`` work) and
+    exposes the bound algorithm as ``.algo``.
+    """
+    if not isinstance(algo, str):
+        raise ConvConfigError(f"algo must be a string, got {algo!r}")
+    algo_u = algo.upper()
+    if algo_u not in ALGORITHMS + META_ALGORITHMS:
+        raise ConvConfigError(
+            f"unknown algorithm {algo!r}; choose from "
+            f"{ALGORITHMS + META_ALGORITHMS}"
+        )
+
+    def run(x: np.ndarray, f: np.ndarray, pad: int = 1, **kwargs) -> np.ndarray:
+        return conv2d(x, f, pad=pad, algo=algo_u, **kwargs)
+
+    run.__name__ = f"conv2d_{algo_u.lower()}"
+    run.__qualname__ = run.__name__
+    run.__doc__ = (
+        f"conv2d specialised to algo={algo_u!r}.\n\n{conv2d.__doc__}"
+    )
+    run.__wrapped__ = conv2d
+    run.algo = algo_u
     return run

@@ -1,0 +1,270 @@
+"""Autotuning dispatch for ``conv2d``: AUTO and AUTO_HEURISTIC.
+
+The paper's evaluation (Figs. 12-14, Table 7) is a study in *algorithm
+selection*: which of cuDNN's convolution algorithms wins per layer,
+under what workspace budget, and where the fused kernel's break-even
+points lie.  This module turns that study into a runtime component,
+mirroring cuDNN's own two selectors:
+
+* ``AUTO_HEURISTIC`` — ``cudnnGetConvolutionForwardAlgorithm``: rank the
+  candidates with the calibrated ``repro.perfmodel`` time models,
+  filtered by the caller's ``workspace_limit_bytes`` budget (Fig. 14's
+  workspace-limited selection), and run the predicted winner.  No data
+  is touched during selection.
+* ``AUTO`` — ``cudnnFindConvolutionForwardAlgorithm``: run timed trials
+  of every surviving candidate on the actual tensors and keep the
+  measured winner.
+
+Either way the decision is memoized in a **plan cache** keyed by the
+problem signature (N, C, H, W, K, R, S, pad, dtype, workspace limit,
+device, mode), so repeated calls on the same shape execute the chosen
+algorithm directly — a cache hit runs **zero** new trials.
+
+The dispatcher is robust by construction: a candidate that raises (e.g.
+the fused kernel on a non-3×3/pad≠1 shape that slipped past the
+structural filter) is recorded as ineligible and selection falls through
+to the next candidate; ``DIRECT`` — workspace-free and
+shape-unrestricted — terminates every chain.  Every decision is
+observable through :func:`repro.convolution.get_dispatch_stats`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from ..common.errors import ConvConfigError, ReproError
+from ..common.problem import ConvProblem
+from .metrics import live_dispatch_stats
+
+AUTO_MODES = ("AUTO", "AUTO_HEURISTIC")
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanKey:
+    """The problem signature that identifies one plan-cache entry."""
+
+    n: int
+    c: int
+    h: int
+    w: int
+    k: int
+    r: int
+    s: int
+    pad: int
+    dtype: str
+    workspace_limit: int | None
+    device: str
+    mode: str
+
+    @classmethod
+    def from_problem(
+        cls,
+        prob: ConvProblem,
+        dtype: np.dtype,
+        workspace_limit: int | None,
+        device_name: str,
+        mode: str,
+    ) -> "PlanKey":
+        return cls(
+            n=prob.n, c=prob.c, h=prob.h, w=prob.w, k=prob.k,
+            r=prob.r, s=prob.s, pad=prob.pad,
+            dtype=np.dtype(dtype).name,
+            workspace_limit=workspace_limit,
+            device=device_name,
+            mode=mode,
+        )
+
+
+@dataclasses.dataclass
+class ConvPlan:
+    """A memoized selection decision for one problem signature.
+
+    ``fallbacks`` is the remaining try-order *after* ``algo``: if the
+    chosen algorithm ever raises on a later call, the plan heals itself
+    by promoting the next entry instead of re-running selection.
+    """
+
+    key: PlanKey
+    algo: str
+    fallbacks: tuple[str, ...]
+    source: str  # "measured" (AUTO) | "heuristic" (AUTO_HEURISTIC)
+    trial_times: dict[str, float] = dataclasses.field(default_factory=dict)
+    predicted_times: dict[str, float] = dataclasses.field(default_factory=dict)
+    excluded: dict[str, str] = dataclasses.field(default_factory=dict)
+    hits: int = 0
+
+
+_PLAN_CACHE: dict[PlanKey, ConvPlan] = {}
+
+
+def get_plan_cache() -> dict[PlanKey, ConvPlan]:
+    """A shallow copy of the live plan cache (keys → plans)."""
+    return dict(_PLAN_CACHE)
+
+
+def clear_plan_cache() -> None:
+    _PLAN_CACHE.clear()
+
+
+def _default_device():
+    from ..gpusim import V100
+
+    return V100
+
+
+def _execute(algo: str, x: np.ndarray, f: np.ndarray, pad: int) -> np.ndarray:
+    # Late import: api.py imports this module for the AUTO branch.
+    from .api import _run_concrete
+
+    return _run_concrete(algo, x, f, pad)
+
+
+def _select_candidates(prob, device, workspace_limit):
+    # perfmodel pulls in the kernel generator and simulator packages;
+    # importing it lazily keeps ``import repro.convolution`` light for
+    # callers that never dispatch automatically.
+    from ..perfmodel.selection import predicted_time, rank_algorithms
+
+    ranked, excluded = rank_algorithms(prob, device, workspace_limit)
+    predictions = {a: predicted_time(prob, device, a) for a in ranked}
+    return ranked, excluded, predictions
+
+
+def autotune_conv2d(
+    x: np.ndarray,
+    f: np.ndarray,
+    pad: int,
+    mode: str,
+    workspace_limit_bytes: int | None = None,
+    device=None,
+) -> np.ndarray:
+    """Dispatch one convolution through the AUTO/AUTO_HEURISTIC pipeline.
+
+    Called by :func:`repro.convolution.conv2d` after input validation;
+    not intended as a public entry point (use ``conv2d(algo="AUTO")``).
+    """
+    if mode not in AUTO_MODES:
+        raise ConvConfigError(f"unknown auto mode {mode!r}; choose from {AUTO_MODES}")
+    if workspace_limit_bytes is not None and workspace_limit_bytes < 0:
+        raise ConvConfigError(
+            f"workspace_limit_bytes must be >= 0 or None, got {workspace_limit_bytes}"
+        )
+    device = device or _default_device()
+    stats = live_dispatch_stats()
+    stats.record_call(mode)
+
+    n, c, h, w = x.shape
+    k, _, r, s = f.shape
+    prob = ConvProblem(n=n, c=c, h=h, w=w, k=k, r=r, s=s, pad=pad)
+    key = PlanKey.from_problem(
+        prob, np.result_type(x, f), workspace_limit_bytes, device.name, mode
+    )
+
+    plan = _PLAN_CACHE.get(key)
+    if plan is not None:
+        stats.cache_hits += 1
+        plan.hits += 1
+        return _run_plan(plan, x, f, pad, stats)
+
+    stats.cache_misses += 1
+    ranked, excluded, predictions = _select_candidates(
+        prob, device, workspace_limit_bytes
+    )
+    for algo in excluded:
+        stats.record_exclusion(algo)
+    if not ranked:  # cannot happen while DIRECT is a candidate; be loud anyway
+        raise ConvConfigError(
+            f"no convolution algorithm eligible for {prob} "
+            f"under workspace limit {workspace_limit_bytes}; excluded: {excluded}"
+        )
+
+    if mode == "AUTO":
+        plan, y = _measure_plan(key, ranked, excluded, predictions, x, f, pad, stats)
+    else:
+        plan, y = _heuristic_plan(key, ranked, excluded, predictions, x, f, pad, stats)
+    _PLAN_CACHE[key] = plan
+    stats.record_choice(plan.algo)
+    return y
+
+
+def _measure_plan(key, ranked, excluded, predictions, x, f, pad, stats):
+    """AUTO: timed trials of every surviving candidate; keep the winner."""
+    trial_times: dict[str, float] = {}
+    best_algo = None
+    best_y = None
+    for algo in ranked:
+        t0 = time.perf_counter()
+        try:
+            y = _execute(algo, x, f, pad)
+        except ReproError as exc:
+            excluded[algo] = f"raised during trial: {exc}"
+            stats.record_error(algo)
+            stats.fallbacks += 1
+            continue
+        elapsed = time.perf_counter() - t0
+        trial_times[algo] = elapsed
+        stats.record_trial(algo, elapsed)
+        if best_algo is None or elapsed < trial_times[best_algo]:
+            best_algo, best_y = algo, y
+    if best_algo is None:
+        raise ConvConfigError(
+            f"every candidate algorithm failed for signature {key}; "
+            f"reasons: {excluded}"
+        )
+    order = sorted(trial_times, key=trial_times.__getitem__)
+    plan = ConvPlan(
+        key=key,
+        algo=best_algo,
+        fallbacks=tuple(a for a in order if a != best_algo),
+        source="measured",
+        trial_times=trial_times,
+        predicted_times=predictions,
+        excluded=excluded,
+    )
+    return plan, best_y
+
+
+def _heuristic_plan(key, ranked, excluded, predictions, x, f, pad, stats):
+    """AUTO_HEURISTIC: run the model's pick, falling through on failure."""
+    for i, algo in enumerate(ranked):
+        try:
+            y = _execute(algo, x, f, pad)
+        except ReproError as exc:
+            excluded[algo] = f"raised during dispatch: {exc}"
+            stats.record_error(algo)
+            stats.fallbacks += 1
+            continue
+        plan = ConvPlan(
+            key=key,
+            algo=algo,
+            fallbacks=tuple(ranked[i + 1:]),
+            source="heuristic",
+            predicted_times=predictions,
+            excluded=excluded,
+        )
+        return plan, y
+    raise ConvConfigError(
+        f"every candidate algorithm failed for signature {key}; "
+        f"reasons: {excluded}"
+    )
+
+
+def _run_plan(plan: ConvPlan, x, f, pad, stats) -> np.ndarray:
+    """Execute a cached plan, self-healing if its chosen algorithm raises."""
+    while True:
+        try:
+            return _execute(plan.algo, x, f, pad)
+        except ReproError as exc:
+            stats.record_error(plan.algo)
+            stats.fallbacks += 1
+            plan.excluded[plan.algo] = f"raised on cached dispatch: {exc}"
+            if not plan.fallbacks:
+                raise ConvConfigError(
+                    f"cached plan for {plan.key} exhausted every fallback; "
+                    f"reasons: {plan.excluded}"
+                ) from exc
+            plan.algo, plan.fallbacks = plan.fallbacks[0], plan.fallbacks[1:]
+            stats.record_choice(plan.algo)

@@ -1,0 +1,105 @@
+"""Observability for the autotuning dispatcher.
+
+One process-wide :class:`DispatchStats` accumulates per-call counters
+for every ``conv2d(algo="AUTO"/"AUTO_HEURISTIC")`` dispatch: plan-cache
+hits and misses, timed trials run (with per-algorithm wall times),
+algorithms chosen, candidates excluded by the workspace budget or shape
+restrictions, and runtime fallbacks taken when an algorithm raised.
+
+``get_dispatch_stats()`` returns an independent snapshot so callers can
+diff two readings without the dispatcher mutating their copy;
+``reset_dispatch_stats()`` zeroes the live counters (e.g. between
+benchmark phases).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+
+
+@dataclasses.dataclass
+class DispatchStats:
+    """Counters for the AUTO / AUTO_HEURISTIC dispatch paths.
+
+    Attributes
+    ----------
+    calls: dispatched ``conv2d`` invocations, keyed further by mode in
+        :attr:`calls_by_mode`.
+    cache_hits / cache_misses: plan-cache outcomes; a hit executes the
+        memoized plan and runs **zero** new trials.
+    trials_run: timed candidate executions performed by ``AUTO`` misses.
+    fallbacks: times a selected algorithm raised at execution and the
+        dispatcher fell through to the next candidate.
+    trial_times: per-algorithm wall-clock seconds of every trial run.
+    chosen: how often each algorithm ended up serving a call.
+    excluded: candidates rejected *before* execution (workspace budget
+        or unsupported shape), counted per algorithm.
+    errors: candidates that raised during execution, per algorithm.
+    """
+
+    calls: int = 0
+    calls_by_mode: dict[str, int] = dataclasses.field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    trials_run: int = 0
+    fallbacks: int = 0
+    trial_times: dict[str, list[float]] = dataclasses.field(default_factory=dict)
+    chosen: dict[str, int] = dataclasses.field(default_factory=dict)
+    excluded: dict[str, int] = dataclasses.field(default_factory=dict)
+    errors: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Recording (used by repro.convolution.autotune)
+    # ------------------------------------------------------------------
+    def record_call(self, mode: str) -> None:
+        self.calls += 1
+        self.calls_by_mode[mode] = self.calls_by_mode.get(mode, 0) + 1
+
+    def record_trial(self, algo: str, seconds: float) -> None:
+        self.trials_run += 1
+        self.trial_times.setdefault(algo, []).append(seconds)
+
+    def record_choice(self, algo: str) -> None:
+        self.chosen[algo] = self.chosen.get(algo, 0) + 1
+
+    def record_exclusion(self, algo: str) -> None:
+        self.excluded[algo] = self.excluded.get(algo, 0) + 1
+
+    def record_error(self, algo: str) -> None:
+        self.errors[algo] = self.errors.get(algo, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Plan-cache hit rate over all dispatched calls (0.0 when idle)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def mean_trial_time(self, algo: str) -> float:
+        times = self.trial_times.get(algo, [])
+        return sum(times) / len(times) if times else 0.0
+
+    def snapshot(self) -> "DispatchStats":
+        return copy.deepcopy(self)
+
+
+_STATS = DispatchStats()
+
+
+def live_dispatch_stats() -> DispatchStats:
+    """The mutable process-wide instance (for the dispatcher itself)."""
+    return _STATS
+
+
+def get_dispatch_stats() -> DispatchStats:
+    """An independent snapshot of the dispatch counters."""
+    return _STATS.snapshot()
+
+
+def reset_dispatch_stats() -> None:
+    """Zero every counter (the live object is replaced, not mutated)."""
+    global _STATS
+    _STATS = DispatchStats()

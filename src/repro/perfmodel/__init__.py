@@ -26,11 +26,26 @@ from .roofline import (
     roofline_table,
     transform_intensity,
 )
-from .workspace import ALGORITHM_WORKSPACE, workspace_mb
+from .selection import (
+    DISPATCH_CANDIDATES,
+    algorithm_supports,
+    direct_time,
+    fused_winograd_time,
+    predicted_time,
+    rank_algorithms,
+)
+from .workspace import (
+    ALGORITHM_WORKSPACE,
+    DISPATCH_WORKSPACE,
+    dispatch_workspace_bytes,
+    workspace_mb,
+)
 
 __all__ = [
     "ALGORITHM_WORKSPACE",
     "ALGO_ORDER",
+    "DISPATCH_CANDIDATES",
+    "DISPATCH_WORKSPACE",
     "CUDNN_ALGORITHMS",
     "LAYER_ORDER",
     "LayerPerformance",
@@ -41,17 +56,23 @@ __all__ = [
     "PAPER_TABLE2_V100",
     "PAPER_TABLE6",
     "RooflinePoint",
+    "algorithm_supports",
     "break_even_k",
     "clear_cache",
     "cudnn_time",
     "cudnn_winograd_time",
     "direct_conv_intensity",
+    "direct_time",
+    "dispatch_workspace_bytes",
     "faster_variant",
     "fused_time",
+    "fused_winograd_time",
     "gemm_step_intensity",
     "nonfused_time",
     "our_layer_performance",
     "paper_points",
+    "predicted_time",
+    "rank_algorithms",
     "roofline_table",
     "tile_overcompute",
     "transform_intensity",

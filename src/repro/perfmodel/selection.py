@@ -1,0 +1,140 @@
+"""Model-driven algorithm selection for the runtime dispatcher.
+
+This module is the analytical half of ``repro.convolution.autotune``: it
+reuses the calibrated cuDNN time models (Figs. 12-13) and the workspace
+formulas (Fig. 14) to answer, for an arbitrary :class:`ConvProblem`,
+
+* which dispatcher algorithms are *structurally* able to run it
+  (the fused paper kernel only implements 3×3/pad-1),
+* which of those fit inside a caller-supplied workspace budget
+  (the Fig. 14 workspace-limited selection, as a runtime component), and
+* in what order the surviving candidates should be tried (cheapest
+  predicted time first, ``DIRECT`` pinned last as the unconditional
+  fallback).
+
+It is intentionally free of any NumPy execution: everything here is
+closed-form so ``AUTO_HEURISTIC`` can pick an algorithm without touching
+the data, mirroring cuDNN's ``cudnnGetConvolutionForwardAlgorithm``
+(heuristic) vs ``cudnnFind...`` (measured) split.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ModelError
+from ..common.problem import ConvProblem
+from ..gpusim.arch import DeviceSpec
+from .breakeven import fused_time
+from .cudnn_model import (
+    _io_time,
+    fft_time,
+    fft_tiling_time,
+    gemm_time,
+    implicit_gemm_time,
+    implicit_precomp_gemm_time,
+    winograd_nonfused_time,
+)
+from .workspace import dispatch_workspace_bytes
+
+# Every algorithm the dispatcher may execute, in Fig. 12-14 column order.
+# ``DIRECT`` is the library's arithmetic ground truth: it has no
+# workspace, no shape restrictions, and therefore terminates every
+# fallback chain.
+DISPATCH_CANDIDATES = (
+    "WINOGRAD",
+    "WINOGRAD_NONFUSED",
+    "IMPLICIT_PRECOMP_GEMM",
+    "IMPLICIT_GEMM",
+    "GEMM",
+    "FFT",
+    "FFT_TILING",
+    "DIRECT",
+)
+
+# A shift-and-accumulate direct convolution runs one tap at a time with
+# no data reuse in registers; a small fraction of peak is generous.
+EFF_DIRECT = 0.10
+
+
+def direct_time(prob: ConvProblem, device: DeviceSpec) -> float:
+    """Model of the last-resort direct convolution (not a cuDNN column)."""
+    compute = prob.direct_flops / (EFF_DIRECT * device.peak_fp32_tflops * 1e12)
+    return max(compute, _io_time(prob, device))
+
+
+def fused_winograd_time(prob: ConvProblem, device: DeviceSpec) -> float:
+    """§8.1's idealized model of *this library's* fused F(2×2) kernel."""
+    return max(fused_time(prob, device), _io_time(prob, device))
+
+
+_TIME_MODELS = {
+    "DIRECT": direct_time,
+    "GEMM": gemm_time,
+    "IMPLICIT_GEMM": implicit_gemm_time,
+    "IMPLICIT_PRECOMP_GEMM": implicit_precomp_gemm_time,
+    "FFT": fft_time,
+    "FFT_TILING": fft_tiling_time,
+    "WINOGRAD": fused_winograd_time,
+    "WINOGRAD_NONFUSED": winograd_nonfused_time,
+}
+
+
+def predicted_time(prob: ConvProblem, device: DeviceSpec, algo: str) -> float:
+    """Predicted seconds for one forward pass of *algo* on *prob*."""
+    try:
+        fn = _TIME_MODELS[algo]
+    except KeyError:
+        raise ModelError(
+            f"no time model for dispatcher algorithm {algo!r}; "
+            f"choose from {sorted(_TIME_MODELS)}"
+        ) from None
+    return fn(prob, device)
+
+
+def algorithm_supports(algo: str, prob: ConvProblem) -> bool:
+    """Structural eligibility: can *algo* run this problem shape at all?
+
+    The two Winograd pipelines implement the paper's 3×3/pad-1 case only
+    (``conv2d`` raises ``ConvConfigError`` outside it); everything else
+    handles arbitrary R×S and padding.
+    """
+    if algo in ("WINOGRAD", "WINOGRAD_NONFUSED"):
+        return (prob.r, prob.s) == (3, 3) and prob.pad == 1
+    return algo in _TIME_MODELS
+
+
+def rank_algorithms(
+    prob: ConvProblem,
+    device: DeviceSpec,
+    workspace_limit_bytes: int | None = None,
+    candidates: tuple[str, ...] = DISPATCH_CANDIDATES,
+) -> tuple[list[str], dict[str, str]]:
+    """Order *candidates* for a problem under a workspace budget.
+
+    Returns ``(ranked, excluded)``: *ranked* is the eligible candidates
+    sorted by predicted time (``DIRECT`` always last, whatever its
+    prediction, so the fallback chain ends at the unconditional
+    algorithm), and *excluded* maps each rejected candidate to a
+    human-readable reason — the same bookkeeping the dispatcher surfaces
+    through ``get_dispatch_stats()``.
+    """
+    ranked: list[str] = []
+    excluded: dict[str, str] = {}
+    for algo in candidates:
+        if not algorithm_supports(algo, prob):
+            excluded[algo] = (
+                f"unsupported shape: {prob.r}x{prob.s}/pad={prob.pad} "
+                "(paper kernels implement 3x3/pad-1 only)"
+            )
+            continue
+        if workspace_limit_bytes is not None:
+            need = dispatch_workspace_bytes(prob, algo)
+            if need > workspace_limit_bytes:
+                excluded[algo] = (
+                    f"workspace {need} B exceeds limit {workspace_limit_bytes} B"
+                )
+                continue
+        ranked.append(algo)
+    ranked.sort(
+        key=lambda a: (a == "DIRECT", predicted_time(prob, device, a))
+    )
+    return ranked, excluded

@@ -74,6 +74,11 @@ def winograd_fused_workspace_bytes(prob: ConvProblem) -> int:
     return 16 * prob.k * prob.c * 4
 
 
+def direct_workspace_bytes(prob: ConvProblem) -> int:
+    """Shift-and-accumulate direct convolution allocates nothing."""
+    return 0
+
+
 ALGORITHM_WORKSPACE = {
     "FFT": fft_workspace_bytes,
     "FFT_TILING": fft_tiling_workspace_bytes,
@@ -84,6 +89,26 @@ ALGORITHM_WORKSPACE = {
     "OURS": winograd_fused_workspace_bytes,
 }
 
+# The same accounting keyed by the *dispatcher's* algorithm names
+# (repro.convolution.ALGORITHMS): the fused paper kernel is "WINOGRAD"
+# there, and DIRECT joins as the workspace-free last resort.  This is
+# the budget filter behind conv2d(..., workspace_limit_bytes=...).
+DISPATCH_WORKSPACE = {
+    "DIRECT": direct_workspace_bytes,
+    "GEMM": gemm_workspace_bytes,
+    "IMPLICIT_GEMM": implicit_gemm_workspace_bytes,
+    "IMPLICIT_PRECOMP_GEMM": implicit_precomp_gemm_workspace_bytes,
+    "FFT": fft_workspace_bytes,
+    "FFT_TILING": fft_tiling_workspace_bytes,
+    "WINOGRAD": winograd_fused_workspace_bytes,
+    "WINOGRAD_NONFUSED": winograd_nonfused_workspace_bytes,
+}
+
 
 def workspace_mb(prob: ConvProblem, algo: str) -> float:
     return ALGORITHM_WORKSPACE[algo](prob) / MB
+
+
+def dispatch_workspace_bytes(prob: ConvProblem, algo: str) -> int:
+    """Workspace for a dispatcher algorithm name (KeyError on unknown)."""
+    return DISPATCH_WORKSPACE[algo](prob)

@@ -54,6 +54,16 @@ class BlockConfig:
     def __post_init__(self) -> None:
         if self.bk <= 0 or self.bn <= 0 or self.bc <= 0:
             raise ConvConfigError("block sizes must be positive")
+        if self.threads <= 0:
+            raise ConvConfigError(
+                f"threads must be a positive thread count, got {self.threads}"
+            )
+        work = 16 * self.bk * self.bn * self.bc
+        if work % self.threads:
+            raise ConvConfigError(
+                f"threads={self.threads} must evenly divide the per-iteration "
+                f"FFMA work 16·bk·bn·bc = {work}"
+            )
 
     @property
     def output_tiles_per_block(self) -> int:

@@ -1,0 +1,283 @@
+"""The autotuning dispatcher: plan cache, workspace limits, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.common import (
+    ConvConfigError,
+    ConvProblem,
+    conv_tolerance,
+    make_rng,
+    random_activation,
+    random_filter,
+)
+from repro.convolution import (
+    clear_plan_cache,
+    conv2d,
+    get_algorithm,
+    get_dispatch_stats,
+    get_plan_cache,
+    reset_dispatch_stats,
+)
+from repro.gpusim import RTX2070, V100
+from repro.perfmodel import (
+    DISPATCH_CANDIDATES,
+    algorithm_supports,
+    dispatch_workspace_bytes,
+    predicted_time,
+    rank_algorithms,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_dispatcher():
+    reset_dispatch_stats()
+    clear_plan_cache()
+    yield
+    reset_dispatch_stats()
+    clear_plan_cache()
+
+
+def _data(prob, seed=0):
+    rng = make_rng(seed)
+    return random_activation(prob, rng), random_filter(prob, rng)
+
+
+# ---------------------------------------------------------------------------
+# Selection model (perfmodel.selection)
+# ---------------------------------------------------------------------------
+def test_rank_orders_by_predicted_time_direct_last():
+    prob = ConvProblem(n=4, c=16, h=14, w=14, k=32)
+    ranked, excluded = rank_algorithms(prob, V100)
+    assert not excluded
+    assert ranked[-1] == "DIRECT"
+    times = [predicted_time(prob, V100, a) for a in ranked[:-1]]
+    assert times == sorted(times)
+
+
+def test_rank_workspace_budget_excludes():
+    prob = ConvProblem(n=4, c=16, h=14, w=14, k=32)
+    ranked, excluded = rank_algorithms(prob, V100, workspace_limit_bytes=0)
+    assert set(ranked) == {"IMPLICIT_GEMM", "DIRECT"}
+    assert "FFT" in excluded and "workspace" in excluded["FFT"]
+    for algo in ranked:
+        assert dispatch_workspace_bytes(prob, algo) == 0
+
+
+def test_rank_structural_exclusion_5x5():
+    prob = ConvProblem(n=1, c=4, h=10, w=10, k=4, r=5, s=5, pad=2)
+    ranked, excluded = rank_algorithms(prob, RTX2070)
+    assert "WINOGRAD" not in ranked and "WINOGRAD_NONFUSED" not in ranked
+    assert not algorithm_supports("WINOGRAD", prob)
+    assert "unsupported" in excluded["WINOGRAD"]
+    assert ranked[-1] == "DIRECT"
+
+
+def test_every_candidate_has_workspace_and_time_models():
+    prob = ConvProblem(n=2, c=8, h=8, w=8, k=8)
+    for algo in DISPATCH_CANDIDATES:
+        assert dispatch_workspace_bytes(prob, algo) >= 0
+        assert predicted_time(prob, V100, algo) > 0
+
+
+# ---------------------------------------------------------------------------
+# AUTO: trials + plan cache
+# ---------------------------------------------------------------------------
+def test_auto_matches_reference_and_caches():
+    prob = ConvProblem(n=2, c=8, h=12, w=10, k=6)
+    x, f = _data(prob, seed=7)
+    ref = conv2d(x, f, algo="WINOGRAD_REFERENCE")
+
+    y = conv2d(x, f, algo="AUTO")
+    np.testing.assert_allclose(y, ref, atol=conv_tolerance(prob) * 4)
+    first = get_dispatch_stats()
+    assert first.cache_misses == 1 and first.cache_hits == 0
+    assert first.trials_run > 0
+
+    y2 = conv2d(x, f, algo="AUTO")
+    np.testing.assert_allclose(y2, ref, atol=conv_tolerance(prob) * 4)
+    second = get_dispatch_stats()
+    assert second.cache_hits == 1
+    assert second.trials_run == first.trials_run  # zero new trials on a hit
+    assert second.hit_rate == 0.5
+
+    (plan,) = get_plan_cache().values()
+    assert plan.source == "measured"
+    assert plan.hits == 1
+    assert plan.algo in plan.trial_times
+    assert sum(second.chosen.values()) == 1  # chosen counted once per miss
+
+
+def test_auto_trials_cover_all_eligible_algorithms():
+    prob = ConvProblem(n=1, c=4, h=8, w=8, k=4)
+    x, f = _data(prob)
+    conv2d(x, f, algo="AUTO")
+    stats = get_dispatch_stats()
+    # All 8 concrete candidates run a trial on a 3×3/pad-1 shape.
+    assert sorted(stats.trial_times) == sorted(DISPATCH_CANDIDATES)
+    assert stats.trials_run == len(DISPATCH_CANDIDATES)
+
+
+def test_auto_distinct_signatures_miss_separately():
+    p1 = ConvProblem(n=1, c=4, h=8, w=8, k=4)
+    p2 = ConvProblem(n=2, c=4, h=8, w=8, k=4)  # batch differs → new key
+    x1, f1 = _data(p1)
+    x2, f2 = _data(p2)
+    conv2d(x1, f1, algo="AUTO")
+    conv2d(x2, f2, algo="AUTO")
+    stats = get_dispatch_stats()
+    assert stats.cache_misses == 2 and stats.cache_hits == 0
+    assert len(get_plan_cache()) == 2
+
+
+def test_auto_workspace_limit_zero_still_correct():
+    prob = ConvProblem(n=2, c=6, h=9, w=9, k=5)
+    x, f = _data(prob, seed=3)
+    y = conv2d(x, f, algo="AUTO", workspace_limit_bytes=0)
+    np.testing.assert_allclose(
+        y, conv2d(x, f, algo="DIRECT"), atol=conv_tolerance(prob) * 4
+    )
+    (plan,) = get_plan_cache().values()
+    assert plan.algo in ("IMPLICIT_GEMM", "DIRECT")
+    stats = get_dispatch_stats()
+    assert stats.excluded.get("FFT") == 1
+    assert stats.excluded.get("WINOGRAD") == 1  # 0.25 MB filter workspace
+
+
+def test_auto_workspace_limit_is_part_of_the_key():
+    prob = ConvProblem(n=1, c=4, h=8, w=8, k=4)
+    x, f = _data(prob)
+    conv2d(x, f, algo="AUTO")
+    conv2d(x, f, algo="AUTO", workspace_limit_bytes=0)
+    assert get_dispatch_stats().cache_misses == 2
+
+
+def test_auto_5x5_falls_through_winograd():
+    """The fused kernel can't run 5×5; the dispatcher must still answer."""
+    prob = ConvProblem(n=1, c=3, h=10, w=10, k=2, r=5, s=5, pad=2)
+    x, f = _data(prob, seed=11)
+    y = conv2d(x, f, pad=2, algo="AUTO")
+    np.testing.assert_allclose(
+        y, conv2d(x, f, pad=2, algo="DIRECT"), atol=conv_tolerance(prob) * 4
+    )
+    stats = get_dispatch_stats()
+    assert stats.excluded.get("WINOGRAD") == 1
+    assert stats.excluded.get("WINOGRAD_NONFUSED") == 1
+    (plan,) = get_plan_cache().values()
+    assert plan.algo not in ("WINOGRAD", "WINOGRAD_NONFUSED")
+
+
+def test_negative_workspace_limit_rejected():
+    prob = ConvProblem(n=1, c=2, h=6, w=6, k=2)
+    x, f = _data(prob)
+    with pytest.raises(ConvConfigError):
+        conv2d(x, f, algo="AUTO", workspace_limit_bytes=-1)
+
+
+def test_workspace_limit_rejected_for_explicit_algo():
+    prob = ConvProblem(n=1, c=2, h=6, w=6, k=2)
+    x, f = _data(prob)
+    with pytest.raises(ConvConfigError):
+        conv2d(x, f, algo="GEMM", workspace_limit_bytes=1 << 20)
+
+
+# ---------------------------------------------------------------------------
+# AUTO_HEURISTIC: model-driven, no trials
+# ---------------------------------------------------------------------------
+def test_heuristic_runs_zero_trials():
+    prob = ConvProblem(n=2, c=8, h=12, w=12, k=8)
+    x, f = _data(prob, seed=5)
+    y = conv2d(x, f, algo="AUTO_HEURISTIC")
+    np.testing.assert_allclose(
+        y, conv2d(x, f, algo="WINOGRAD_REFERENCE"), atol=conv_tolerance(prob) * 4
+    )
+    stats = get_dispatch_stats()
+    assert stats.trials_run == 0
+    (plan,) = get_plan_cache().values()
+    assert plan.source == "heuristic"
+    assert plan.predicted_times  # the ranking that justified the choice
+
+
+def test_heuristic_device_affects_the_key():
+    prob = ConvProblem(n=1, c=4, h=8, w=8, k=4)
+    x, f = _data(prob)
+    conv2d(x, f, algo="AUTO_HEURISTIC", device=V100)
+    conv2d(x, f, algo="AUTO_HEURISTIC", device=RTX2070)
+    assert get_dispatch_stats().cache_misses == 2
+
+
+def test_heuristic_and_auto_have_separate_plans():
+    prob = ConvProblem(n=1, c=4, h=8, w=8, k=4)
+    x, f = _data(prob)
+    conv2d(x, f, algo="AUTO_HEURISTIC")
+    conv2d(x, f, algo="AUTO")
+    stats = get_dispatch_stats()
+    assert stats.cache_misses == 2
+    assert stats.calls_by_mode == {"AUTO_HEURISTIC": 1, "AUTO": 1}
+
+
+# ---------------------------------------------------------------------------
+# Satellite: cross-algorithm agreement on non-square / asymmetric tails,
+# driven through AUTO so every eligible algorithm is exercised.
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "prob",
+    [
+        ConvProblem(n=2, c=5, h=9, w=7, k=6),    # H≠W, both tails odd
+        ConvProblem(n=1, c=8, h=11, w=6, k=4),   # odd H tail, even W
+        ConvProblem(n=3, c=4, h=6, w=13, k=5),   # tail only along W
+        ConvProblem(n=2, c=7, h=5, w=5, k=9),    # tiny, both dims tailed
+    ],
+    ids=lambda p: f"{p.h}x{p.w}",
+)
+def test_auto_trials_agree_on_nonsquare_tails(prob):
+    x, f = _data(prob, seed=prob.h * 100 + prob.w)
+    ref = conv2d(x, f, algo="WINOGRAD_REFERENCE")
+    y = conv2d(x, f, algo="AUTO")
+    np.testing.assert_allclose(y, ref, atol=conv_tolerance(prob) * 4)
+    stats = get_dispatch_stats()
+    # Every structurally eligible algorithm ran a trial; the winner's
+    # output was returned, so each trial's correctness is load-bearing —
+    # verify them all explicitly against the oracle.
+    assert sorted(stats.trial_times) == sorted(DISPATCH_CANDIDATES)
+    for algo in stats.trial_times:
+        np.testing.assert_allclose(
+            conv2d(x, f, algo=algo),
+            ref,
+            atol=conv_tolerance(prob) * 8,
+            err_msg=algo,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Metrics API
+# ---------------------------------------------------------------------------
+def test_stats_snapshot_is_independent():
+    prob = ConvProblem(n=1, c=2, h=6, w=6, k=2)
+    x, f = _data(prob)
+    before = get_dispatch_stats()
+    conv2d(x, f, algo="AUTO")
+    assert before.calls == 0  # snapshot unaffected by later dispatches
+    after = get_dispatch_stats()
+    after.trial_times.clear()
+    assert get_dispatch_stats().trial_times  # live stats unaffected
+
+
+def test_reset_dispatch_stats():
+    prob = ConvProblem(n=1, c=2, h=6, w=6, k=2)
+    x, f = _data(prob)
+    conv2d(x, f, algo="AUTO")
+    assert get_dispatch_stats().calls == 1
+    reset_dispatch_stats()
+    stats = get_dispatch_stats()
+    assert stats.calls == 0 and stats.trials_run == 0 and stats.hit_rate == 0.0
+
+
+def test_get_algorithm_auto_curried():
+    prob = ConvProblem(n=1, c=2, h=6, w=6, k=2)
+    x, f = _data(prob)
+    fn = get_algorithm("AUTO")
+    assert fn.__name__ == "conv2d_auto"
+    np.testing.assert_allclose(
+        fn(x, f), conv2d(x, f, algo="DIRECT"), atol=conv_tolerance(prob) * 4
+    )

@@ -97,3 +97,55 @@ def test_get_algorithm_curried():
     fn = get_algorithm("GEMM")
     assert fn.__name__ == "conv2d_gemm"
     np.testing.assert_allclose(fn(x, f), conv2d(x, f, algo="GEMM"))
+
+
+def test_get_algorithm_carries_metadata():
+    fn = get_algorithm("fft")
+    assert fn.__name__ == "conv2d_fft"
+    assert fn.__qualname__ == "conv2d_fft"
+    assert fn.__doc__ and "FFT" in fn.__doc__
+    assert fn.algo == "FFT"
+    assert fn.__wrapped__ is conv2d
+
+
+def test_get_algorithm_rejects_unknown_eagerly():
+    with pytest.raises(ConvConfigError):
+        get_algorithm("MAGIC")
+
+
+# ---------------------------------------------------------------------------
+# Input validation (errors raised at the call site, not deep in NumPy)
+# ---------------------------------------------------------------------------
+def test_conv2d_rejects_non_4d_input():
+    f = np.zeros((2, 3, 3, 3), dtype=np.float32)
+    with pytest.raises(ConvConfigError, match="4-D NCHW"):
+        conv2d(np.zeros((3, 8, 8), dtype=np.float32), f)
+    with pytest.raises(ConvConfigError, match="4-D KCRS"):
+        conv2d(
+            np.zeros((1, 3, 8, 8), dtype=np.float32),
+            np.zeros((3, 3, 3), dtype=np.float32),
+        )
+
+
+def test_conv2d_rejects_channel_mismatch_with_shapes_in_message():
+    x = np.zeros((1, 4, 8, 8), dtype=np.float32)
+    f = np.zeros((2, 3, 3, 3), dtype=np.float32)
+    with pytest.raises(ConvConfigError, match=r"C=4.*C=3") as exc:
+        conv2d(x, f)
+    assert "(1, 4, 8, 8)" in str(exc.value) and "(2, 3, 3, 3)" in str(exc.value)
+
+
+def test_conv2d_rejects_negative_pad():
+    x = np.zeros((1, 2, 8, 8), dtype=np.float32)
+    f = np.zeros((2, 2, 3, 3), dtype=np.float32)
+    with pytest.raises(ConvConfigError, match="pad"):
+        conv2d(x, f, pad=-1)
+    with pytest.raises(ConvConfigError, match="pad"):
+        conv2d(x, f, pad=1.5)
+
+
+def test_conv2d_rejects_oversized_filter():
+    x = np.zeros((1, 2, 4, 4), dtype=np.float32)
+    f = np.zeros((2, 2, 7, 7), dtype=np.float32)
+    with pytest.raises(ConvConfigError, match="does not fit"):
+        conv2d(x, f, pad=0, algo="DIRECT")

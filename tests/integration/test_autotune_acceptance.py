@@ -1,0 +1,75 @@
+"""Acceptance: AUTO serves every Table 1 layer shape, and falls back.
+
+The issue's acceptance criteria, verbatim: ``conv2d(x, f, algo="AUTO")``
+matches ``WINOGRAD_REFERENCE`` within ``conv_tolerance`` on all Table 1
+ResNet layers *and* on a shape the fused kernel cannot run (5×5
+filter), and a repeated call on the same signature is a plan-cache hit
+with zero new trials per ``get_dispatch_stats()``.
+
+Layers run at a reduced batch (N=2): batch size changes the trial cost,
+not which code paths the dispatcher exercises — the layer shapes (C, H,
+W, K) are Table 1's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common import ConvProblem, conv_tolerance, make_rng, random_activation, random_filter
+from repro.convolution import (
+    clear_plan_cache,
+    conv2d,
+    get_dispatch_stats,
+    reset_dispatch_stats,
+)
+from repro.models.resnet import RESNET_LAYER_SHAPES
+
+
+@pytest.fixture(autouse=True)
+def _fresh_dispatcher():
+    reset_dispatch_stats()
+    clear_plan_cache()
+    yield
+    reset_dispatch_stats()
+    clear_plan_cache()
+
+
+@pytest.mark.parametrize("layer", sorted(RESNET_LAYER_SHAPES))
+def test_auto_on_table1_layers_with_cache_hit(layer):
+    shape = RESNET_LAYER_SHAPES[layer]
+    prob = ConvProblem(n=2, r=3, s=3, pad=1, name=f"{layer}N2", **shape)
+    rng = make_rng(99)
+    x, f = random_activation(prob, rng), random_filter(prob, rng)
+    ref = conv2d(x, f, algo="WINOGRAD_REFERENCE")
+
+    y = conv2d(x, f, algo="AUTO")
+    np.testing.assert_allclose(y, ref, atol=conv_tolerance(prob) * 4)
+    first = get_dispatch_stats()
+    assert first.cache_misses == 1
+    assert first.trials_run > 0
+
+    # Same signature again: a plan-cache hit with zero new trials.
+    y2 = conv2d(x, f, algo="AUTO")
+    np.testing.assert_allclose(y2, ref, atol=conv_tolerance(prob) * 4)
+    second = get_dispatch_stats()
+    assert second.cache_hits == 1
+    assert second.trials_run == first.trials_run
+
+
+def test_auto_5x5_fallback_past_the_fused_kernel():
+    prob = ConvProblem(n=2, c=8, h=12, w=12, k=4, r=5, s=5, pad=2)
+    rng = make_rng(7)
+    x, f = random_activation(prob, rng), random_filter(prob, rng)
+
+    y = conv2d(x, f, pad=2, algo="AUTO")
+    ref = conv2d(x, f, pad=2, algo="DIRECT")
+    np.testing.assert_allclose(y, ref, atol=conv_tolerance(prob) * 4)
+
+    stats = get_dispatch_stats()
+    assert stats.excluded.get("WINOGRAD") == 1
+    assert stats.excluded.get("WINOGRAD_NONFUSED") == 1
+
+    y2 = conv2d(x, f, pad=2, algo="AUTO")
+    np.testing.assert_allclose(y2, ref, atol=conv_tolerance(prob) * 4)
+    after = get_dispatch_stats()
+    assert after.cache_hits == 1
+    assert after.trials_run == stats.trials_run

@@ -99,6 +99,22 @@ def test_block_config_rejects_nonpositive():
         BlockConfig(bk=0)
 
 
+def test_block_config_rejects_nonpositive_threads():
+    with pytest.raises(ConvConfigError):
+        BlockConfig(threads=0)
+    with pytest.raises(ConvConfigError):
+        BlockConfig(threads=-32)
+
+
+def test_block_config_rejects_threads_not_dividing_ffma_work():
+    # 16·bk·bn·bc = 262144 at the paper's blocking; 96 does not divide it
+    # and would make ffma_per_thread_per_iter lie (integer truncation).
+    with pytest.raises(ConvConfigError):
+        BlockConfig(threads=96)
+    # Divisor counts stay accepted, and the accounting stays exact.
+    assert BlockConfig(threads=128).ffma_per_thread_per_iter == 2048
+
+
 # ---------------------------------------------------------------------------
 # Stats and workload accounting
 # ---------------------------------------------------------------------------
