@@ -7,7 +7,13 @@ computation to pytest-benchmark.
 
 Simulator measurements are cached at module level so a full
 ``pytest benchmarks/ --benchmark-only`` run re-uses each main-loop /
-layer-model simulation instead of repeating it per figure.
+layer-model simulation instead of repeating it per figure.  The memo is
+keyed by the canonical ``(device, Tunables)`` pair — sweeps that spell
+the same configuration differently (``yield_strategy="natural"`` vs the
+default) share one measurement — and can be pre-warmed through the
+``benchmarks/parallel.py`` process pool (``prewarm_*`` below), with the
+persistent simulation cache (``repro.kernels.get_sim_cache_stats``)
+making repeated sweeps nearly free.
 """
 
 from __future__ import annotations
@@ -18,11 +24,13 @@ import os
 import re
 import sys
 
+import parallel
 from repro.common import format_table
 from repro.gpusim import RTX2070, V100
 from repro.kernels import Tunables, measure_main_loop
 from repro.models import paper_layers
 from repro.perfmodel import cudnn_time, our_layer_performance
+from repro.perfmodel.layer_model import prime_measurement_cache
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -34,13 +42,53 @@ DEVICES = {"V100": V100, "RTX2070": RTX2070}
 # grid utilization (tail waves) and iteration counts.
 from repro.perfmodel.layer_model import _SURROGATE  # noqa: E402
 
+# (device name, Tunables) → MainLoopMeasurement.  A dict rather than an
+# lru_cache so the parallel prewarm can seed it with worker results.
+_MEASUREMENTS: dict = {}
 
-@functools.lru_cache(maxsize=None)
+
+def seed_main_loop_measurement(device_name: str, tunables: Tunables, meas) -> None:
+    _MEASUREMENTS[(device_name, tunables)] = meas
+
+
 def main_loop_measurement(device_name: str, **tunable_kwargs):
-    device = DEVICES[device_name]
-    surrogate = _SURROGATE
     tunables = Tunables(**dict(tunable_kwargs))
-    return measure_main_loop(surrogate, device=device, tunables=tunables)
+    key = (device_name, tunables)
+    if key not in _MEASUREMENTS:
+        _MEASUREMENTS[key] = measure_main_loop(
+            _SURROGATE, device=DEVICES[device_name], tunables=tunables
+        )
+    return _MEASUREMENTS[key]
+
+
+def prewarm_main_loop_measurements(device_name: str, variant_kwargs) -> int:
+    """Fan the not-yet-measured variants out over the process pool.
+
+    ``variant_kwargs`` is an iterable of tunable-kwargs dicts (the values
+    of a sweep's ``variants`` mapping).  Distinct spellings of the same
+    ``Tunables`` dedupe to one task; results seed the measurement memo
+    in deterministic order.  Returns the number of tasks computed.
+    """
+    pending: list = []
+    for kwargs in variant_kwargs:
+        tunables = Tunables(**dict(kwargs))
+        key = (device_name, tunables)
+        if key not in _MEASUREMENTS and (device_name, tunables) not in pending:
+            pending.append((device_name, tunables))
+    results = parallel.parallel_map(parallel.main_loop_worker, pending)
+    for (dev, tunables), meas in zip(pending, results):
+        seed_main_loop_measurement(dev, tunables, meas)
+    return len(pending)
+
+
+def prewarm_layer_measurements(device_names, tunables: Tunables | None = None) -> int:
+    """Fan the per-device layer-model measurement triples out in parallel."""
+    tunables = tunables or Tunables()
+    pending = [(name, tunables) for name in device_names]
+    results = parallel.parallel_map(parallel.layer_measurements_worker, pending)
+    for (name, tun), (main, overhead, overhead_fma) in zip(pending, results):
+        prime_measurement_cache(name, tun, main, overhead, overhead_fma)
+    return len(pending)
 
 
 @functools.lru_cache(maxsize=None)
@@ -55,9 +103,11 @@ def cudnn_layer_time(layer_name: str, device_name: str, algo: str) -> float:
     return cudnn_time(prob, DEVICES[device_name], algo)
 
 
-def grid_utilization(prob, device, tunables=Tunables()):
+def grid_utilization(prob, device, tunables: Tunables | None = None):
     """Tail-wave utilization of the fused kernel's launch (Figs. 7-11)."""
     import math
+
+    tunables = tunables or Tunables()
 
     from repro.kernels import WinogradF22Kernel
 

@@ -8,11 +8,18 @@ from .autotune import (
     autotune_conv2d,
     clear_plan_cache,
     get_plan_cache,
+    set_plan_cache_limit,
 )
 from .direct import direct_conv2d, direct_conv2d_naive
 from .fft import FftRunStats, fft_conv2d, fft_tiling_conv2d
 from .im2col import GemmRunStats, gemm_conv2d, im2col, implicit_gemm_conv2d
-from .metrics import DispatchStats, get_dispatch_stats, reset_dispatch_stats
+from .metrics import (
+    TRIAL_HISTORY_CAP,
+    DispatchStats,
+    TrialAggregate,
+    get_dispatch_stats,
+    reset_dispatch_stats,
+)
 
 __all__ = [
     "ALGORITHMS",
@@ -23,6 +30,8 @@ __all__ = [
     "GemmRunStats",
     "META_ALGORITHMS",
     "PlanKey",
+    "TRIAL_HISTORY_CAP",
+    "TrialAggregate",
     "autotune_conv2d",
     "clear_plan_cache",
     "conv2d",
@@ -37,4 +46,5 @@ __all__ = [
     "im2col",
     "implicit_gemm_conv2d",
     "reset_dispatch_stats",
+    "set_plan_cache_limit",
 ]

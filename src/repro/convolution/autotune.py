@@ -30,7 +30,10 @@ observable through :func:`repro.convolution.get_dispatch_stats`.
 
 from __future__ import annotations
 
+import collections
+import copy
 import dataclasses
+import threading
 import time
 
 import numpy as np
@@ -97,16 +100,61 @@ class ConvPlan:
     hits: int = 0
 
 
-_PLAN_CACHE: dict[PlanKey, ConvPlan] = {}
+# The live plan cache: LRU-ordered, guarded by a lock (conv2d may be
+# called from worker threads), bounded so a long-lived process serving
+# arbitrary shapes cannot grow it without limit.  Plans are published
+# whole — the self-heal path in :func:`_run_plan` replaces an entry
+# with a fresh ``ConvPlan`` instead of mutating the cached one.
+_PLAN_CACHE: collections.OrderedDict[PlanKey, ConvPlan] = collections.OrderedDict()
+_PLAN_LOCK = threading.RLock()
+_PLAN_CACHE_MAX = 256
 
 
 def get_plan_cache() -> dict[PlanKey, ConvPlan]:
-    """A shallow copy of the live plan cache (keys → plans)."""
-    return dict(_PLAN_CACHE)
+    """A deep-copied snapshot of the plan cache (keys → plans).
+
+    Deep-copied so the returned plans never alias the live entries: the
+    dispatcher may heal or evict concurrently, and callers may freely
+    poke at the snapshot without corrupting future dispatches.
+    """
+    with _PLAN_LOCK:
+        return copy.deepcopy(dict(_PLAN_CACHE))
 
 
 def clear_plan_cache() -> None:
-    _PLAN_CACHE.clear()
+    with _PLAN_LOCK:
+        _PLAN_CACHE.clear()
+
+
+def set_plan_cache_limit(max_entries: int) -> None:
+    """Bound the plan cache (oldest entries evict first); min 1."""
+    global _PLAN_CACHE_MAX
+    if max_entries < 1:
+        raise ConvConfigError(f"plan cache limit must be >= 1, got {max_entries}")
+    with _PLAN_LOCK:
+        _PLAN_CACHE_MAX = max_entries
+        _evict_over_limit()
+
+
+def _evict_over_limit() -> None:
+    while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+        _PLAN_CACHE.popitem(last=False)
+        live_dispatch_stats().plan_evictions += 1
+
+
+def _cache_lookup(key: PlanKey) -> ConvPlan | None:
+    with _PLAN_LOCK:
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            _PLAN_CACHE.move_to_end(key)
+        return plan
+
+
+def _cache_store(key: PlanKey, plan: ConvPlan) -> None:
+    with _PLAN_LOCK:
+        _PLAN_CACHE[key] = plan
+        _PLAN_CACHE.move_to_end(key)
+        _evict_over_limit()
 
 
 def _default_device():
@@ -163,7 +211,7 @@ def autotune_conv2d(
         prob, np.result_type(x, f), workspace_limit_bytes, device.name, mode
     )
 
-    plan = _PLAN_CACHE.get(key)
+    plan = _cache_lookup(key)
     if plan is not None:
         stats.cache_hits += 1
         plan.hits += 1
@@ -185,7 +233,7 @@ def autotune_conv2d(
         plan, y = _measure_plan(key, ranked, excluded, predictions, x, f, pad, stats)
     else:
         plan, y = _heuristic_plan(key, ranked, excluded, predictions, x, f, pad, stats)
-    _PLAN_CACHE[key] = plan
+    _cache_store(key, plan)
     stats.record_choice(plan.algo)
     return y
 
@@ -253,18 +301,49 @@ def _heuristic_plan(key, ranked, excluded, predictions, x, f, pad, stats):
 
 
 def _run_plan(plan: ConvPlan, x, f, pad, stats) -> np.ndarray:
-    """Execute a cached plan, self-healing if its chosen algorithm raises."""
+    """Execute a cached plan, self-healing if its chosen algorithm raises.
+
+    Healing never mutates the cached ``ConvPlan``: new exclusions are
+    collected locally and a *replacement* plan is published to the cache
+    once the promoted algorithm is known, so snapshots taken earlier (or
+    concurrently, from other threads) stay internally consistent.
+    """
+    algo, fallbacks = plan.algo, plan.fallbacks
+    new_exclusions: dict[str, str] = {}
     while True:
         try:
-            return _execute(plan.algo, x, f, pad)
+            y = _execute(algo, x, f, pad)
         except ReproError as exc:
-            stats.record_error(plan.algo)
+            stats.record_error(algo)
             stats.fallbacks += 1
-            plan.excluded[plan.algo] = f"raised on cached dispatch: {exc}"
-            if not plan.fallbacks:
+            new_exclusions[algo] = f"raised on cached dispatch: {exc}"
+            if not fallbacks:
+                _publish_healed(plan, algo, fallbacks, new_exclusions)
                 raise ConvConfigError(
                     f"cached plan for {plan.key} exhausted every fallback; "
-                    f"reasons: {plan.excluded}"
+                    f"reasons: {dict(plan.excluded, **new_exclusions)}"
                 ) from exc
-            plan.algo, plan.fallbacks = plan.fallbacks[0], plan.fallbacks[1:]
-            stats.record_choice(plan.algo)
+            algo, fallbacks = fallbacks[0], fallbacks[1:]
+            stats.record_choice(algo)
+            continue
+        if algo != plan.algo:
+            _publish_healed(plan, algo, fallbacks, new_exclusions)
+        return y
+
+
+def _publish_healed(
+    plan: ConvPlan, algo: str, fallbacks: tuple[str, ...],
+    new_exclusions: dict[str, str],
+) -> None:
+    """Replace the cached entry with a healed copy of *plan*."""
+    healed = ConvPlan(
+        key=plan.key,
+        algo=algo,
+        fallbacks=fallbacks,
+        source=plan.source,
+        trial_times=dict(plan.trial_times),
+        predicted_times=dict(plan.predicted_times),
+        excluded=dict(plan.excluded, **new_exclusions),
+        hits=plan.hits,
+    )
+    _cache_store(plan.key, healed)

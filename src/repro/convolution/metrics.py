@@ -17,6 +17,31 @@ from __future__ import annotations
 import copy
 import dataclasses
 
+# Per-algorithm trial history is capped: a long-lived process autotuning
+# many shapes must not accumulate one float per trial forever.  Running
+# aggregates (count/sum/min/max) keep full-precision statistics.
+TRIAL_HISTORY_CAP = 32
+
+
+@dataclasses.dataclass
+class TrialAggregate:
+    """Running aggregate of one algorithm's trial wall-times (never trimmed)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
 
 @dataclasses.dataclass
 class DispatchStats:
@@ -28,10 +53,16 @@ class DispatchStats:
         :attr:`calls_by_mode`.
     cache_hits / cache_misses: plan-cache outcomes; a hit executes the
         memoized plan and runs **zero** new trials.
+    plan_evictions: plans dropped by the plan cache's size bound.
     trials_run: timed candidate executions performed by ``AUTO`` misses.
     fallbacks: times a selected algorithm raised at execution and the
         dispatcher fell through to the next candidate.
-    trial_times: per-algorithm wall-clock seconds of every trial run.
+    trial_times: per-algorithm wall-clock seconds of *recent* trials
+        (the newest :data:`TRIAL_HISTORY_CAP` per algorithm; the
+        unbounded history lives on only as :attr:`trial_stats`
+        aggregates so long-lived processes don't leak).
+    trial_stats: per-algorithm running count/sum/min/max over **all**
+        trials ever run, regardless of the history cap.
     chosen: how often each algorithm ended up serving a call.
     excluded: candidates rejected *before* execution (workspace budget
         or unsupported shape), counted per algorithm.
@@ -42,9 +73,11 @@ class DispatchStats:
     calls_by_mode: dict[str, int] = dataclasses.field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
+    plan_evictions: int = 0
     trials_run: int = 0
     fallbacks: int = 0
     trial_times: dict[str, list[float]] = dataclasses.field(default_factory=dict)
+    trial_stats: dict[str, TrialAggregate] = dataclasses.field(default_factory=dict)
     chosen: dict[str, int] = dataclasses.field(default_factory=dict)
     excluded: dict[str, int] = dataclasses.field(default_factory=dict)
     errors: dict[str, int] = dataclasses.field(default_factory=dict)
@@ -58,7 +91,10 @@ class DispatchStats:
 
     def record_trial(self, algo: str, seconds: float) -> None:
         self.trials_run += 1
-        self.trial_times.setdefault(algo, []).append(seconds)
+        history = self.trial_times.setdefault(algo, [])
+        history.append(seconds)
+        del history[:-TRIAL_HISTORY_CAP]
+        self.trial_stats.setdefault(algo, TrialAggregate()).record(seconds)
 
     def record_choice(self, algo: str) -> None:
         self.chosen[algo] = self.chosen.get(algo, 0) + 1
@@ -79,8 +115,11 @@ class DispatchStats:
         return self.cache_hits / total if total else 0.0
 
     def mean_trial_time(self, algo: str) -> float:
-        times = self.trial_times.get(algo, [])
-        return sum(times) / len(times) if times else 0.0
+        """Mean over *all* trials ever run (from the running aggregates,
+        so the answer is exact even after the recent-history cap trims
+        :attr:`trial_times`)."""
+        agg = self.trial_stats.get(algo)
+        return agg.mean if agg else 0.0
 
     def snapshot(self) -> "DispatchStats":
         return copy.deepcopy(self)

@@ -10,8 +10,10 @@ from .counters import Counters
 from .engine import ExecResult, ExecutionContext, execute
 from .launch import (
     LaunchResult,
+    PreparedKernel,
     build_const_bank,
     estimate_grid_time,
+    prepare_kernel,
     run_grid,
     simulate_resident_blocks,
 )
@@ -35,6 +37,7 @@ __all__ = [
     "ExecutionContext",
     "GlobalMemory",
     "LaunchResult",
+    "PreparedKernel",
     "ProfileReport",
     "ProfileSection",
     "RTX2070",
@@ -48,6 +51,7 @@ __all__ = [
     "coalesced_sectors",
     "estimate_grid_time",
     "execute",
+    "prepare_kernel",
     "profile_report",
     "run_grid",
     "simulate_resident_blocks",

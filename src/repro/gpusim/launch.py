@@ -36,12 +36,37 @@ from .sm import BlockSpec, SMSimulator
 CONST_BANK_BYTES = 4096
 
 
-def _kernel_parts(kernel) -> tuple[KernelMeta, list]:
+@dataclasses.dataclass
+class PreparedKernel:
+    """A kernel with its launchable parts resolved exactly once.
+
+    ``run_grid`` / ``simulate_resident_blocks`` accept this wherever they
+    accept an :class:`AssembledKernel` or :class:`LoadedCubin`; preparing
+    a kernel up front lets callers launch the same object many times
+    without re-decoding cubin instructions or re-validating the type per
+    call (the build-once/run-many path used by the kernel build cache).
+    The simulator never mutates instructions, so one prepared kernel may
+    be shared by any number of sequential or threaded launches.
+    """
+
+    meta: KernelMeta
+    instructions: list
+
+
+def prepare_kernel(kernel) -> PreparedKernel:
+    """Resolve a kernel's meta + instruction list for repeated launches."""
+    if isinstance(kernel, PreparedKernel):
+        return kernel
     if isinstance(kernel, AssembledKernel):
-        return kernel.meta, kernel.instructions
+        return PreparedKernel(kernel.meta, kernel.instructions)
     if isinstance(kernel, LoadedCubin):
-        return kernel.meta, kernel.instructions()
+        return PreparedKernel(kernel.meta, kernel.instructions())
     raise SimLaunchError(f"cannot launch object of type {type(kernel).__name__}")
+
+
+def _kernel_parts(kernel) -> tuple[KernelMeta, list]:
+    prepared = prepare_kernel(kernel)
+    return prepared.meta, prepared.instructions
 
 
 def build_const_bank(meta: KernelMeta, params: dict[str, int]) -> np.ndarray:
@@ -67,6 +92,22 @@ class LaunchResult:
     counters: Counters
     groups: int  # number of sequential SM rounds simulated
     occupancy: int
+
+    def to_payload(self) -> dict:
+        """Plain-JSON form (for the simulation-result cache)."""
+        return {
+            "counters": dataclasses.asdict(self.counters),
+            "groups": self.groups,
+            "occupancy": self.occupancy,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LaunchResult":
+        return cls(
+            counters=Counters(**payload["counters"]),
+            groups=payload["groups"],
+            occupancy=payload["occupancy"],
+        )
 
 
 def run_grid(

@@ -1,0 +1,391 @@
+"""Build-once/run-many caching for the simulation pipeline.
+
+Every Fig. 7-13 experiment used to re-parse, re-schedule and re-assemble
+the same SASS kernels from scratch — once for the long differential run,
+once for the short one, and again for every repeated sweep.  This module
+gives the hot path the same build-once/run-many structure that maxDNN
+and the Volta tensor-core generators use for their compiled kernels:
+
+* :class:`KernelBuildCache` — a process-wide, thread-safe LRU of
+  assembled kernels keyed by ``(ConvProblem, Tunables, device,
+  main_loop_only, iters)``.  A hit returns the exact
+  :class:`~repro.sass.assembler.AssembledKernel` object that the first
+  build produced (the simulator never mutates instructions, so sharing
+  is safe), which means the long/short differential runs and repeated
+  bench sweeps assemble each kernel exactly once per process.
+
+* :class:`SimulationCache` — a memo for *deterministic* simulation
+  results (``LaunchResult`` payloads).  The simulator is a pure
+  function of (kernel, device, buffer layout), so a measurement keyed
+  by its full input signature **and** a fingerprint of the generator +
+  simulator source files can be replayed bit-identically.  The memory
+  tier is always available; a disk tier activates when
+  ``REPRO_SIM_CACHE_DIR`` points somewhere (the benchmark suite sets it
+  to ``benchmarks/.simcache``), making repeated sweeps nearly free.
+
+Both caches expose hit/miss/eviction counters next to the PR-1 dispatch
+metrics (``get_kernel_cache_stats`` / ``get_sim_cache_stats``) and obey
+kill switches (``REPRO_KERNEL_CACHE=0`` / ``REPRO_SIM_CACHE=0``) so the
+uncached serial path stays one environment variable away.
+
+See ``docs/simulation_performance.md`` for keys, invalidation and the
+determinism guarantees.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import threading
+
+from ..common.problem import ConvProblem
+from .winograd_f22 import Tunables, WinogradF22Kernel
+
+_SCHEMA_VERSION = 1  # bump to invalidate every persisted payload
+
+# ---------------------------------------------------------------------------
+# Source fingerprint: any edit to the generator / assembler / simulator
+# invalidates persisted simulation results automatically.
+# ---------------------------------------------------------------------------
+_FINGERPRINT_DIRS = ("gpusim", "sass")
+_FINGERPRINT_FILES = (
+    "common/problem.py",
+    "kernels/cache.py",
+    "kernels/runner.py",
+    "kernels/schedules.py",
+    "kernels/winograd_f22.py",
+    "perfmodel/layer_model.py",
+)
+
+_fingerprint_lock = threading.Lock()
+_fingerprint: str | None = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the source files that determine simulation results."""
+    global _fingerprint
+    with _fingerprint_lock:
+        if _fingerprint is not None:
+            return _fingerprint
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        paths = []
+        for sub in _FINGERPRINT_DIRS:
+            base = os.path.join(root, sub)
+            for name in sorted(os.listdir(base)):
+                if name.endswith(".py"):
+                    paths.append(os.path.join(base, name))
+        paths.extend(os.path.join(root, rel) for rel in _FINGERPRINT_FILES)
+        digest = hashlib.sha256()
+        digest.update(str(_SCHEMA_VERSION).encode())
+        for path in paths:
+            digest.update(path.rsplit(os.sep + "repro" + os.sep, 1)[-1].encode())
+            with open(path, "rb") as fh:
+                digest.update(fh.read())
+        _fingerprint = digest.hexdigest()
+        return _fingerprint
+
+
+def _env_enabled(name: str) -> bool:
+    return os.environ.get(name, "1").lower() not in ("0", "false", "off", "no")
+
+
+# ---------------------------------------------------------------------------
+# Kernel build cache
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class BuildKey:
+    """Identity of one generated-and-assembled kernel."""
+
+    prob: ConvProblem
+    tunables: Tunables
+    device: str
+    main_loop_only: bool = False
+    iters: int | None = None
+
+
+@dataclasses.dataclass
+class KernelCacheStats:
+    """Counters for :class:`KernelBuildCache` (queryable at runtime)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    builds: int = 0  # assembler passes actually performed via the cache
+    size: int = 0
+    max_entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class KernelBuildCache:
+    """Thread-safe LRU of assembled kernels, keyed by :class:`BuildKey`."""
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._lock = threading.RLock()
+        self._entries: collections.OrderedDict = collections.OrderedDict()
+        self._max_entries = max_entries
+        self._stats = KernelCacheStats(max_entries=max_entries)
+
+    def get_or_build(self, key: BuildKey, builder):
+        """Return the cached kernel for *key*, building (once) on a miss."""
+        with self._lock:
+            kernel = self._entries.get(key)
+            if kernel is not None:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return kernel
+            self._stats.misses += 1
+        # Build outside the lock: assembly is the expensive part and must
+        # not serialize concurrent builders of *different* kernels.
+        kernel = builder()
+        with self._lock:
+            self._stats.builds += 1
+            if key not in self._entries:
+                self._entries[key] = kernel
+                while len(self._entries) > self._max_entries:
+                    self._entries.popitem(last=False)
+                    self._stats.evictions += 1
+            return self._entries[key]
+
+    def set_limit(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        with self._lock:
+            self._max_entries = max_entries
+            self._stats.max_entries = max_entries
+            while len(self._entries) > max_entries:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> KernelCacheStats:
+        with self._lock:
+            snap = dataclasses.replace(self._stats)
+            snap.size = len(self._entries)
+            return snap
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._stats = KernelCacheStats(max_entries=self._max_entries)
+
+
+_BUILD_CACHE = KernelBuildCache(
+    max_entries=int(os.environ.get("REPRO_KERNEL_CACHE_SIZE", "64"))
+)
+
+
+def build_fused_kernel(
+    prob: ConvProblem,
+    tunables: Tunables | None,
+    device_name: str,
+    main_loop_only: bool = False,
+    iters: int | None = None,
+):
+    """Assemble (or fetch) the fused Winograd kernel for one problem.
+
+    The single entry point the runner, layer model and benchmarks use;
+    ``REPRO_KERNEL_CACHE=0`` bypasses the cache and rebuilds every call
+    (the uncached baseline path).
+    """
+    tunables = tunables or Tunables()
+    if not _env_enabled("REPRO_KERNEL_CACHE"):
+        return WinogradF22Kernel(prob, tunables).build(main_loop_only, iters)
+    key = BuildKey(prob, tunables, device_name, main_loop_only, iters)
+    return _BUILD_CACHE.get_or_build(
+        key, lambda: WinogradF22Kernel(prob, tunables).build(main_loop_only, iters)
+    )
+
+
+def get_kernel_cache_stats() -> KernelCacheStats:
+    """Snapshot of the build-cache counters (independent of the live object)."""
+    return _BUILD_CACHE.stats()
+
+
+def reset_kernel_cache_stats() -> None:
+    _BUILD_CACHE.reset_stats()
+
+
+def clear_kernel_cache() -> None:
+    _BUILD_CACHE.clear()
+
+
+def set_kernel_cache_limit(max_entries: int) -> None:
+    _BUILD_CACHE.set_limit(max_entries)
+
+
+# ---------------------------------------------------------------------------
+# Simulation-result cache
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class SimCacheStats:
+    """Counters for :class:`SimulationCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    size: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SimulationCache:
+    """Two-tier (memory + optional disk) memo for simulation payloads.
+
+    Values are plain JSON dicts; keys are produced by
+    :func:`sim_cache_key`, which folds in :func:`code_fingerprint` so a
+    change to any generator/simulator source file invalidates every
+    previously persisted result.
+    """
+
+    def __init__(self, max_entries: int = 512):
+        self._lock = threading.RLock()
+        self._entries: collections.OrderedDict = collections.OrderedDict()
+        self._max_entries = max_entries
+        self._stats = SimCacheStats()
+
+    # -- disk tier -----------------------------------------------------
+    @staticmethod
+    def _disk_dir() -> str | None:
+        if not _env_enabled("REPRO_SIM_CACHE"):
+            return None
+        return os.environ.get("REPRO_SIM_CACHE_DIR") or None
+
+    def _disk_path(self, key: str) -> str | None:
+        base = self._disk_dir()
+        if base is None:
+            return None
+        return os.path.join(base, key[:2], f"{key}.json")
+
+    def _disk_read(self, key: str):
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None  # missing or corrupt → plain miss
+
+    def _disk_write(self, key: str, value: dict) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(value, fh)
+            os.replace(tmp, path)  # atomic: safe under parallel workers
+        except OSError:
+            pass  # persistence is best-effort; the memory tier still hit
+
+    # -- public API ----------------------------------------------------
+    def get(self, key: str):
+        if not _env_enabled("REPRO_SIM_CACHE"):
+            return None
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+                self._stats.memory_hits += 1
+                return value
+        value = self._disk_read(key)
+        with self._lock:
+            if value is not None:
+                self._stats.disk_hits += 1
+                self._remember(key, value)
+            else:
+                self._stats.misses += 1
+        return value
+
+    def put(self, key: str, value: dict) -> None:
+        if not _env_enabled("REPRO_SIM_CACHE"):
+            return
+        with self._lock:
+            self._stats.stores += 1
+            self._remember(key, value)
+        self._disk_write(key, value)
+
+    def _remember(self, key: str, value: dict) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self._stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> SimCacheStats:
+        with self._lock:
+            snap = dataclasses.replace(self._stats)
+            snap.size = len(self._entries)
+            return snap
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._stats = SimCacheStats()
+
+
+_SIM_CACHE = SimulationCache(
+    max_entries=int(os.environ.get("REPRO_SIM_CACHE_SIZE", "512"))
+)
+
+
+def sim_cache_key(site: str, **params) -> str:
+    """Stable key for one simulation call site and its full input signature.
+
+    ``params`` must be JSON-serializable; dataclasses (``ConvProblem``,
+    ``Tunables``, ``DeviceSpec``) are flattened with ``asdict`` so every
+    field participates in the identity.
+    """
+    def normalize(value):
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return dataclasses.asdict(value)
+        return value
+
+    payload = {name: normalize(value) for name, value in params.items()}
+    blob = json.dumps(
+        {"site": site, "params": payload, "fingerprint": code_fingerprint()},
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def simulation_cache() -> SimulationCache:
+    """The process-wide simulation-result cache."""
+    return _SIM_CACHE
+
+
+def get_sim_cache_stats() -> SimCacheStats:
+    return _SIM_CACHE.stats()
+
+
+def reset_sim_cache_stats() -> None:
+    _SIM_CACHE.reset_stats()
+
+
+def clear_simulation_cache() -> None:
+    _SIM_CACHE.clear()

@@ -44,8 +44,9 @@ class BatchedGemmKernel(WinogradF22Kernel):
         m: int,
         n: int,
         kd: int,
-        tunables: Tunables = Tunables(),
+        tunables: Tunables | None = None,
     ):
+        tunables = tunables or Tunables()
         if tunables.bk != 64:
             raise ConvConfigError("the batched-GEMM kernel uses the bk=64 plan")
         if tunables.smem_layout != "transposed":

@@ -21,9 +21,10 @@ from ..common.layouts import kcrs_to_crsk, khwn_to_nkhw, nchw_to_chwn
 from ..common.problem import ConvProblem
 from ..gpusim.arch import DeviceSpec, V100
 from ..gpusim.counters import Counters
-from ..gpusim.launch import run_grid, simulate_resident_blocks
+from ..gpusim.launch import LaunchResult, run_grid, simulate_resident_blocks
 from ..gpusim.memory import GlobalMemory
 from ..winograd.fused import FusedWinogradConv
+from .cache import build_fused_kernel, sim_cache_key, simulation_cache
 from .winograd_f22 import Tunables, WinogradF22Kernel
 
 
@@ -31,7 +32,7 @@ def run_fused_sass_conv(
     x_nchw: np.ndarray,
     f_kcrs: np.ndarray,
     device: DeviceSpec = V100,
-    tunables: Tunables = Tunables(),
+    tunables: Tunables | None = None,
     prob: ConvProblem | None = None,
     ftf_on_device: bool = False,
 ):
@@ -42,11 +43,12 @@ def run_fused_sass_conv(
     otherwise it is computed host-side (the default, since the FTF is a
     negligible, memory-bound prelude).
     """
+    tunables = tunables or Tunables()
     n, c, h, w = x_nchw.shape
     k = f_kcrs.shape[0]
     prob = prob or ConvProblem(n=n, c=c, h=h, w=w, k=k)
     gen = WinogradF22Kernel(prob, tunables)
-    kernel = gen.build()
+    kernel = build_fused_kernel(prob, tunables, device.name)
 
     x_chwn = nchw_to_chwn(x_nchw.astype(np.float32))
     f_crsk = kcrs_to_crsk(f_kcrs.astype(np.float32))
@@ -85,8 +87,28 @@ class MainLoopMeasurement:
 
 
 def _simulate_main_loop(prob, device, tunables, iters, num_blocks):
-    gen = WinogradF22Kernel(prob, tunables)
-    kernel = gen.build(main_loop_only=True, iters=iters)
+    """One main-loop-only resident-blocks simulation, memoized.
+
+    The simulation is a pure function of its signature (synthetic buffer
+    *contents* never affect timing, only layout — which the signature
+    determines), so the result is served from the process/disk
+    simulation cache when available and is bit-identical either way.
+    """
+    cache = simulation_cache()
+    key = sim_cache_key(
+        "main_loop",
+        prob=prob,
+        device=device,
+        tunables=tunables,
+        iters=iters,
+        num_blocks=num_blocks,
+    )
+    payload = cache.get(key)
+    if payload is not None:
+        return LaunchResult.from_payload(payload)
+    kernel = build_fused_kernel(
+        prob, tunables, device.name, main_loop_only=True, iters=iters
+    )
     gmem = GlobalMemory(size=128 << 20)
     # Synthetic buffers: content does not matter for timing, but layout,
     # size and L2 residency do.
@@ -96,16 +118,18 @@ def _simulate_main_loop(prob, device, tunables, iters, num_blocks):
     fil_ptr = gmem.alloc(4 * fil_elems, l2_resident=True)
     out_ptr = gmem.alloc(4 * prob.k * prob.out_h * prob.out_w * prob.n)
     params = {"in_ptr": in_ptr, "fil_ptr": fil_ptr, "out_ptr": out_ptr}
-    return simulate_resident_blocks(
+    result = simulate_resident_blocks(
         kernel, device, params=params, gmem=gmem, threads_per_block=256,
         num_blocks=num_blocks,
     )
+    cache.put(key, result.to_payload())
+    return result
 
 
 def measure_main_loop(
     prob: ConvProblem,
     device: DeviceSpec = V100,
-    tunables: Tunables = Tunables(),
+    tunables: Tunables | None = None,
     iters: int = 3,
     num_blocks: int | None = None,
 ) -> MainLoopMeasurement:
@@ -117,6 +141,7 @@ def measure_main_loop(
     what the paper plots in Figs. 7-9 (its ceiling is the device FP32
     peak); SOL is the FP32-pipe utilization of the marginal iterations.
     """
+    tunables = tunables or Tunables()
     if iters < 3:
         raise ValueError("need at least 3 iterations for a differential measure")
     long_run = _simulate_main_loop(prob, device, tunables, iters, num_blocks)

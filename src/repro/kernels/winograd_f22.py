@@ -72,7 +72,8 @@ def _magic_u32(divisor: int) -> int:
 class WinogradF22Kernel:
     """Generator + launch helper for one layer's fused Winograd kernel."""
 
-    def __init__(self, prob: ConvProblem, tunables: Tunables = Tunables()):
+    def __init__(self, prob: ConvProblem, tunables: Tunables | None = None):
+        tunables = tunables or Tunables()
         if prob.r != 3 or prob.s != 3 or prob.pad != 1:
             raise ConvConfigError("the fused kernel implements 3×3 / pad 1")
         if prob.n % BN:
@@ -128,6 +129,15 @@ class WinogradF22Kernel:
         # active lanes.
         self.smem_bytes = self.smem_fil_bytes + self.smem_in_bytes
         self.otf_row_floats = 33
+
+    # ------------------------------------------------------------------
+    # Launch metadata (available without assembling)
+    # ------------------------------------------------------------------
+    @property
+    def launch_smem_bytes(self) -> int:
+        """Shared memory the launch reserves (main buffers or OTF buffer,
+        whichever is larger) — the ``.smem`` header value."""
+        return max(self.smem_bytes, 16 * 2 * 8 * self.otf_row_floats * 4)
 
     # ------------------------------------------------------------------
     # Register helpers
@@ -686,7 +696,7 @@ class WinogradF22Kernel:
         header = [
             f".kernel {name}",
             f".registers {self.num_regs}",
-            f".smem {max(self.smem_bytes, 16 * 2 * 8 * self.otf_row_floats * 4)}",
+            f".smem {self.launch_smem_bytes}",
             ".param 8 in_ptr",
             ".param 8 fil_ptr",
             ".param 8 out_ptr",

@@ -1,0 +1,163 @@
+"""The kernel-build cache and the simulation-result cache."""
+
+import dataclasses
+
+import pytest
+
+from repro.common import ConvProblem
+from repro.gpusim import RTX2070
+from repro.kernels import (
+    Tunables,
+    build_fused_kernel,
+    clear_kernel_cache,
+    clear_simulation_cache,
+    get_kernel_cache_stats,
+    get_sim_cache_stats,
+    measure_main_loop,
+    reset_kernel_cache_stats,
+    reset_sim_cache_stats,
+    set_kernel_cache_limit,
+)
+from repro.kernels.cache import KernelBuildCache, sim_cache_key
+from repro.kernels.winograd_f22 import WinogradF22Kernel
+
+PROB = ConvProblem(n=32, c=16, h=8, w=8, k=64, name="cache-test")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches(monkeypatch):
+    # Disable the simulation-result memo so the build cache is actually
+    # exercised (a sim-cache hit would skip the build path entirely).
+    monkeypatch.setenv("REPRO_SIM_CACHE", "0")
+    clear_kernel_cache()
+    reset_kernel_cache_stats()
+    clear_simulation_cache()
+    reset_sim_cache_stats()
+    yield
+    clear_kernel_cache()
+    reset_kernel_cache_stats()
+    clear_simulation_cache()
+    reset_sim_cache_stats()
+    set_kernel_cache_limit(64)
+
+
+@pytest.fixture
+def _count_builds(monkeypatch):
+    """Count actual generator→assembler passes, independent of counters."""
+    calls = []
+    real_build = WinogradF22Kernel.build
+
+    def counting_build(self, *args, **kwargs):
+        calls.append(args)
+        return real_build(self, *args, **kwargs)
+
+    monkeypatch.setattr(WinogradF22Kernel, "build", counting_build)
+    return calls
+
+
+# ---------------------------------------------------------------------------
+# Kernel build cache
+# ---------------------------------------------------------------------------
+def test_second_measurement_performs_zero_new_builds(_count_builds):
+    first = measure_main_loop(PROB, device=RTX2070, num_blocks=1)
+    builds_after_first = len(_count_builds)
+    assert builds_after_first == 2  # the long and the short differential run
+
+    second = measure_main_loop(PROB, device=RTX2070, num_blocks=1)
+    assert len(_count_builds) == builds_after_first  # zero new assembler passes
+    assert second == first  # bit-identical measurement
+
+    stats = get_kernel_cache_stats()
+    assert stats.builds == 2
+    assert stats.misses == 2
+    assert stats.hits == 2
+    assert stats.size == 2
+    assert stats.hit_rate == 0.5
+
+
+def test_distinct_tunables_are_distinct_entries():
+    a = build_fused_kernel(PROB, Tunables(), RTX2070.name)
+    b = build_fused_kernel(PROB, Tunables(ldg_interleave=4), RTX2070.name)
+    assert a is not b
+    stats = get_kernel_cache_stats()
+    assert stats.misses == 2 and stats.hits == 0
+
+    # ...but the *same* Tunables spelled differently is the same entry
+    # (ldg_interleave=8 is the default), and a hit returns the identical
+    # assembled object.
+    c = build_fused_kernel(PROB, Tunables(ldg_interleave=8), RTX2070.name)
+    assert c is a
+    assert get_kernel_cache_stats().hits == 1
+
+
+def test_eviction_under_size_limit():
+    set_kernel_cache_limit(1)
+    build_fused_kernel(PROB, Tunables(), RTX2070.name)
+    build_fused_kernel(PROB, Tunables(sts_interleave=2), RTX2070.name)
+    stats = get_kernel_cache_stats()
+    assert stats.size == 1
+    assert stats.evictions == 1
+    # The first kernel was evicted: asking again rebuilds.
+    build_fused_kernel(PROB, Tunables(), RTX2070.name)
+    assert get_kernel_cache_stats().misses == 3
+
+
+def test_kill_switch_bypasses_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_CACHE", "0")
+    a = build_fused_kernel(PROB, Tunables(), RTX2070.name)
+    b = build_fused_kernel(PROB, Tunables(), RTX2070.name)
+    assert a is not b
+    stats = get_kernel_cache_stats()
+    assert stats.hits == 0 and stats.misses == 0 and stats.builds == 0
+
+
+def test_limit_validation():
+    with pytest.raises(ValueError):
+        set_kernel_cache_limit(0)
+    with pytest.raises(ValueError):
+        KernelBuildCache(max_entries=0)
+
+
+# ---------------------------------------------------------------------------
+# Simulation-result cache
+# ---------------------------------------------------------------------------
+def test_sim_cache_key_covers_every_field():
+    base = sim_cache_key("site", prob=PROB, tunables=Tunables(), iters=3)
+    assert base == sim_cache_key("site", prob=PROB, tunables=Tunables(), iters=3)
+    assert base != sim_cache_key("site", prob=PROB, tunables=Tunables(), iters=1)
+    assert base != sim_cache_key("other", prob=PROB, tunables=Tunables(), iters=3)
+    assert base != sim_cache_key(
+        "site", prob=PROB, tunables=Tunables(sts_interleave=2), iters=3
+    )
+    other_prob = dataclasses.replace(PROB, n=PROB.n * 2)
+    assert base != sim_cache_key("site", prob=other_prob, tunables=Tunables(), iters=3)
+
+
+def test_sim_cache_memory_and_disk_tiers(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SIM_CACHE", "1")
+    monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(tmp_path))
+
+    cold = measure_main_loop(PROB, device=RTX2070, num_blocks=1)
+    assert get_sim_cache_stats().stores == 2  # long + short run persisted
+
+    warm = measure_main_loop(PROB, device=RTX2070, num_blocks=1)
+    assert get_sim_cache_stats().memory_hits == 2
+    assert warm == cold
+
+    # Drop the memory tier: the next run replays from disk, bit-identical.
+    clear_simulation_cache()
+    replayed = measure_main_loop(PROB, device=RTX2070, num_blocks=1)
+    assert get_sim_cache_stats().disk_hits == 2
+    assert replayed == cold
+    assert any(tmp_path.rglob("*.json"))
+
+
+def test_sim_cache_corrupt_disk_entry_is_a_miss(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SIM_CACHE", "1")
+    monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(tmp_path))
+    cold = measure_main_loop(PROB, device=RTX2070, num_blocks=1)
+    for path in tmp_path.rglob("*.json"):
+        path.write_text("not json{")
+    clear_simulation_cache()
+    recomputed = measure_main_loop(PROB, device=RTX2070, num_blocks=1)
+    assert recomputed == cold
