@@ -1,0 +1,87 @@
+"""CI driver for the `sass-lint` job: lint every shipped kernel.
+
+Assembles the generated winograd_f22 (full kernel and main-loop
+microbenchmark variant, across the tunables the benchmarks sweep), the
+batched GEMM and the filter-transform kernels, runs the static analyzer
+on each, prints the text reports, writes the ``--json`` reports to a
+directory for the CI artifact, and exits non-zero if any kernel has an
+error-severity diagnostic.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/lint_kernels.py [--json-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.common.problem import ConvProblem
+from repro.kernels.ftf import FilterTransformKernel
+from repro.kernels.gemm import BatchedGemmKernel
+from repro.kernels.winograd_f22 import Tunables, WinogradF22Kernel
+from repro.sass.analysis import errors, lint_kernel, render_json, render_text
+
+PROB = ConvProblem(n=32, c=64, h=28, w=28, k=64)
+
+TUNABLE_SWEEP = [
+    ("default", Tunables()),
+    ("nvcc8", Tunables(yield_strategy="nvcc8")),
+    ("cudnn7", Tunables(yield_strategy="cudnn7")),
+    ("tile_major", Tunables(smem_layout="tile_major")),
+    ("bk32", Tunables(bk=32)),
+    ("no_p2r", Tunables(use_p2r=False)),
+]
+
+
+def shipped_kernels():
+    for label, tunables in TUNABLE_SWEEP:
+        yield (
+            f"winograd_f22[{label}]",
+            WinogradF22Kernel(PROB, tunables).build(),
+        )
+        yield (
+            f"winograd_f22_main_loop[{label}]",
+            WinogradF22Kernel(PROB, tunables).build(
+                main_loop_only=True, iters=2
+            ),
+        )
+    yield "batched_gemm", BatchedGemmKernel(16, 64, 32, 16).build()
+    yield "ftf", FilterTransformKernel(PROB).build()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json-dir", default=None,
+                        help="write one <kernel>.json report per kernel")
+    args = parser.parse_args(argv)
+
+    json_dir = None
+    if args.json_dir:
+        json_dir = pathlib.Path(args.json_dir)
+        json_dir.mkdir(parents=True, exist_ok=True)
+
+    failed = []
+    for name, kernel in shipped_kernels():
+        diagnostics = lint_kernel(kernel)
+        print(render_text(diagnostics, kernel_name=name))
+        print()
+        if json_dir is not None:
+            safe = name.replace("[", ".").replace("]", "")
+            (json_dir / f"{safe}.json").write_text(
+                render_json(diagnostics, kernel_name=name) + "\n"
+            )
+        if errors(diagnostics):
+            failed.append(name)
+
+    if failed:
+        print(f"FAIL: error-severity diagnostics in: {', '.join(failed)}")
+        return 1
+    print("OK: all shipped kernels lint clean of errors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

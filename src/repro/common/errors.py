@@ -46,6 +46,19 @@ class RegisterBudgetError(AssemblerError):
     """A kernel exceeds the per-thread register limit (255/253 usable)."""
 
 
+class LintError(AssemblerError):
+    """Static analysis found error-severity diagnostics in a kernel.
+
+    Raised by the launch gate in :mod:`repro.kernels.runner` and by
+    ``python -m repro.sass lint`` callers; carries the diagnostics for
+    programmatic inspection.
+    """
+
+    def __init__(self, message: str, diagnostics: list | None = None):
+        self.diagnostics = diagnostics or []
+        super().__init__(message)
+
+
 class SimulatorError(ReproError):
     """Root for GPU simulator faults."""
 

@@ -17,15 +17,46 @@ import dataclasses
 
 import numpy as np
 
+from ..common.errors import LintError
 from ..common.layouts import kcrs_to_crsk, khwn_to_nkhw, nchw_to_chwn
 from ..common.problem import ConvProblem
 from ..gpusim.arch import DeviceSpec, V100
 from ..gpusim.counters import Counters
 from ..gpusim.launch import LaunchResult, run_grid, simulate_resident_blocks
 from ..gpusim.memory import GlobalMemory
+from ..sass.analysis import errors as lint_errors
+from ..sass.analysis import lint_kernel
+from ..sass.assembler import AssembledKernel
 from ..winograd.fused import FusedWinogradConv
 from .cache import build_fused_kernel, sim_cache_key, simulation_cache
 from .winograd_f22 import Tunables, WinogradF22Kernel
+
+#: Kernels (by name + text-section hash) already proven error-free, so
+#: repeated launches of a cached build skip the ~0.4 s analysis.
+_LINT_CLEAN: set[tuple[str, int]] = set()
+
+
+def ensure_lint_clean(kernel: AssembledKernel) -> None:
+    """Launch gate: refuse kernels with error-severity lint findings.
+
+    Warnings (bank conflicts, wasted ``.reuse`` flags) are allowed
+    through — ablation kernels produce them on purpose — but a kernel
+    with a data hazard, a misaligned/out-of-bounds shared access or a
+    blown register budget would silently compute garbage on hardware,
+    so it must not run here either.
+    """
+    key = (kernel.meta.name, hash(kernel.text))
+    if key in _LINT_CLEAN:
+        return
+    found = lint_errors(lint_kernel(kernel))
+    if found:
+        report = "\n".join(d.text() for d in found)
+        raise LintError(
+            f"kernel {kernel.meta.name!r} failed static analysis with "
+            f"{len(found)} error(s):\n{report}",
+            diagnostics=found,
+        )
+    _LINT_CLEAN.add(key)
 
 
 def run_fused_sass_conv(
@@ -61,14 +92,17 @@ def run_fused_sass_conv(
         ftf = FilterTransformKernel(prob)
         fil_ptr = gmem.alloc_array(f_crsk)
         ft_ptr = gmem.alloc(4 * prob.c * 16 * prob.k)
+        ftf_kernel = ftf.build()
+        ensure_lint_clean(ftf_kernel)
         run_grid(
-            ftf.build(), device, grid=ftf.grid, threads_per_block=256,
+            ftf_kernel, device, grid=ftf.grid, threads_per_block=256,
             params={"fil_ptr": fil_ptr, "out_ptr": ft_ptr}, gmem=gmem,
         )
         f_t = gmem.read_array(ft_ptr, (prob.c, 4, 4, prob.k))
     else:
         f_t = FusedWinogradConv().transform_filters(f_crsk)
     params, out_ptr = gen.alloc_buffers(gmem, x_chwn, f_t)
+    ensure_lint_clean(kernel)
     result = run_grid(
         kernel, device, grid=gen.grid, threads_per_block=256, params=params,
         gmem=gmem,
@@ -109,6 +143,7 @@ def _simulate_main_loop(prob, device, tunables, iters, num_blocks):
     kernel = build_fused_kernel(
         prob, tunables, device.name, main_loop_only=True, iters=iters
     )
+    ensure_lint_clean(kernel)
     gmem = GlobalMemory(size=128 << 20)
     # Synthetic buffers: content does not matter for timing, but layout,
     # size and L2 residency do.

@@ -18,6 +18,18 @@ Typical use::
     blob = write_cubin(kernel)
 """
 
+from .analysis import (
+    AnalysisContext,
+    AnalysisPass,
+    ControlCodePass,
+    Diagnostic,
+    LivenessPass,
+    RegisterBankPass,
+    Severity,
+    SharedMemoryPass,
+    lint_instructions,
+    lint_kernel,
+)
 from .assembler import AssembledKernel, assemble, assemble_file
 from .control import NO_BARRIER, ControlCode, parse_control
 from .cubin import LoadedCubin, read_cubin, write_cubin
@@ -46,13 +58,18 @@ from .parser import parse_line, parse_program
 from .preprocess import PARAM_BASE, KernelMeta, preprocess
 
 __all__ = [
+    "AnalysisContext",
+    "AnalysisPass",
     "AssembledKernel",
     "Const",
     "ControlCode",
+    "ControlCodePass",
+    "Diagnostic",
     "INSTRUCTION_BYTES",
     "Imm",
     "Instruction",
     "KernelMeta",
+    "LivenessPass",
     "LoadedCubin",
     "MAX_USABLE_REGISTERS",
     "Mem",
@@ -66,12 +83,17 @@ __all__ = [
     "Pred",
     "RZ",
     "Reg",
+    "RegisterBankPass",
+    "Severity",
+    "SharedMemoryPass",
     "assemble",
     "assemble_file",
     "decode_instruction",
     "decode_program",
     "encode_instruction",
     "encode_program",
+    "lint_instructions",
+    "lint_kernel",
     "parse_control",
     "parse_line",
     "parse_operand",

@@ -7,9 +7,12 @@ an inspector:
     python -m repro.sass as kernel.sass -o kernel.cubin --schedule --strict
     python -m repro.sass dis kernel.cubin
     python -m repro.sass info kernel.cubin
+    python -m repro.sass lint kernel.sass --schedule --json
 
-``as`` also takes ``-D name=value`` definitions visible to inline
-Python blocks and ``{{ }}`` splices.
+``as`` and ``lint`` also take ``-D name=value`` definitions visible to
+inline Python blocks and ``{{ }}`` splices.  ``lint`` accepts either a
+``.sass`` source or an assembled ``.cubin`` and exits non-zero when any
+error-severity diagnostic is found (see ``docs/sass_lint.md``).
 """
 
 from __future__ import annotations
@@ -17,12 +20,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .analysis import errors, lint_instructions, render_json, render_text
 from .assembler import AssembledKernel, assemble
-from .cubin import read_cubin, write_cubin
+from .cubin import LoadedCubin, read_cubin, write_cubin
 
 
-def _parse_defines(defines: list[str]) -> dict:
-    env = {}
+def _parse_defines(defines: list[str]) -> dict[str, int | str]:
+    env: dict[str, int | str] = {}
     for item in defines:
         if "=" not in item:
             raise SystemExit(f"-D expects name=value, got {item!r}")
@@ -54,7 +58,7 @@ def cmd_as(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load(path: str):
+def _load(path: str) -> LoadedCubin:
     with open(path, "rb") as fh:
         return read_cubin(fh.read())
 
@@ -92,6 +96,35 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.source.endswith(".cubin"):
+        loaded = _load(args.source)
+        instructions = loaded.instructions()
+        meta = loaded.meta
+        name = meta.name
+    else:
+        with open(args.source, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        kernel = assemble(
+            source,
+            env=_parse_defines(args.define or []),
+            auto_schedule=args.schedule,
+            strict=False,
+        )
+        instructions = kernel.instructions
+        meta = kernel.meta
+        name = kernel.meta.name
+
+    diagnostics = lint_instructions(
+        instructions, meta=meta, num_warps=args.warps
+    )
+    if args.json:
+        print(render_json(diagnostics, kernel_name=name))
+    else:
+        print(render_text(diagnostics, kernel_name=name))
+    return 1 if errors(diagnostics) else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sass",
@@ -119,6 +152,22 @@ def main(argv: list[str] | None = None) -> int:
     p_info = sub.add_parser("info", help="show cubin metadata")
     p_info.add_argument("cubin")
     p_info.set_defaults(func=cmd_info)
+
+    p_lint = sub.add_parser(
+        "lint", help="statically analyze a .sass or .cubin kernel"
+    )
+    p_lint.add_argument("source", help=".sass source or assembled .cubin")
+    p_lint.add_argument("-D", "--define", action="append",
+                        metavar="NAME=VALUE",
+                        help="variable for inline Python blocks")
+    p_lint.add_argument("--schedule", action="store_true",
+                        help="auto-fill control codes before linting")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable report")
+    p_lint.add_argument("--warps", type=int, default=8,
+                        help="warps per block for the shared-memory model "
+                             "(default: 8)")
+    p_lint.set_defaults(func=cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

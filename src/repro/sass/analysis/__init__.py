@@ -1,0 +1,128 @@
+"""Static analysis over assembled SASS instruction streams (``sasslint``).
+
+Four passes over :class:`~repro.sass.instruction.Instruction` lists,
+reporting through a shared :class:`Diagnostic` vocabulary:
+
+* :class:`RegisterBankPass`   — even/odd operand-bank conflicts and
+  ``.reuse``-cache validity (RB001–RB004);
+* :class:`SharedMemoryPass`   — per-warp shared-memory bank conflicts,
+  vector alignment and bounds (SM001–SM004);
+* :class:`LivenessPass`       — peak live registers vs. the 253 budget
+  (LV001–LV003);
+* :class:`ControlCodePass`    — stall/scoreboard hazard freedom
+  (CTRL001–CTRL003).
+
+Entry points: :func:`lint_kernel` / :func:`lint_instructions` for code,
+``python -m repro.sass lint`` for the shell, and the launch gate in
+:mod:`repro.kernels.runner` which refuses to run kernels with
+error-severity findings.  ``docs/sass_lint.md`` is the rule catalogue.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..instruction import Instruction
+from ..preprocess import KernelMeta
+from .base import DEFAULT_NUM_WARPS, AnalysisContext, AnalysisPass, run_passes
+from .ctrlcodes import ControlCodePass
+from .diagnostics import (
+    Diagnostic,
+    Severity,
+    count_by_severity,
+    errors,
+    max_severity,
+)
+from .liveness import LivenessPass
+from .regbank import RegisterBankPass
+from .smem import SharedMemoryPass
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (assembler imports us)
+    from ..assembler import AssembledKernel
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisPass",
+    "ControlCodePass",
+    "DEFAULT_NUM_WARPS",
+    "Diagnostic",
+    "LivenessPass",
+    "RegisterBankPass",
+    "Severity",
+    "SharedMemoryPass",
+    "count_by_severity",
+    "default_passes",
+    "errors",
+    "lint_instructions",
+    "lint_kernel",
+    "max_severity",
+    "render_json",
+    "render_text",
+    "run_passes",
+]
+
+
+def default_passes() -> list[AnalysisPass]:
+    """The pass list ``python -m repro.sass lint`` runs, in order."""
+    return [
+        ControlCodePass(),
+        RegisterBankPass(),
+        SharedMemoryPass(),
+        LivenessPass(),
+    ]
+
+
+def lint_instructions(
+    instructions: list[Instruction],
+    meta: KernelMeta | None = None,
+    *,
+    num_warps: int = DEFAULT_NUM_WARPS,
+    passes: Sequence[AnalysisPass] | None = None,
+) -> list[Diagnostic]:
+    """Run the analyzer over a raw instruction list."""
+    ctx = AnalysisContext(
+        instructions=instructions, meta=meta, num_warps=num_warps
+    )
+    return run_passes(ctx, default_passes() if passes is None else passes)
+
+
+def lint_kernel(
+    kernel: "AssembledKernel",
+    *,
+    num_warps: int = DEFAULT_NUM_WARPS,
+    passes: Sequence[AnalysisPass] | None = None,
+) -> list[Diagnostic]:
+    """Run the analyzer over an assembled kernel (uses its metadata)."""
+    return lint_instructions(
+        kernel.instructions,
+        meta=kernel.meta,
+        num_warps=num_warps,
+        passes=passes,
+    )
+
+
+def render_text(
+    diagnostics: Sequence[Diagnostic], *, kernel_name: str = ""
+) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [d.text() for d in diagnostics]
+    counts = count_by_severity(diagnostics)
+    label = f"{kernel_name}: " if kernel_name else ""
+    lines.append(
+        f"{label}{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} info"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    diagnostics: Sequence[Diagnostic], *, kernel_name: str = ""
+) -> str:
+    """Machine-readable report (stable schema, used by the CI artifact)."""
+    payload: dict[str, Any] = {
+        "kernel": kernel_name,
+        "summary": count_by_severity(diagnostics),
+        "diagnostics": [d.to_json() for d in diagnostics],
+    }
+    return json.dumps(payload, indent=2)

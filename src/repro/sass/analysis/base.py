@@ -1,0 +1,64 @@
+"""Pass protocol and driver for the SASS static analyzer.
+
+A pass consumes an :class:`AnalysisContext` — the instruction stream plus
+whatever launch metadata is known — and returns :class:`Diagnostic`
+records.  The driver (:func:`run_passes`) runs a pass list in order and
+returns the merged, position-sorted report; :data:`DEFAULT_PASSES`
+mirrors ``python -m repro.sass lint``.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Sequence
+
+from ..instruction import Instruction
+from ..preprocess import KernelMeta
+from .diagnostics import Diagnostic
+
+#: Warps per block assumed when the launch configuration is unknown.
+#: All of the paper's kernels run 256 threads (§3.3).
+DEFAULT_NUM_WARPS = 8
+
+
+@dataclasses.dataclass
+class AnalysisContext:
+    """Everything a pass may inspect.
+
+    ``meta`` is optional: programs straight out of :func:`parse_program`
+    have no directives, so passes must degrade gracefully (e.g. the
+    shared-memory pass skips bounds checks without a ``.smem`` size).
+    """
+
+    instructions: list[Instruction]
+    meta: KernelMeta | None = None
+    num_warps: int = DEFAULT_NUM_WARPS
+
+    @property
+    def smem_bytes(self) -> int | None:
+        if self.meta is None or self.meta.smem_bytes <= 0:
+            return None
+        return self.meta.smem_bytes
+
+
+class AnalysisPass(abc.ABC):
+    """One analysis over an instruction stream."""
+
+    #: Stable machine name (used in ``--json`` output and docs).
+    name: str = "pass"
+
+    @abc.abstractmethod
+    def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
+        """Analyze ``ctx.instructions`` and return findings."""
+
+
+def run_passes(
+    ctx: AnalysisContext, passes: Sequence[AnalysisPass]
+) -> list[Diagnostic]:
+    """Run ``passes`` in order; merge and sort findings by position."""
+    merged: list[Diagnostic] = []
+    for pass_ in passes:
+        merged.extend(pass_.run(ctx))
+    merged.sort(key=lambda d: (d.pos, d.rule))
+    return merged

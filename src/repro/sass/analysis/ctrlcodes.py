@@ -1,0 +1,172 @@
+"""Control-code hazard pass (§5.1.4) — the old ``validate_control``.
+
+On Volta/Turing the hardware does not interlock: fixed-latency results
+must be covered by the issuing warp's stall counts, variable-latency
+results (memory, MUFU, S2R) by one of the six scoreboard barriers that
+some later instruction waits on.  This pass proves an instruction stream
+hazard-free under the same linear-scan latency model ``schedule`` uses.
+
+Unlike the original checker this pass tracks **predicates** alongside
+registers: a variable-latency producer can write predicates (e.g. a
+load with a predicate destination), and a consumer reading that
+predicate without a barrier wait is just as much a hazard as a register
+read — the original ``guarded`` map silently dropped them.
+
+Rules (all errors — a hazard means wrong results on hardware):
+
+* ``CTRL001`` — touching a register/predicate guarded by a scoreboard
+  barrier without waiting on that barrier;
+* ``CTRL002`` — touching the result of a variable-latency producer that
+  carries no barrier at all (nothing *can* wait for it);
+* ``CTRL003`` — consuming a fixed-latency result before the producer's
+  latency has elapsed (insufficient stall cycles).
+
+``repro.sass.hazards.validate_control`` remains as a thin wrapper that
+renders these diagnostics in its historical string format.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..control import NO_BARRIER
+from ..isa import NUM_WAIT_BARRIERS
+from .base import AnalysisContext, AnalysisPass
+from .diagnostics import Diagnostic, Severity
+
+
+@dataclasses.dataclass
+class _Guarded:
+    kind: str  # "write" or "read"
+    regs: set[int]
+    preds: set[int]
+
+
+class ControlCodePass(AnalysisPass):
+    name = "control-codes"
+
+    def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        ready_reg: dict[int, int] = {}
+        ready_pred: dict[int, int] = {}
+        guarded: dict[int, _Guarded] = {}
+        unguarded_reg: dict[int, int] = {}  # reg -> producer pos
+        unguarded_pred: dict[int, int] = {}  # pred -> producer pos
+        t = 0
+
+        def emit(rule: str, pos: int, name: str, message: str, hint: str) -> None:
+            diags.append(Diagnostic(
+                rule=rule,
+                severity=Severity.ERROR,
+                pos=pos,
+                instruction=name,
+                message=message,
+                hint=hint,
+            ))
+
+        for pos, instr in enumerate(ctx.instructions):
+            spec = instr.spec
+            reads = set(instr.reads_registers())
+            writes = set(instr.writes_registers())
+            pred_reads = set(instr.reads_predicates())
+            pred_writes = set(instr.writes_predicates())
+
+            for idx in range(NUM_WAIT_BARRIERS):
+                if instr.control.waits_on(idx) and idx in guarded:
+                    pending = guarded.pop(idx)
+                    for reg in pending.regs:
+                        unguarded_reg.pop(reg, None)
+                    for p in pending.preds:
+                        unguarded_pred.pop(p, None)
+
+            for idx, pending in guarded.items():
+                if pending.kind == "write":
+                    reg_hazard = pending.regs & (reads | writes)
+                    pred_hazard = pending.preds & (pred_reads | pred_writes)
+                else:
+                    reg_hazard = pending.regs & writes
+                    pred_hazard = pending.preds & pred_writes
+                if reg_hazard:
+                    reg = sorted(reg_hazard)[0]
+                    emit(
+                        "CTRL001", pos, instr.name,
+                        f"touches R{reg} guarded by barrier {idx} without "
+                        "waiting on it",
+                        f"add barrier {idx} to this instruction's wait mask",
+                    )
+                if pred_hazard:
+                    p = sorted(pred_hazard)[0]
+                    emit(
+                        "CTRL001", pos, instr.name,
+                        f"touches P{p} guarded by barrier {idx} without "
+                        "waiting on it",
+                        f"add barrier {idx} to this instruction's wait mask",
+                    )
+
+            for reg in sorted(reads | writes):
+                if reg in unguarded_reg:
+                    emit(
+                        "CTRL002", pos, instr.name,
+                        f"touches R{reg} whose variable-latency producer at "
+                        f"{unguarded_reg[reg]} was not awaited",
+                        "give the producer a write barrier and wait on it "
+                        "here",
+                    )
+                if ready_reg.get(reg, 0) > t:
+                    emit(
+                        "CTRL003", pos, instr.name,
+                        f"reads/writes R{reg} {ready_reg[reg] - t} cycles "
+                        "too early",
+                        "raise the producer's stall count to cover its "
+                        "latency",
+                    )
+            for p in sorted(pred_reads | pred_writes):
+                if p in unguarded_pred:
+                    emit(
+                        "CTRL002", pos, instr.name,
+                        f"touches P{p} whose variable-latency producer at "
+                        f"{unguarded_pred[p]} was not awaited",
+                        "give the producer a write barrier and wait on it "
+                        "here",
+                    )
+            for p in sorted(pred_reads):
+                if ready_pred.get(p, 0) > t:
+                    emit(
+                        "CTRL003", pos, instr.name,
+                        f"reads P{p} {ready_pred[p] - t} cycles too early",
+                        "raise the producer's stall count to cover its "
+                        "latency",
+                    )
+
+            if spec.latency is not None:
+                for reg in writes:
+                    ready_reg[reg] = t + spec.latency
+                for p in pred_writes:
+                    ready_pred[p] = t + spec.latency
+            elif instr.name not in ("BRA", "EXIT", "BAR", "NOP"):
+                bar = (
+                    instr.control.read_bar
+                    if spec.is_store
+                    else instr.control.write_bar
+                )
+                tracked_regs = reads if spec.is_store else writes
+                tracked_preds = set() if spec.is_store else pred_writes
+                if bar == NO_BARRIER:
+                    if not spec.is_store:
+                        for reg in tracked_regs:
+                            unguarded_reg[reg] = pos
+                        for p in tracked_preds:
+                            unguarded_pred[p] = pos
+                else:
+                    kind = "read" if spec.is_store else "write"
+                    pending = guarded.get(bar)
+                    if pending is not None and pending.kind == kind:
+                        pending.regs |= tracked_regs
+                        pending.preds |= tracked_preds
+                    else:
+                        guarded[bar] = _Guarded(
+                            kind, set(tracked_regs), set(tracked_preds)
+                        )
+
+            t += max(instr.control.stall, 1)
+        return diags

@@ -1,0 +1,99 @@
+"""The shared diagnostic vocabulary of the SASS static analyzer.
+
+Every analysis pass reports :class:`Diagnostic` records — a rule id, a
+severity, the instruction position the finding anchors to, a message and
+an optional fix hint — so that the CLI, the launch gate and CI can treat
+findings from very different analyses (register banks, shared-memory
+addressing, liveness, control codes) uniformly.
+
+Severity semantics:
+
+* ``ERROR``   — the kernel is wrong or cannot behave as encoded (data
+  hazard, misaligned vector access, register budget overflow).  The
+  launch gate in :mod:`repro.kernels.runner` refuses to run these.
+* ``WARNING`` — the kernel is functionally correct but leaves the
+  performance the paper fights for on the table (bank conflicts, wasted
+  ``.reuse`` flags).  Ablation kernels trip these on purpose.
+* ``INFO``    — measurements worth surfacing (peak live registers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Iterable
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered ``INFO < WARNING < ERROR``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One finding from one analysis pass.
+
+    ``pos`` is the instruction index in the analyzed program (-1 for
+    program-level findings such as the liveness summary); ``instruction``
+    is the mnemonic at that position, kept separate from the message so
+    renderers can choose their own framing.
+    """
+
+    rule: str
+    severity: Severity
+    pos: int
+    instruction: str
+    message: str
+    hint: str = ""
+
+    def text(self) -> str:
+        """One-line rendering: ``instr 12 (FFMA): error RB002: ...``."""
+        where = f"instr {self.pos} ({self.instruction})" if self.pos >= 0 else "program"
+        line = f"{where}: {self.severity.value} {self.rule}: {self.message}"
+        if self.hint:
+            line += f" [hint: {self.hint}]"
+        return line
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "pos": self.pos,
+            "instruction": self.instruction,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def max_severity(diagnostics: Iterable[Diagnostic]) -> Severity | None:
+    """Highest severity present, or None for an empty report."""
+    best: Severity | None = None
+    for diag in diagnostics:
+        if best is None or diag.severity.rank > best.rank:
+            best = diag.severity
+    return best
+
+
+def errors(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """The error-severity subset (what the launch gate refuses to run)."""
+    return [d for d in diagnostics if d.severity is Severity.ERROR]
+
+
+def count_by_severity(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
+    counts = {s.value: 0 for s in Severity}
+    for diag in diagnostics:
+        counts[diag.severity.value] += 1
+    return counts

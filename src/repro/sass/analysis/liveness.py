@@ -1,0 +1,131 @@
+"""Liveness / register-pressure pass (§5.2.1, Table 5).
+
+The paper's main loop is budgeted against the 253 usable general-purpose
+registers per thread (256 minus RZ and the two-register slack the
+hardware reserves — footnote 7); Table 5 accounts for 128 accumulators,
+64+16 double-buffered operands and the addressing scaffolding.  This
+pass computes the same number statically: a backward may-live dataflow
+over the control-flow graph, with registers killed only by unpredicated
+writes (a ``@P0`` write may not execute, so the old value can survive).
+
+Rules:
+
+* ``LV001`` (info)  — the peak live-register count and where it occurs,
+  so codegen changes that quietly grow pressure are visible in reports;
+* ``LV002`` (error) — peak pressure exceeds the 253-register budget: the
+  kernel cannot be allocated without spills, which the paper's design
+  rules out.
+
+The CFG is minimal: ``EXIT`` ends a path, an unpredicated ``BRA`` goes
+only to its target, a predicated ``BRA`` to both target and
+fall-through.  Unresolved (label) targets conservatively fall through.
+"""
+
+from __future__ import annotations
+
+from ..instruction import Instruction
+from ..isa import MAX_USABLE_REGISTERS
+from .base import AnalysisContext, AnalysisPass
+from .diagnostics import Diagnostic, Severity
+
+
+def _successors(instructions: list[Instruction], pos: int) -> list[int]:
+    instr = instructions[pos]
+    n = len(instructions)
+    if instr.name == "EXIT":
+        return []
+    if instr.name == "BRA" and isinstance(instr.target, int):
+        target = pos + 1 + instr.target
+        succ = [target] if 0 <= target < n else []
+        if not (instr.guard.is_pt and not instr.guard.negated):
+            if pos + 1 < n:
+                succ.append(pos + 1)
+        return succ
+    return [pos + 1] if pos + 1 < n else []
+
+
+def compute_live_in(instructions: list[Instruction]) -> list[int]:
+    """Per-instruction live-in register sets as 256-bit masks."""
+    n = len(instructions)
+    uses = []
+    defs = []
+    for instr in instructions:
+        use_mask = 0
+        for reg in instr.reads_registers():
+            use_mask |= 1 << reg
+        def_mask = 0
+        # Predicated writes may not retire; only unpredicated writes kill.
+        if instr.guard.is_pt and not instr.guard.negated:
+            for reg in instr.writes_registers():
+                def_mask |= 1 << reg
+        uses.append(use_mask)
+        defs.append(def_mask)
+
+    succs = [_successors(instructions, pos) for pos in range(n)]
+    live_in = [0] * n
+    changed = True
+    while changed:
+        changed = False
+        for pos in range(n - 1, -1, -1):
+            live_out = 0
+            for s in succs[pos]:
+                live_out |= live_in[s]
+            new = uses[pos] | (live_out & ~defs[pos])
+            if new != live_in[pos]:
+                live_in[pos] = new
+                changed = True
+    return live_in
+
+
+class LivenessPass(AnalysisPass):
+    name = "liveness"
+
+    def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
+        if not ctx.instructions:
+            return []
+        live_in = compute_live_in(ctx.instructions)
+        peak = 0
+        peak_pos = 0
+        for pos, mask in enumerate(live_in):
+            count = bin(mask).count("1")
+            if count > peak:
+                peak, peak_pos = count, pos
+
+        diags = [Diagnostic(
+            rule="LV001",
+            severity=Severity.INFO,
+            pos=peak_pos,
+            instruction=ctx.instructions[peak_pos].name,
+            message=(
+                f"peak register pressure: {peak} live registers "
+                f"(budget {MAX_USABLE_REGISTERS}, Table 5)"
+            ),
+        )]
+        if peak > MAX_USABLE_REGISTERS:
+            diags.append(Diagnostic(
+                rule="LV002",
+                severity=Severity.ERROR,
+                pos=peak_pos,
+                instruction=ctx.instructions[peak_pos].name,
+                message=(
+                    f"{peak} registers live at once exceeds the "
+                    f"{MAX_USABLE_REGISTERS}-register budget (footnote 7): "
+                    "the kernel cannot be allocated without spills"
+                ),
+                hint="shrink the double-buffering window or re-derive "
+                     "addresses instead of keeping them live (Table 5)",
+            ))
+        declared = ctx.meta.registers if ctx.meta is not None else None
+        if declared is not None and peak > declared:
+            diags.append(Diagnostic(
+                rule="LV003",
+                severity=Severity.ERROR,
+                pos=peak_pos,
+                instruction=ctx.instructions[peak_pos].name,
+                message=(
+                    f"{peak} registers live at once exceeds the "
+                    f".registers {declared} declaration"
+                ),
+                hint="raise the .registers directive to cover the peak",
+            ))
+        return diags

@@ -1,0 +1,204 @@
+"""Register-bank-conflict and ``.reuse`` validation pass (§4.3, §5.2.2).
+
+Volta/Turing split the register file into two 64-bit banks (even/odd
+register index — paper footnote 6).  An FMA/ALU instruction whose
+register sources all live in one bank pays an extra issue cycle unless
+one of them is served by the operand **reuse cache**: a ``.reuse`` flag
+on operand slot *s* keeps that register's value latched for the *next*
+instruction's slot *s*.
+
+The pass replays the cache exactly the way the simulator's issue logic
+does (:func:`repro.gpusim.engine._register_bank_conflict` is the
+dynamic twin) and reports:
+
+* ``RB001`` (warning) — three or more distinct un-cached register
+  sources in one bank: the conflict the Fig. 4 register plan eliminates;
+* ``RB002`` (error) — a consumer is served a **stale** value: the
+  cached register was overwritten after the flag latched it.  The
+  functional simulator reads the register file and hides this, but real
+  hardware serves the latched (old) value;
+* ``RB003`` (warning) — a ``.reuse`` flag no instruction consumes (the
+  next instruction's matching slot reads a different register), i.e.
+  the flag buys nothing — usually an interleaving bug, see
+  :func:`repro.kernels.schedules.weave`;
+* ``RB004`` (warning) — ``.reuse`` combined with the yield flag: a
+  requested warp switch forfeits the cache (§6.1), so the flag cannot
+  serve its consumer.
+
+The cache model is intentionally the simulator's: only instructions on
+the generic FMA/ALU issue path read or replace the cache; memory
+instructions pass it through untouched; branches and branch targets
+reset it (the incoming state is ambiguous across control flow).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..instruction import Instruction
+from ..operands import Reg
+from .base import AnalysisContext, AnalysisPass
+from .diagnostics import Diagnostic, Severity
+
+#: Opcodes that read operands through the banked register-file path and
+#: therefore (a) can pay bank conflicts and (b) read/replace the reuse
+#: cache.  Mirrors the generic ALU/FMA path of the simulator's engine.
+_EXCLUDED_ALU = ("ISETP", "P2R", "R2P")
+
+
+def _on_generic_alu_path(instr: Instruction) -> bool:
+    return instr.spec.pipe in ("fma", "alu") and instr.name not in _EXCLUDED_ALU
+
+
+@dataclasses.dataclass
+class _CacheEntry:
+    reg: int
+    producer_pos: int
+    stale: bool = False  # overwritten since the flag latched it
+
+
+class RegisterBankPass(AnalysisPass):
+    name = "register-bank"
+
+    def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        cache: dict[int, _CacheEntry] = {}
+        consumed: set[tuple[int, int]] = set()  # (producer_pos, slot) pairs
+
+        branch_targets = _branch_targets(ctx.instructions)
+
+        for pos, instr in enumerate(ctx.instructions):
+            if pos in branch_targets:
+                # Incoming cache state is ambiguous across control flow;
+                # drop entries without judging their consumption.
+                for slot in list(cache):
+                    consumed.add((cache[slot].producer_pos, slot))
+                cache.clear()
+
+            # Any write invalidates matching cache entries (the latch keeps
+            # the old value; hardware will happily serve it — stale).
+            writes = set(instr.writes_registers())
+            for entry in cache.values():
+                if entry.reg in writes:
+                    entry.stale = True
+
+            if not _on_generic_alu_path(instr):
+                if instr.name in ("BRA", "EXIT", "BAR"):
+                    for slot in list(cache):
+                        consumed.add((cache[slot].producer_pos, slot))
+                    cache.clear()
+                continue
+
+            # ---- consume: which sources are served by the cache? ----------
+            banks: list[int] = []
+            seen: set[int] = set()
+            for slot, op in enumerate(instr.srcs):
+                if not isinstance(op, Reg) or op.is_rz:
+                    continue
+                entry = cache.get(slot)
+                if entry is not None and entry.reg == op.index:
+                    consumed.add((entry.producer_pos, slot))
+                    if entry.stale:
+                        diags.append(Diagnostic(
+                            rule="RB002",
+                            severity=Severity.ERROR,
+                            pos=pos,
+                            instruction=instr.name,
+                            message=(
+                                f"operand slot {slot} reads R{op.index} from the "
+                                f"reuse cache, but R{op.index} was overwritten "
+                                f"after instr {entry.producer_pos} latched it — "
+                                "hardware serves the stale value"
+                            ),
+                            hint="drop the .reuse flag or move the overwrite "
+                                 "after the consumer",
+                        ))
+                    continue  # served by the cache, no bank-port read
+                if op.index in seen:
+                    continue  # one physical read feeds both operands
+                seen.add(op.index)
+                banks.append(op.index & 1)
+
+            if len(banks) >= 3 and len(set(banks)) == 1:
+                which = "odd" if banks[0] else "even"
+                regs = ", ".join(
+                    f"R{op.index}" for op in instr.srcs
+                    if isinstance(op, Reg) and not op.is_rz
+                )
+                diags.append(Diagnostic(
+                    rule="RB001",
+                    severity=Severity.WARNING,
+                    pos=pos,
+                    instruction=instr.name,
+                    message=(
+                        f"all register sources ({regs}) read the {which} "
+                        "64-bit bank: +1 issue cycle per warp instruction"
+                    ),
+                    hint="re-allocate one operand to the other bank or serve "
+                         "one via a .reuse flag (Fig. 4)",
+                ))
+
+            # ---- publish: this instruction's reuse flags replace the cache.
+            new_cache: dict[int, _CacheEntry] = {}
+            for slot, op in enumerate(instr.srcs):
+                if isinstance(op, Reg) and instr.control.reuse & (1 << slot):
+                    if instr.control.yield_flag:
+                        diags.append(Diagnostic(
+                            rule="RB004",
+                            severity=Severity.WARNING,
+                            pos=pos,
+                            instruction=instr.name,
+                            message=(
+                                f"slot {slot} .reuse flag is combined with the "
+                                "yield flag: the warp switch forfeits the reuse "
+                                "cache, so the flag cannot serve its consumer"
+                            ),
+                            hint="keep .reuse producers on non-yield "
+                                 "instructions (§6.1)",
+                        ))
+                        consumed.add((pos, slot))  # judged; don't also RB003
+                        continue
+                    entry = _CacheEntry(reg=op.index, producer_pos=pos)
+                    if op.index in writes:
+                        entry.stale = True
+                    new_cache[slot] = entry
+            # Entries the consumer did not pick up are judged when replaced.
+            for slot, entry in cache.items():
+                key = (entry.producer_pos, slot)
+                if key not in consumed:
+                    consumed.add(key)
+                    diags.append(_dead_reuse(ctx.instructions, entry, slot))
+            cache = new_cache
+
+        for slot, entry in cache.items():
+            if (entry.producer_pos, slot) not in consumed:
+                diags.append(_dead_reuse(ctx.instructions, entry, slot))
+        return diags
+
+
+def _dead_reuse(
+    instructions: list[Instruction], entry: _CacheEntry, slot: int
+) -> Diagnostic:
+    instr = instructions[entry.producer_pos]
+    return Diagnostic(
+        rule="RB003",
+        severity=Severity.WARNING,
+        pos=entry.producer_pos,
+        instruction=instr.name,
+        message=(
+            f"slot {slot} .reuse flag on R{entry.reg} has no consumer: the "
+            "next register-file instruction does not read "
+            f"R{entry.reg} in slot {slot}"
+        ),
+        hint="the reuse cache only survives to the immediately following "
+             "instruction — keep producer/consumer back-to-back "
+             "(schedules.weave never splits them)",
+    )
+
+
+def _branch_targets(instructions: list[Instruction]) -> set[int]:
+    targets: set[int] = set()
+    for pos, instr in enumerate(instructions):
+        if instr.name == "BRA" and isinstance(instr.target, int):
+            targets.add(pos + 1 + instr.target)
+    return targets

@@ -1,0 +1,512 @@
+"""Shared-memory bank-conflict and alignment pass (§4.3-§4.4).
+
+The paper's Table 4 layout, Fig. 3 lane arrangement and Fig. 5 transpose
+interleave exist to make every LDS/STS in the kernel conflict-free on
+the 32-bank × 4-byte shared memory.  This pass proves those properties
+*statically*: it symbolically executes the integer/address portion of
+the instruction stream for each warp — seeding ``S2R SR_TID.X`` with the
+warp's concrete thread ids and evaluating IMAD/IADD3/LOP3/SHF/ISETP/...
+exactly as the simulator's engine does — and then replays every shared
+access against the same phase/bank model the simulator charges cycles
+with (:func:`repro.gpusim.memory.bank_conflict_report`; the model is
+duplicated here so the assembler layer does not import the simulator,
+and a differential test keeps the two in lock step).
+
+Registers whose values depend on memory contents or kernel parameters
+become *unknown* and poison anything computed from them; shared-memory
+addressing in the paper's kernels is a pure function of ``threadIdx``,
+so the evaluator resolves every access.  Accesses with unknown
+addresses are skipped and summarized in one info diagnostic.
+
+Rules:
+
+* ``SM001`` (warning) — an n-way bank conflict: distinct 32-bit words in
+  the same bank within one access phase serialize (n−1 extra MIO cycles
+  per phase);
+* ``SM002`` (error) — a lane's address is not aligned to the access
+  width (requirement (ii) of §4.3; the hardware faults);
+* ``SM003`` (error) — an access falls outside the ``.smem`` window
+  declared by the kernel;
+* ``SM004`` (info) — accesses whose addresses could not be resolved
+  statically (count, for auditability).
+
+Control flow is handled linearly: backward branches are not re-executed
+(loop bodies recompute nothing that shared addressing depends on — base
+registers are loop-invariant in all generated kernels), and lanes masked
+off by a statically known guard predicate are excluded exactly as the
+hardware excludes them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..instruction import Instruction
+from ..isa import RZ, SETP_BOOL, SETP_CMP, SPECIAL_REGISTERS, width_of
+from ..operands import Const, Imm, Pred, Reg
+from .base import AnalysisContext, AnalysisPass
+from .diagnostics import Diagnostic, Severity
+
+NUM_BANKS = 32
+BANK_BYTES = 4
+
+_U32 = np.uint32
+
+
+def warp_access_cycles(
+    addrs: np.ndarray, width: int, mask: np.ndarray
+) -> tuple[int, int, int]:
+    """(phases, cycles, worst multiplicity) for one warp shared access.
+
+    Mirror of :func:`repro.gpusim.memory.bank_conflict_report`: a
+    ``width``-byte access is served in ``width/4`` phases of
+    ``128/width × 4`` consecutive lanes; within a phase the classic
+    32-bit rule applies to all words the phase's lanes touch (same-word
+    broadcast, distinct words in one bank serialize).
+    """
+    phases = width // BANK_BYTES
+    lanes_per_phase = 32 // phases
+    if not mask.any():
+        return phases, phases, 1
+    cycles = 0
+    worst = 1
+    words_per_lane = width // BANK_BYTES
+    lane_ids = np.arange(addrs.size)
+    offsets = np.arange(words_per_lane, dtype=np.int64)
+    for p in range(phases):
+        sel = (lane_ids // lanes_per_phase == p) & mask
+        if not sel.any():
+            cycles += 1
+            continue
+        words = np.unique(
+            (addrs[sel][:, None] // BANK_BYTES + offsets[None, :]).ravel()
+        )
+        banks = words % NUM_BANKS
+        multiplicity = int(np.bincount(banks, minlength=NUM_BANKS).max())
+        cycles += max(multiplicity, 1)
+        worst = max(worst, multiplicity)
+    return phases, cycles, worst
+
+
+# ---------------------------------------------------------------------------
+# Symbolic per-warp evaluation
+# ---------------------------------------------------------------------------
+
+
+class _WarpEval:
+    """Concrete 32-lane evaluation with unknown-poisoning.
+
+    Register and predicate files hold either a ``(32,)`` vector or None
+    (unknown).  The arithmetic mirrors ``repro.gpusim.engine`` so the
+    static address model cannot drift from the dynamic one.
+    """
+
+    def __init__(self, warp_id: int):
+        self.warp_id = warp_id
+        self.lanes = np.arange(32, dtype=_U32)
+        self.tids = (warp_id * 32 + self.lanes).astype(_U32)
+        self.regs: dict[int, np.ndarray | None] = {}
+        self.preds: dict[int, np.ndarray | None] = {
+            i: np.zeros(32, dtype=bool) for i in range(7)
+        }
+        self.preds[7] = np.ones(32, dtype=bool)
+
+    # ---- file access -----------------------------------------------------
+    def reg(self, idx: int) -> np.ndarray | None:
+        if idx == RZ:
+            return np.zeros(32, dtype=_U32)
+        return self.regs.get(idx)
+
+    def set_reg(
+        self, idx: int, value: np.ndarray | None, mask: np.ndarray | None
+    ) -> None:
+        """Masked write; an unknown mask or value poisons the register."""
+        if idx == RZ:
+            return
+        if value is None or mask is None:
+            self.regs[idx] = None
+            return
+        if mask.all():
+            self.regs[idx] = value.astype(_U32, copy=False)
+            return
+        old = self.regs.get(idx)
+        if old is None:
+            self.regs[idx] = None  # partial write over unknown stays unknown
+        else:
+            self.regs[idx] = np.where(mask, value.astype(_U32), old)
+
+    def pred(self, p: Pred) -> np.ndarray | None:
+        value = self.preds.get(p.index)
+        if value is None:
+            return None
+        return ~value if p.negated else value
+
+    def set_pred(
+        self, idx: int, value: np.ndarray | None, mask: np.ndarray | None
+    ) -> None:
+        if idx == 7:
+            return
+        if value is None or mask is None:
+            self.preds[idx] = None
+            return
+        old = self.preds.get(idx)
+        if mask.all():
+            self.preds[idx] = value.copy()
+        elif old is None:
+            self.preds[idx] = None
+        else:
+            self.preds[idx] = np.where(mask, value, old)
+
+    def src(self, op: object) -> np.ndarray | None:
+        if isinstance(op, Reg):
+            value = self.reg(op.index)
+            if value is not None and op.negated:
+                value = value ^ _U32(0x80000000)
+            return value
+        if isinstance(op, Imm):
+            return np.full(32, op.bits, dtype=_U32)
+        if isinstance(op, Const):
+            return None  # kernel parameters are launch-time values
+        return None
+
+    def guard_mask(self, instr: Instruction) -> np.ndarray | None:
+        if instr.guard.is_pt and not instr.guard.negated:
+            return np.ones(32, dtype=bool)
+        return self.pred(instr.guard)
+
+    # ---- one instruction ---------------------------------------------------
+    def step(self, instr: Instruction) -> None:
+        name = instr.name
+        mask = self.guard_mask(instr)
+
+        if name in ("BRA", "EXIT", "BAR", "NOP"):
+            return
+        if name == "S2R":
+            assert instr.dest is not None
+            sr = next(f for f in instr.flags if f.startswith("SR_"))
+            sr_id = SPECIAL_REGISTERS[sr]
+            if sr_id == 0:
+                vals: np.ndarray | None = self.tids
+            elif sr_id in (1, 2, 3, 4, 5):
+                vals = np.zeros(32, dtype=_U32)  # 1-D blocks, block (0,0,0)
+            elif sr_id == 6:
+                vals = self.lanes
+            else:
+                vals = np.full(32, self.warp_id, dtype=_U32)
+            self.set_reg(instr.dest.index, vals, mask)
+            return
+        if instr.spec.is_load:
+            self._clobber_dest(instr, mask)
+            return
+        if instr.spec.is_store:
+            return
+        if name == "ISETP":
+            a = self.src(instr.srcs[0])
+            b = self.src(instr.srcs[1])
+            assert instr.src_pred is not None
+            combine = self.pred(instr.src_pred)
+            result: np.ndarray | None
+            if a is None or b is None or combine is None:
+                result = None
+            else:
+                if "U32" in instr.flags:
+                    a_cmp, b_cmp = a.astype(np.uint64), b.astype(np.uint64)
+                else:
+                    a_cmp, b_cmp = a.view(np.int32), b.view(np.int32)
+                cmp_name = next((f for f in instr.flags if f in SETP_CMP), "EQ")
+                result = {
+                    "EQ": a_cmp == b_cmp, "NE": a_cmp != b_cmp,
+                    "LT": a_cmp < b_cmp, "LE": a_cmp <= b_cmp,
+                    "GT": a_cmp > b_cmp, "GE": a_cmp >= b_cmp,
+                }[cmp_name]
+                bool_name = next((f for f in instr.flags if f in SETP_BOOL), "AND")
+                if bool_name == "AND":
+                    result = result & combine
+                elif bool_name == "OR":
+                    result = result | combine
+                else:
+                    result = result ^ combine
+            self.set_pred(instr.dest_preds[0].index, result, mask)
+            return
+        if name == "P2R":
+            assert instr.dest is not None
+            pack = instr.srcs[0].bits if isinstance(instr.srcs[0], Imm) else 0x7F
+            vals = np.zeros(32, dtype=_U32)
+            known = True
+            for i in range(7):
+                if pack & (1 << i):
+                    p = self.preds.get(i)
+                    if p is None:
+                        known = False
+                        break
+                    vals |= p.astype(_U32) << _U32(i)
+            self.set_reg(instr.dest.index, vals if known else None, mask)
+            return
+        if name == "R2P":
+            src_op = instr.srcs[0]
+            src = self.reg(src_op.index) if isinstance(src_op, Reg) else None
+            unpack = instr.srcs[1].bits if isinstance(instr.srcs[1], Imm) else 0
+            for i in range(7):
+                if unpack & (1 << i):
+                    bit = None if src is None else (src >> _U32(i)) & _U32(1) != 0
+                    self.set_pred(i, bit, mask)
+            return
+
+        srcs = [self.src(op) for op in instr.srcs]
+        if name == "IMAD" and "WIDE" in instr.flags:
+            self._imad_wide(instr, srcs, mask)
+            return
+        out = self._alu(instr, srcs)
+        if instr.dest is not None:
+            self.set_reg(instr.dest.index, out, mask)
+
+    def _alu(
+        self, instr: Instruction, srcs: list[np.ndarray | None]
+    ) -> np.ndarray | None:
+        name = instr.name
+        if name == "CS2R":
+            return np.zeros(32, dtype=_U32)
+        if any(s is None for s in srcs):
+            return None
+        known = [s for s in srcs if s is not None]
+        if name == "MOV":
+            return known[0]
+        if name == "IADD3":
+            a, b, c = known
+            return a + b + c
+        if name == "IMAD":
+            a, b, c = known
+            return (
+                a.astype(np.int64) * b.astype(np.int64) + c.astype(np.int64)
+            ).astype(np.uint64).astype(_U32)
+        if name == "LOP3":
+            a, b, c = known
+            op_name = next(
+                (f for f in instr.flags if f in ("AND", "OR", "XOR")), "AND"
+            )
+            if op_name == "AND":
+                return (a & b) ^ c
+            if op_name == "OR":
+                return (a | b) ^ c
+            return a ^ b ^ c
+        if name == "SHF":
+            a, sh, c = known
+            sh = sh & _U32(31)
+            if "L" in instr.flags:
+                hi_in = np.where(sh > 0, c >> ((_U32(32) - sh) & _U32(31)), _U32(0))
+                return ((a << sh) | hi_in).astype(_U32)
+            lo = a >> sh
+            hi_in = np.where(sh > 0, c << ((_U32(32) - sh) & _U32(31)), _U32(0))
+            return (lo | hi_in).astype(_U32)
+        if name == "SEL":
+            return known[0]  # engine models SEL the same way
+        if name == "POPC":
+            return np.array(
+                [bin(int(v)).count("1") for v in known[0]], dtype=_U32
+            )
+        return None  # FP pipe etc.: values never feed shared addressing
+
+    def _imad_wide(
+        self,
+        instr: Instruction,
+        srcs: list[np.ndarray | None],
+        mask: np.ndarray | None,
+    ) -> None:
+        assert instr.dest is not None
+        a, b = srcs[0], srcs[1]
+        c_op = instr.srcs[2]
+        addend: np.ndarray | None
+        if isinstance(c_op, Reg) and not c_op.is_rz:
+            lo, hi = self.reg(c_op.index), self.reg(c_op.index + 1)
+            addend = (
+                None
+                if lo is None or hi is None
+                else lo.astype(np.int64) | (hi.astype(np.int64) << 32)
+            )
+        else:
+            addend = None if srcs[2] is None else srcs[2].astype(np.int64)
+        if a is None or b is None or addend is None:
+            self.set_reg(instr.dest.index, None, mask)
+            self.set_reg(instr.dest.index + 1, None, mask)
+            return
+        if "U32" in instr.flags:
+            prod = a.astype(np.int64) * b.astype(np.int64)
+        else:
+            prod = a.view(np.int32).astype(np.int64) * b.view(np.int32).astype(
+                np.int64
+            )
+        total = (prod + addend).astype(np.uint64)
+        self.set_reg(instr.dest.index, (total & 0xFFFFFFFF).astype(_U32), mask)
+        self.set_reg(instr.dest.index + 1, (total >> 32).astype(_U32), mask)
+
+    def _clobber_dest(
+        self, instr: Instruction, mask: np.ndarray | None
+    ) -> None:
+        """A load's destination vector becomes unknown (memory contents)."""
+        for reg in instr.writes_registers():
+            self.set_reg(reg, None, mask)
+
+    # ---- shared-memory address resolution ---------------------------------
+    def shared_addrs(
+        self, instr: Instruction
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """(addrs, active-lane mask), or None if not statically known."""
+        assert instr.mem is not None
+        mask = self.guard_mask(instr)
+        if mask is None:
+            return None
+        base = instr.mem.base.index
+        if base == RZ:
+            addrs = np.full(32, instr.mem.offset, dtype=np.int64)
+        else:
+            lo = self.reg(base)
+            if lo is None:
+                return None
+            if "E" in instr.flags:
+                hi = self.reg(base + 1)
+                if hi is None:
+                    return None
+                addrs = (
+                    lo.astype(np.int64) | (hi.astype(np.int64) << 32)
+                ) + instr.mem.offset
+            else:
+                addrs = lo.astype(np.int64) + instr.mem.offset
+        return addrs, mask
+
+
+# ---------------------------------------------------------------------------
+# The pass
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _Finding:
+    severity: Severity
+    message: str
+    hint: str
+    worst: int = 0  # n-way multiplicity, to keep the worst warp's report
+
+
+class SharedMemoryPass(AnalysisPass):
+    name = "smem-bank"
+
+    def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
+        findings: dict[tuple[int, str], _Finding] = {}
+        unknown_positions: set[int] = set()
+        smem_bytes = ctx.smem_bytes
+
+        for warp_id in range(ctx.num_warps):
+            state = _WarpEval(warp_id)
+            for pos, instr in enumerate(ctx.instructions):
+                if instr.spec.mem_space == "shared":
+                    resolved = state.shared_addrs(instr)
+                    if resolved is None:
+                        unknown_positions.add(pos)
+                    else:
+                        self._check_access(
+                            pos, instr, warp_id, *resolved,
+                            smem_bytes=smem_bytes, findings=findings,
+                        )
+                state.step(instr)
+
+        diags = [
+            Diagnostic(
+                rule=rule,
+                severity=f.severity,
+                pos=pos,
+                instruction=ctx.instructions[pos].name,
+                message=f.message,
+                hint=f.hint,
+            )
+            for (pos, rule), f in findings.items()
+        ]
+        if unknown_positions:
+            diags.append(Diagnostic(
+                rule="SM004",
+                severity=Severity.INFO,
+                pos=-1,
+                instruction="",
+                message=(
+                    f"{len(unknown_positions)} shared-memory access(es) have "
+                    "statically unknown addresses and were not checked "
+                    f"(instructions {sorted(unknown_positions)[:8]}...)"
+                    if len(unknown_positions) > 8 else
+                    f"{len(unknown_positions)} shared-memory access(es) have "
+                    "statically unknown addresses and were not checked "
+                    f"(instructions {sorted(unknown_positions)})"
+                ),
+                hint="shared addressing should be a pure function of "
+                     "threadIdx; data-dependent addresses cannot be audited",
+            ))
+        return diags
+
+    def _check_access(
+        self,
+        pos: int,
+        instr: Instruction,
+        warp_id: int,
+        addrs: np.ndarray,
+        mask: np.ndarray,
+        smem_bytes: int | None,
+        findings: dict[tuple[int, str], _Finding],
+    ) -> None:
+        width = width_of(instr.flags)
+        active = addrs[mask]
+        if active.size == 0:
+            return
+
+        misaligned = active[active % width != 0]
+        if misaligned.size:
+            self._keep(findings, pos, "SM002", _Finding(
+                severity=Severity.ERROR,
+                message=(
+                    f"warp {warp_id}: {width}-byte access at address "
+                    f"{int(misaligned[0]):#x} is not {width}-byte aligned "
+                    "(the hardware faults; §4.3 requirement (ii))"
+                ),
+                hint=f"make the byte address a multiple of {width} for "
+                     "every lane",
+            ))
+
+        if smem_bytes is not None and (
+            active.min() < 0 or int(active.max()) + width > smem_bytes
+        ):
+            bad = int(active[(active < 0) | (active + width > smem_bytes)][0])
+            self._keep(findings, pos, "SM003", _Finding(
+                severity=Severity.ERROR,
+                message=(
+                    f"warp {warp_id}: access at {bad:#x} falls outside the "
+                    f"{smem_bytes}-byte .smem window"
+                ),
+                hint="raise the .smem directive or fix the address "
+                     "computation",
+            ))
+
+        phases, cycles, worst = warp_access_cycles(addrs, width, mask)
+        if cycles > phases:
+            self._keep(findings, pos, "SM001", _Finding(
+                severity=Severity.WARNING,
+                message=(
+                    f"warp {warp_id}: {worst}-way bank conflict "
+                    f"({cycles - phases} extra MIO cycle(s) over the "
+                    f"{phases}-phase minimum)"
+                ),
+                hint="re-map addresses so each phase's lanes touch 32 "
+                     "distinct banks (Table 4 / Fig. 5 layouts)",
+                worst=worst,
+            ))
+
+    @staticmethod
+    def _keep(
+        findings: dict[tuple[int, str], _Finding],
+        pos: int,
+        rule: str,
+        finding: _Finding,
+    ) -> None:
+        """Keep one finding per (instruction, rule): the worst warp's."""
+        key = (pos, rule)
+        existing = findings.get(key)
+        if existing is None or finding.worst > existing.worst:
+            findings[key] = finding

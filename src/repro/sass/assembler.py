@@ -75,7 +75,7 @@ class AssembledKernel:
 
 def assemble(
     source: str,
-    env: dict | None = None,
+    env: dict[str, object] | None = None,
     auto_schedule: bool = False,
     strict: bool = False,
 ) -> AssembledKernel:
@@ -140,7 +140,10 @@ def assemble(
 
 
 def assemble_file(
-    path: str, env: dict | None = None, auto_schedule: bool = False, strict: bool = False
+    path: str,
+    env: dict[str, object] | None = None,
+    auto_schedule: bool = False,
+    strict: bool = False,
 ) -> AssembledKernel:
     with open(path, "r", encoding="utf-8") as fh:
         return assemble(fh.read(), env, auto_schedule, strict)

@@ -22,6 +22,7 @@ import struct
 from ..common.errors import AssemblerError
 from .assembler import AssembledKernel
 from .encoder import decode_program
+from .instruction import Instruction
 from .preprocess import KernelMeta
 
 EM_CUDA = 190
@@ -128,7 +129,7 @@ class LoadedCubin:
     text: bytes
     labels: dict[str, int]
 
-    def instructions(self):
+    def instructions(self) -> list[Instruction]:
         return decode_program(self.text)
 
 

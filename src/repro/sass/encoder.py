@@ -36,7 +36,7 @@ from .isa import (
     OPCODES,
     spec_for,
 )
-from .operands import Const, Imm, Mem, Pred, Reg
+from .operands import Const, Imm, Mem, Operand, Pred, Reg
 
 INSTRUCTION_BYTES = 16
 _NONE_REG = 0xFF
@@ -213,7 +213,7 @@ def decode_instruction(word: int) -> Instruction:
     # Generic ALU/FMA.
     if spec.has_dest:
         instr.dest = Reg(rd_byte)
-    srcs: list = []
+    srcs: list[Operand] = []
     n = spec.num_srcs
     b_slot = 1 if n >= 2 else (0 if n == 1 else None)
     reg_queue = [rs0, rs2]
@@ -226,7 +226,7 @@ def decode_instruction(word: int) -> Instruction:
     return _restore_reuse(instr, word)
 
 
-def _decode_b(form: int, b_value: int):
+def _decode_b(form: int, b_value: int) -> Imm | Const | Reg:
     if form == FORM_IMMEDIATE:
         return Imm(b_value)
     if form == FORM_CONSTANT:

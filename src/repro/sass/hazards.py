@@ -54,7 +54,9 @@ def schedule(instructions: list[Instruction], loop_start: int | None = None) -> 
         _schedule_pass(instructions[loop_start:], ready_reg, ready_pred)
 
 
-def _collect_end_state(instructions, loop_start):
+def _collect_end_state(
+    instructions: list[Instruction], loop_start: int
+) -> tuple[dict[int, int], dict[int, int]]:
     ready_reg: dict[int, int] = {}
     ready_pred: dict[int, int] = {}
     t = 0
@@ -73,7 +75,11 @@ def _collect_end_state(instructions, loop_start):
     )
 
 
-def _schedule_pass(instructions, ready_reg, ready_pred):
+def _schedule_pass(
+    instructions: list[Instruction],
+    ready_reg: dict[int, int],
+    ready_pred: dict[int, int],
+) -> None:
     ready_reg = dict(ready_reg)
     ready_pred = dict(ready_pred)
     barriers: dict[int, _PendingBarrier] = {}
@@ -152,7 +158,14 @@ def _schedule_pass(instructions, ready_reg, ready_pred):
         prev = instr
 
 
-def _merge_barrier(barriers, idx, kind, regs, preds, space="") -> None:
+def _merge_barrier(
+    barriers: dict[int, _PendingBarrier],
+    idx: int,
+    kind: str,
+    regs: set[int],
+    preds: set[int],
+    space: str = "",
+) -> None:
     """Several in-flight ops may share one barrier; track the reg union."""
     pending = barriers.get(idx)
     if pending is not None and pending.kind == kind:
@@ -176,81 +189,21 @@ def _free_barrier(barriers: dict[int, _PendingBarrier], instr: Instruction) -> i
 def validate_control(instructions: list[Instruction]) -> list[str]:
     """Return a list of hazard violations (empty = provably hazard-free).
 
-    Linear-scan model: fixed-latency results must be covered by
-    accumulated stalls; variable-latency results must be covered by a
-    write barrier that some instruction waits on before consuming.
+    Thin wrapper over the analyzer's
+    :class:`~repro.sass.analysis.ctrlcodes.ControlCodePass` (linear-scan
+    model: fixed-latency results must be covered by accumulated stalls,
+    variable-latency results — registers *and* predicates — by a
+    scoreboard barrier some instruction waits on before consuming),
+    rendered in this function's historical string format.
     """
-    problems: list[str] = []
-    ready_reg: dict[int, int] = {}
-    ready_pred: dict[int, int] = {}
-    guarded: dict[int, tuple[str, set[int]]] = {}  # barrier -> (kind, regs)
-    unguarded: dict[int, int] = {}  # reg -> producing line (variable latency)
-    t = 0
+    from .analysis.base import AnalysisContext
+    from .analysis.ctrlcodes import ControlCodePass
 
-    for pos, instr in enumerate(instructions):
-        spec = instr.spec
-        reads = set(instr.reads_registers())
-        writes = set(instr.writes_registers())
-        pred_reads = set(instr.reads_predicates())
-
-        for idx in range(NUM_WAIT_BARRIERS):
-            if instr.control.waits_on(idx) and idx in guarded:
-                kind, regs = guarded.pop(idx)
-                for reg in regs:
-                    unguarded.pop(reg, None)
-
-        for idx, (kind, regs) in guarded.items():
-            hazard = (
-                regs & (reads | writes) if kind == "write" else regs & writes
-            )
-            if hazard:
-                reg = sorted(hazard)[0]
-                problems.append(
-                    f"instr {pos} ({instr.name}) touches R{reg} guarded by "
-                    f"barrier {idx} without waiting on it"
-                )
-        for reg in reads | writes:
-            if reg in unguarded:
-                problems.append(
-                    f"instr {pos} ({instr.name}) touches R{reg} whose "
-                    f"variable-latency producer at {unguarded[reg]} was not "
-                    "awaited"
-                )
-            if ready_reg.get(reg, 0) > t:
-                problems.append(
-                    f"instr {pos} ({instr.name}) reads/writes R{reg} "
-                    f"{ready_reg[reg] - t} cycles too early"
-                )
-        for p in pred_reads:
-            if ready_pred.get(p, 0) > t:
-                problems.append(
-                    f"instr {pos} ({instr.name}) reads P{p} "
-                    f"{ready_pred[p] - t} cycles too early"
-                )
-
-        if spec.latency is not None:
-            for reg in writes:
-                ready_reg[reg] = t + spec.latency
-            for p in instr.writes_predicates():
-                ready_pred[p] = t + spec.latency
-        elif instr.name not in ("BRA", "EXIT", "BAR", "NOP"):
-            bar = (
-                instr.control.read_bar if spec.is_store else instr.control.write_bar
-            )
-            tracked = reads if spec.is_store else writes
-            if bar == NO_BARRIER:
-                if not spec.is_store:
-                    for reg in tracked:
-                        unguarded[reg] = pos
-            else:
-                kind = "read" if spec.is_store else "write"
-                if bar in guarded and guarded[bar][0] == kind:
-                    guarded[bar] = (kind, guarded[bar][1] | set(tracked))
-                else:
-                    guarded[bar] = (kind, set(tracked))
-
-        t += max(instr.control.stall, 1)
-    return problems
+    ctx = AnalysisContext(instructions=instructions)
+    return [
+        f"instr {d.pos} ({d.instruction}) {d.message}"
+        for d in ControlCodePass().run(ctx)
+    ]
 
 
 class HazardError(AssemblerError):

@@ -24,7 +24,7 @@ import dataclasses
 from ..common.errors import EncodingError
 from .control import ControlCode
 from .isa import OpSpec, spec_for
-from .operands import Const, Imm, Mem, Pred, Reg
+from .operands import Const, Imm, Mem, Operand, Pred, Reg
 
 
 @dataclasses.dataclass
@@ -34,7 +34,7 @@ class Instruction:
     guard: Pred = dataclasses.field(default_factory=lambda: Pred(7))
     dest: Reg | None = None
     dest_preds: tuple[Pred, ...] = ()
-    srcs: tuple = ()
+    srcs: tuple[Operand, ...] = ()
     src_pred: Pred | None = None
     mem: Mem | None = None
     control: ControlCode = dataclasses.field(default_factory=ControlCode)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import dataclasses
 import re
 import struct
+from typing import Union
 
 from ..common.errors import EncodingError, SassSyntaxError
 from .isa import NUM_PREDICATES, PT, RZ
@@ -140,7 +141,7 @@ class Mem:
         return f"[{self.base.text()} {sign} {abs(self.offset):#x}]"
 
 
-Operand = object  # union of the classes above; kept loose for isinstance use
+Operand = Union[Reg, Pred, Imm, Const, Mem]  # anything an operand slot holds
 
 _REG_RE = re.compile(r"^(-?)R(\d+|Z)(\.reuse)?$")
 _PRED_RE = re.compile(r"^(!?)P(\d+|T)$")
@@ -150,7 +151,7 @@ _MEM_RE = re.compile(
 )
 
 
-def parse_operand(token: str, line: int | None = None):
+def parse_operand(token: str, line: int | None = None) -> "Reg | Pred | Imm | Const | Mem":
     """Parse one operand token into its operand object."""
     token = token.strip()
     m = _REG_RE.match(token)

@@ -65,7 +65,7 @@ _ALIAS_RE = re.compile(r"^\.alias\s+([A-Za-z_][A-Za-z_0-9]*)\s+(\S+)\s*$")
 _EXPR_RE = re.compile(r"\{\{(.*?)\}\}")
 
 
-def preprocess(source: str, env: dict | None = None) -> PreprocessResult:
+def preprocess(source: str, env: dict[str, object] | None = None) -> PreprocessResult:
     """Expand inline Python, apply aliases, collect directives."""
     env = dict(env or {})
     meta = KernelMeta()

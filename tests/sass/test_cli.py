@@ -80,3 +80,44 @@ def test_inline_python_define_used(cubin_path):
 
     loaded = read_cubin(cubin_path.read_bytes())
     assert len(loaded.text) // 16 == 8
+
+
+def test_lint_clean_source(tmp_path, capsys):
+    src = tmp_path / "clean.sass"
+    src.write_text(SRC)
+    rc = main(["lint", str(src), "--schedule", "-D", "width=3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "0 error(s)" in out
+
+
+def test_lint_hazardous_source_fails(tmp_path, capsys):
+    src = tmp_path / "bad.sass"
+    src.write_text(
+        ".kernel bad\n.registers 8\n"
+        "LDG.E R0, [R2];\nIADD3 R3, R0, 0x1, RZ;\nEXIT;\n"
+    )
+    rc = main(["lint", str(src)])  # no --schedule: hazards stay
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "CTRL002" in out
+
+
+def test_lint_json_output(tmp_path, capsys):
+    import json
+
+    src = tmp_path / "clean.sass"
+    src.write_text(SRC)
+    rc = main(["lint", str(src), "--schedule", "--json", "-D", "width=3"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["kernel"] == "demo"
+    assert payload["summary"]["error"] == 0
+    assert all("rule" in d for d in payload["diagnostics"])
+
+
+def test_lint_cubin_input(cubin_path, capsys):
+    rc = main(["lint", str(cubin_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "demo:" in out
