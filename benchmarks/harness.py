@@ -51,12 +51,19 @@ def seed_main_loop_measurement(device_name: str, tunables: Tunables, meas) -> No
     _MEASUREMENTS[(device_name, tunables)] = meas
 
 
-def main_loop_measurement(device_name: str, **tunable_kwargs):
+def main_loop_measurement(device_name: str, context=None, **tunable_kwargs):
+    """Memoized main-loop measurement for one (device, tunables) pair.
+
+    *context* is the :class:`repro.runtime.ExecutionContext` supplying
+    the build/simulation caches and trace spans (default: the current
+    context, so existing callers are unchanged).
+    """
     tunables = Tunables(**dict(tunable_kwargs))
     key = (device_name, tunables)
     if key not in _MEASUREMENTS:
         _MEASUREMENTS[key] = measure_main_loop(
-            _SURROGATE, device=DEVICES[device_name], tunables=tunables
+            _SURROGATE, device=DEVICES[device_name], tunables=tunables,
+            context=context,
         )
     return _MEASUREMENTS[key]
 

@@ -1,0 +1,54 @@
+"""Single console entry point: ``python -m repro <command>``.
+
+Commands::
+
+    python -m repro sass ...       # assemble/disassemble/lint SASS
+    python -m repro kernels ...    # generate the paper's kernels
+    python -m repro session ...    # run an InferenceSession end to end
+
+``python -m repro.sass`` and ``python -m repro.kernels`` keep working as
+thin aliases of the first two; ``session`` is the unified runtime's CLI
+(see ``repro.runtime.cli``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+COMMANDS = ("sass", "kernels", "session")
+
+_USAGE = (
+    "usage: python -m repro {sass,kernels,session} ...\n"
+    "\n"
+    "  sass      assemble, disassemble and inspect Volta/Turing SASS\n"
+    "  kernels   generate the paper's SASS kernels\n"
+    "  session   plan and run a layer stack through the unified runtime\n"
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    # Dispatch by hand (not one big argparse tree) so each sub-CLI keeps
+    # its own parser, --help text and exit codes unchanged.
+    if command == "sass":
+        from .sass.__main__ import main as sass_main
+
+        return sass_main(rest)
+    if command == "kernels":
+        from .kernels.__main__ import main as kernels_main
+
+        return kernels_main(rest)
+    if command == "session":
+        from .runtime.cli import main as session_main
+
+        return session_main(["session", *rest])
+    print(f"unknown command {command!r}\n{_USAGE}", end="", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,8 @@ from .errors import (
     SimLaunchError,
     SimMemoryFault,
     SimulatorError,
+    WorkspaceError,
+    WorkspaceLimitError,
 )
 from .layouts import (
     chwn_to_nchw,
@@ -42,6 +44,8 @@ __all__ = [
     "SimLaunchError",
     "SimMemoryFault",
     "SimulatorError",
+    "WorkspaceError",
+    "WorkspaceLimitError",
     "chwn_to_nchw",
     "conv_tolerance",
     "crsk_to_kcrs",

@@ -77,3 +77,11 @@ class SimDeadlock(SimulatorError):
 
 class ModelError(ReproError):
     """Analytical performance model was queried outside its domain."""
+
+
+class WorkspaceError(ReproError):
+    """Misuse of the runtime workspace arena (double release, bad size)."""
+
+
+class WorkspaceLimitError(WorkspaceError):
+    """A workspace reservation would exceed the arena's byte budget."""

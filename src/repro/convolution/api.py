@@ -128,6 +128,7 @@ def conv2d(
     *,
     workspace_limit_bytes: int | None = None,
     device=None,
+    context=None,
 ) -> np.ndarray:
     """Batched 2-D convolution with a selectable (or automatic) algorithm.
 
@@ -142,7 +143,11 @@ def conv2d(
         global workspace (``perfmodel.dispatch_workspace_bytes``)
         exceeds this budget; ``None`` means unlimited.
     device: AUTO modes only — the :class:`repro.gpusim.arch.DeviceSpec`
-        the heuristic time models rank for (default: V100).
+        the heuristic time models rank for (default: the context's
+        device, V100 unless configured otherwise).
+    context: the :class:`repro.runtime.ExecutionContext` supplying the
+        plan cache, dispatch stats and trace hooks (default: the current
+        context — the process-wide default unless one is activated).
     """
     if not isinstance(algo, str):
         raise ConvConfigError(f"algo must be a string, got {algo!r}")
@@ -159,12 +164,18 @@ def conv2d(
         return autotune_conv2d(
             x, f, pad, mode=algo,
             workspace_limit_bytes=workspace_limit_bytes, device=device,
+            context=context,
         )
     if workspace_limit_bytes is not None or device is not None:
         raise ConvConfigError(
             "workspace_limit_bytes/device only apply to the AUTO modes; "
             f"algo={algo!r} was requested explicitly"
         )
+    if context is not None:
+        from ..runtime import activate
+
+        with activate(context):
+            return _run_concrete(algo, x, f, pad)
     return _run_concrete(algo, x, f, pad)
 
 

@@ -40,7 +40,6 @@ import numpy as np
 
 from ..common.errors import ConvConfigError, ReproError
 from ..common.problem import ConvProblem
-from .metrics import live_dispatch_stats
 
 AUTO_MODES = ("AUTO", "AUTO_HEURISTIC")
 
@@ -100,67 +99,96 @@ class ConvPlan:
     hits: int = 0
 
 
-# The live plan cache: LRU-ordered, guarded by a lock (conv2d may be
-# called from worker threads), bounded so a long-lived process serving
-# arbitrary shapes cannot grow it without limit.  Plans are published
-# whole — the self-heal path in :func:`_run_plan` replaces an entry
-# with a fresh ``ConvPlan`` instead of mutating the cached one.
-_PLAN_CACHE: collections.OrderedDict[PlanKey, ConvPlan] = collections.OrderedDict()
-_PLAN_LOCK = threading.RLock()
-_PLAN_CACHE_MAX = 256
+class PlanCache:
+    """The live plan cache: an LRU of :class:`ConvPlan` by :class:`PlanKey`.
+
+    Lock-guarded (conv2d may be called from worker threads) and bounded,
+    so a long-lived process serving arbitrary shapes cannot grow it
+    without limit.  Plans are published whole — the self-heal path in
+    :func:`_run_plan` replaces an entry with a fresh ``ConvPlan`` instead
+    of mutating the cached one.  Each :class:`repro.runtime.ExecutionContext`
+    owns one instance; ``on_evict`` lets the owner count evictions on its
+    dispatch stats.
+    """
+
+    def __init__(self, max_entries: int = 256, on_evict=None):
+        if max_entries < 1:
+            raise ConvConfigError(
+                f"plan cache limit must be >= 1, got {max_entries}"
+            )
+        self._lock = threading.RLock()
+        self._entries: collections.OrderedDict[PlanKey, ConvPlan] = (
+            collections.OrderedDict()
+        )
+        self._max_entries = max_entries
+        self._on_evict = on_evict
+
+    def lookup(self, key: PlanKey) -> ConvPlan | None:
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self._entries.move_to_end(key)
+            return plan
+
+    def store(self, key: PlanKey, plan: ConvPlan) -> None:
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            self._evict_over_limit()
+
+    def snapshot(self) -> dict[PlanKey, ConvPlan]:
+        """A deep-copied snapshot (keys → plans).
+
+        Deep-copied so the returned plans never alias the live entries:
+        the dispatcher may heal or evict concurrently, and callers may
+        freely poke at the snapshot without corrupting future dispatches.
+        """
+        with self._lock:
+            return copy.deepcopy(dict(self._entries))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def set_limit(self, max_entries: int) -> None:
+        """Bound the cache (oldest entries evict first); min 1."""
+        if max_entries < 1:
+            raise ConvConfigError(
+                f"plan cache limit must be >= 1, got {max_entries}"
+            )
+        with self._lock:
+            self._max_entries = max_entries
+            self._evict_over_limit()
+
+    def _evict_over_limit(self) -> None:
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            if self._on_evict is not None:
+                self._on_evict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+def _current_plans() -> PlanCache:
+    from ..runtime import current_context
+
+    return current_context().plans
 
 
 def get_plan_cache() -> dict[PlanKey, ConvPlan]:
-    """A deep-copied snapshot of the plan cache (keys → plans).
-
-    Deep-copied so the returned plans never alias the live entries: the
-    dispatcher may heal or evict concurrently, and callers may freely
-    poke at the snapshot without corrupting future dispatches.
-    """
-    with _PLAN_LOCK:
-        return copy.deepcopy(dict(_PLAN_CACHE))
+    """Deep-copied snapshot of the current context's plan cache."""
+    return _current_plans().snapshot()
 
 
 def clear_plan_cache() -> None:
-    with _PLAN_LOCK:
-        _PLAN_CACHE.clear()
+    _current_plans().clear()
 
 
 def set_plan_cache_limit(max_entries: int) -> None:
-    """Bound the plan cache (oldest entries evict first); min 1."""
-    global _PLAN_CACHE_MAX
-    if max_entries < 1:
-        raise ConvConfigError(f"plan cache limit must be >= 1, got {max_entries}")
-    with _PLAN_LOCK:
-        _PLAN_CACHE_MAX = max_entries
-        _evict_over_limit()
-
-
-def _evict_over_limit() -> None:
-    while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
-        _PLAN_CACHE.popitem(last=False)
-        live_dispatch_stats().plan_evictions += 1
-
-
-def _cache_lookup(key: PlanKey) -> ConvPlan | None:
-    with _PLAN_LOCK:
-        plan = _PLAN_CACHE.get(key)
-        if plan is not None:
-            _PLAN_CACHE.move_to_end(key)
-        return plan
-
-
-def _cache_store(key: PlanKey, plan: ConvPlan) -> None:
-    with _PLAN_LOCK:
-        _PLAN_CACHE[key] = plan
-        _PLAN_CACHE.move_to_end(key)
-        _evict_over_limit()
-
-
-def _default_device():
-    from ..gpusim import V100
-
-    return V100
+    """Bound the current context's plan cache (oldest evict first); min 1."""
+    _current_plans().set_limit(max_entries)
 
 
 def _execute(algo: str, x: np.ndarray, f: np.ndarray, pad: int) -> np.ndarray:
@@ -188,54 +216,68 @@ def autotune_conv2d(
     mode: str,
     workspace_limit_bytes: int | None = None,
     device=None,
+    context=None,
 ) -> np.ndarray:
     """Dispatch one convolution through the AUTO/AUTO_HEURISTIC pipeline.
 
     Called by :func:`repro.convolution.conv2d` after input validation;
     not intended as a public entry point (use ``conv2d(algo="AUTO")``).
+    All mutable state (plan cache, dispatch stats) lives on *context*
+    (default: the current :class:`repro.runtime.ExecutionContext`).
     """
+    from ..runtime import activate, current_context
+
     if mode not in AUTO_MODES:
         raise ConvConfigError(f"unknown auto mode {mode!r}; choose from {AUTO_MODES}")
     if workspace_limit_bytes is not None and workspace_limit_bytes < 0:
         raise ConvConfigError(
             f"workspace_limit_bytes must be >= 0 or None, got {workspace_limit_bytes}"
         )
-    device = device or _default_device()
-    stats = live_dispatch_stats()
-    stats.record_call(mode)
+    ctx = context if context is not None else current_context()
+    with activate(ctx):
+        device = device or ctx.device
+        stats = ctx.dispatch_stats
+        stats.record_call(mode)
 
-    n, c, h, w = x.shape
-    k, _, r, s = f.shape
-    prob = ConvProblem(n=n, c=c, h=h, w=w, k=k, r=r, s=s, pad=pad)
-    key = PlanKey.from_problem(
-        prob, np.result_type(x, f), workspace_limit_bytes, device.name, mode
-    )
-
-    plan = _cache_lookup(key)
-    if plan is not None:
-        stats.cache_hits += 1
-        plan.hits += 1
-        return _run_plan(plan, x, f, pad, stats)
-
-    stats.cache_misses += 1
-    ranked, excluded, predictions = _select_candidates(
-        prob, device, workspace_limit_bytes
-    )
-    for algo in excluded:
-        stats.record_exclusion(algo)
-    if not ranked:  # cannot happen while DIRECT is a candidate; be loud anyway
-        raise ConvConfigError(
-            f"no convolution algorithm eligible for {prob} "
-            f"under workspace limit {workspace_limit_bytes}; excluded: {excluded}"
+        n, c, h, w = x.shape
+        k, _, r, s = f.shape
+        prob = ConvProblem(n=n, c=c, h=h, w=w, k=k, r=r, s=s, pad=pad)
+        key = PlanKey.from_problem(
+            prob, np.result_type(x, f), workspace_limit_bytes, device.name, mode
         )
 
-    if mode == "AUTO":
-        plan, y = _measure_plan(key, ranked, excluded, predictions, x, f, pad, stats)
-    else:
-        plan, y = _heuristic_plan(key, ranked, excluded, predictions, x, f, pad, stats)
-    _cache_store(key, plan)
-    stats.record_choice(plan.algo)
-    return y
+        plan = ctx.plans.lookup(key)
+        if plan is not None:
+            stats.cache_hits += 1
+            plan.hits += 1
+            return _run_plan(plan, x, f, pad, stats, ctx.plans)
+
+        stats.cache_misses += 1
+        with ctx.span("plan", prob.label(), mode=mode, device=device.name) as span:
+            ranked, excluded, predictions = _select_candidates(
+                prob, device, workspace_limit_bytes
+            )
+            for algo in excluded:
+                stats.record_exclusion(algo)
+            if not ranked:  # cannot happen while DIRECT is a candidate; be loud
+                raise ConvConfigError(
+                    f"no convolution algorithm eligible for {prob} "
+                    f"under workspace limit {workspace_limit_bytes}; "
+                    f"excluded: {excluded}"
+                )
+
+            if mode == "AUTO":
+                plan, y = _measure_plan(
+                    key, ranked, excluded, predictions, x, f, pad, stats
+                )
+            else:
+                plan, y = _heuristic_plan(
+                    key, ranked, excluded, predictions, x, f, pad, stats
+                )
+            span["algo"] = plan.algo
+        ctx.plans.store(key, plan)
+        stats.record_choice(plan.algo)
+        return y
 
 
 def _measure_plan(key, ranked, excluded, predictions, x, f, pad, stats):
@@ -300,7 +342,7 @@ def _heuristic_plan(key, ranked, excluded, predictions, x, f, pad, stats):
     )
 
 
-def _run_plan(plan: ConvPlan, x, f, pad, stats) -> np.ndarray:
+def _run_plan(plan: ConvPlan, x, f, pad, stats, plans: PlanCache) -> np.ndarray:
     """Execute a cached plan, self-healing if its chosen algorithm raises.
 
     Healing never mutates the cached ``ConvPlan``: new exclusions are
@@ -318,7 +360,7 @@ def _run_plan(plan: ConvPlan, x, f, pad, stats) -> np.ndarray:
             stats.fallbacks += 1
             new_exclusions[algo] = f"raised on cached dispatch: {exc}"
             if not fallbacks:
-                _publish_healed(plan, algo, fallbacks, new_exclusions)
+                _publish_healed(plan, algo, fallbacks, new_exclusions, plans)
                 raise ConvConfigError(
                     f"cached plan for {plan.key} exhausted every fallback; "
                     f"reasons: {dict(plan.excluded, **new_exclusions)}"
@@ -327,13 +369,13 @@ def _run_plan(plan: ConvPlan, x, f, pad, stats) -> np.ndarray:
             stats.record_choice(algo)
             continue
         if algo != plan.algo:
-            _publish_healed(plan, algo, fallbacks, new_exclusions)
+            _publish_healed(plan, algo, fallbacks, new_exclusions, plans)
         return y
 
 
 def _publish_healed(
     plan: ConvPlan, algo: str, fallbacks: tuple[str, ...],
-    new_exclusions: dict[str, str],
+    new_exclusions: dict[str, str], plans: PlanCache,
 ) -> None:
     """Replace the cached entry with a healed copy of *plan*."""
     healed = ConvPlan(
@@ -346,4 +388,4 @@ def _publish_healed(
         excluded=dict(plan.excluded, **new_exclusions),
         hits=plan.hits,
     )
-    _cache_store(plan.key, healed)
+    plans.store(plan.key, healed)

@@ -1,7 +1,9 @@
 """Observability for the autotuning dispatcher.
 
-One process-wide :class:`DispatchStats` accumulates per-call counters
-for every ``conv2d(algo="AUTO"/"AUTO_HEURISTIC")`` dispatch: plan-cache
+One :class:`DispatchStats` per :class:`repro.runtime.ExecutionContext`
+(the process-wide default context unless one is activated) accumulates
+per-call counters for every ``conv2d(algo="AUTO"/"AUTO_HEURISTIC")``
+dispatch: plan-cache
 hits and misses, timed trials run (with per-algorithm wall times),
 algorithms chosen, candidates excluded by the workspace budget or shape
 restrictions, and runtime fallbacks taken when an algorithm raised.
@@ -125,20 +127,25 @@ class DispatchStats:
         return copy.deepcopy(self)
 
 
-_STATS = DispatchStats()
-
-
 def live_dispatch_stats() -> DispatchStats:
-    """The mutable process-wide instance (for the dispatcher itself)."""
-    return _STATS
+    """The current context's mutable instance (for the dispatcher itself).
+
+    Ownership moved to :class:`repro.runtime.ExecutionContext`; this
+    accessor (and the two below) read whichever context is active, which
+    is the process-wide default unless one was explicitly activated.
+    """
+    from ..runtime import current_context
+
+    return current_context().dispatch_stats
 
 
 def get_dispatch_stats() -> DispatchStats:
     """An independent snapshot of the dispatch counters."""
-    return _STATS.snapshot()
+    return live_dispatch_stats().snapshot()
 
 
 def reset_dispatch_stats() -> None:
     """Zero every counter (the live object is replaced, not mutated)."""
-    global _STATS
-    _STATS = DispatchStats()
+    from ..runtime import current_context
+
+    current_context().dispatch_stats = DispatchStats()

@@ -69,6 +69,18 @@ def _kernel_parts(kernel) -> tuple[KernelMeta, list]:
     return prepared.meta, prepared.instructions
 
 
+def _launch_span(label: str, **attrs):
+    """A ``"launch"`` trace span on the active execution context.
+
+    Imported lazily so ``repro.gpusim`` keeps no runtime state of its
+    own — the tracer (like the caches and the lint gate) lives on
+    :class:`repro.runtime.ExecutionContext`.
+    """
+    from ..runtime import current_context
+
+    return current_context().span("launch", label, **attrs)
+
+
 def build_const_bank(meta: KernelMeta, params: dict[str, int]) -> np.ndarray:
     """Materialize constant bank 0 with the kernel parameters."""
     bank = np.zeros(CONST_BANK_BYTES, dtype=np.uint8)
@@ -150,18 +162,22 @@ def run_grid(
     warps = threads_per_block // 32
     groups = 0
     cycles = 0
-    for g0 in range(0, len(all_blocks), concurrent):
-        specs = [
-            BlockSpec(block_idx=x, num_warps=warps, const_bank=const,
-                      smem_bytes=meta.smem_bytes, block_idx_y=y, block_idx_z=z)
-            for (x, y, z) in all_blocks[g0 : g0 + concurrent]
-        ]
-        sim = SMSimulator(device, program, gmem)
-        counters = sim.run(specs)
-        cycles += counters.cycles
-        counters.cycles = 0
-        total.merge(counters)
-        groups += 1
+    with _launch_span(
+        meta.name, device=device.name, blocks=len(all_blocks),
+        mode="run_grid",
+    ):
+        for g0 in range(0, len(all_blocks), concurrent):
+            specs = [
+                BlockSpec(block_idx=x, num_warps=warps, const_bank=const,
+                          smem_bytes=meta.smem_bytes, block_idx_y=y, block_idx_z=z)
+                for (x, y, z) in all_blocks[g0 : g0 + concurrent]
+            ]
+            sim = SMSimulator(device, program, gmem)
+            counters = sim.run(specs)
+            cycles += counters.cycles
+            counters.cycles = 0
+            total.merge(counters)
+            groups += 1
     total.cycles = cycles
     return LaunchResult(counters=total, groups=groups, occupancy=occupancy)
 
@@ -188,8 +204,12 @@ def simulate_resident_blocks(
                   smem_bytes=meta.smem_bytes)
         for i in range(num_blocks)
     ]
-    sim = SMSimulator(device, program, gmem)
-    counters = sim.run(specs)
+    with _launch_span(
+        meta.name, device=device.name, blocks=num_blocks,
+        mode="resident_blocks",
+    ):
+        sim = SMSimulator(device, program, gmem)
+        counters = sim.run(specs)
     return LaunchResult(counters=counters, groups=1, occupancy=occupancy)
 
 

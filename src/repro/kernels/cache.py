@@ -6,9 +6,9 @@ once for the short one, and again for every repeated sweep.  This module
 gives the hot path the same build-once/run-many structure that maxDNN
 and the Volta tensor-core generators use for their compiled kernels:
 
-* :class:`KernelBuildCache` — a process-wide, thread-safe LRU of
-  assembled kernels keyed by ``(ConvProblem, Tunables, device,
-  main_loop_only, iters)``.  A hit returns the exact
+* :class:`KernelBuildCache` — a thread-safe LRU of assembled kernels
+  keyed by ``(ConvProblem, Tunables, device, main_loop_only, iters)``.
+  A hit returns the exact
   :class:`~repro.sass.assembler.AssembledKernel` object that the first
   build produced (the simulator never mutates instructions, so sharing
   is safe), which means the long/short differential runs and repeated
@@ -23,7 +23,10 @@ and the Volta tensor-core generators use for their compiled kernels:
   ``REPRO_SIM_CACHE_DIR`` points somewhere (the benchmark suite sets it
   to ``benchmarks/.simcache``), making repeated sweeps nearly free.
 
-Both caches expose hit/miss/eviction counters next to the PR-1 dispatch
+Both caches are owned by an :class:`repro.runtime.ExecutionContext`
+(one pair per context; the module-level helpers operate on the active
+context, which is the process-wide default unless one is activated).
+They expose hit/miss/eviction counters next to the PR-1 dispatch
 metrics (``get_kernel_cache_stats`` / ``get_sim_cache_stats``) and obey
 kill switches (``REPRO_KERNEL_CACHE=0`` / ``REPRO_SIM_CACHE=0``) so the
 uncached serial path stays one environment variable away.
@@ -181,9 +184,13 @@ class KernelBuildCache:
             self._stats = KernelCacheStats(max_entries=self._max_entries)
 
 
-_BUILD_CACHE = KernelBuildCache(
-    max_entries=int(os.environ.get("REPRO_KERNEL_CACHE_SIZE", "64"))
-)
+def _ctx(context=None):
+    """The explicit context if given, else the active/default one."""
+    if context is not None:
+        return context
+    from ..runtime import current_context
+
+    return current_context()
 
 
 def build_fused_kernel(
@@ -192,37 +199,48 @@ def build_fused_kernel(
     device_name: str,
     main_loop_only: bool = False,
     iters: int | None = None,
+    *,
+    context=None,
 ):
     """Assemble (or fetch) the fused Winograd kernel for one problem.
 
-    The single entry point the runner, layer model and benchmarks use;
-    ``REPRO_KERNEL_CACHE=0`` bypasses the cache and rebuilds every call
-    (the uncached baseline path).
+    The single entry point the runner, layer model and benchmarks use.
+    The build cache lives on the :class:`~repro.runtime.ExecutionContext`
+    (*context*, default: the current one); ``REPRO_KERNEL_CACHE=0``
+    bypasses it and rebuilds every call (the uncached baseline path).
+    Every actual assembler pass records a ``"build"`` trace span.
     """
+    ctx = _ctx(context)
     tunables = tunables or Tunables()
+
+    def _build():
+        with ctx.span(
+            "build", prob.label(), device=device_name,
+            main_loop_only=main_loop_only,
+        ):
+            return WinogradF22Kernel(prob, tunables).build(main_loop_only, iters)
+
     if not _env_enabled("REPRO_KERNEL_CACHE"):
-        return WinogradF22Kernel(prob, tunables).build(main_loop_only, iters)
+        return _build()
     key = BuildKey(prob, tunables, device_name, main_loop_only, iters)
-    return _BUILD_CACHE.get_or_build(
-        key, lambda: WinogradF22Kernel(prob, tunables).build(main_loop_only, iters)
-    )
+    return ctx.kernel_cache.get_or_build(key, _build)
 
 
-def get_kernel_cache_stats() -> KernelCacheStats:
+def get_kernel_cache_stats(context=None) -> KernelCacheStats:
     """Snapshot of the build-cache counters (independent of the live object)."""
-    return _BUILD_CACHE.stats()
+    return _ctx(context).kernel_cache.stats()
 
 
-def reset_kernel_cache_stats() -> None:
-    _BUILD_CACHE.reset_stats()
+def reset_kernel_cache_stats(context=None) -> None:
+    _ctx(context).kernel_cache.reset_stats()
 
 
-def clear_kernel_cache() -> None:
-    _BUILD_CACHE.clear()
+def clear_kernel_cache(context=None) -> None:
+    _ctx(context).kernel_cache.clear()
 
 
-def set_kernel_cache_limit(max_entries: int) -> None:
-    _BUILD_CACHE.set_limit(max_entries)
+def set_kernel_cache_limit(max_entries: int, context=None) -> None:
+    _ctx(context).kernel_cache.set_limit(max_entries)
 
 
 # ---------------------------------------------------------------------------
@@ -349,11 +367,6 @@ class SimulationCache:
             self._stats = SimCacheStats()
 
 
-_SIM_CACHE = SimulationCache(
-    max_entries=int(os.environ.get("REPRO_SIM_CACHE_SIZE", "512"))
-)
-
-
 def sim_cache_key(site: str, **params) -> str:
     """Stable key for one simulation call site and its full input signature.
 
@@ -374,18 +387,18 @@ def sim_cache_key(site: str, **params) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-def simulation_cache() -> SimulationCache:
-    """The process-wide simulation-result cache."""
-    return _SIM_CACHE
+def simulation_cache(context=None) -> SimulationCache:
+    """The current context's simulation-result cache."""
+    return _ctx(context).sim_cache
 
 
-def get_sim_cache_stats() -> SimCacheStats:
-    return _SIM_CACHE.stats()
+def get_sim_cache_stats(context=None) -> SimCacheStats:
+    return _ctx(context).sim_cache.stats()
 
 
-def reset_sim_cache_stats() -> None:
-    _SIM_CACHE.reset_stats()
+def reset_sim_cache_stats(context=None) -> None:
+    _ctx(context).sim_cache.reset_stats()
 
 
-def clear_simulation_cache() -> None:
-    _SIM_CACHE.clear()
+def clear_simulation_cache(context=None) -> None:
+    _ctx(context).sim_cache.clear()

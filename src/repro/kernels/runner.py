@@ -31,84 +31,116 @@ from ..winograd.fused import FusedWinogradConv
 from .cache import build_fused_kernel, sim_cache_key, simulation_cache
 from .winograd_f22 import Tunables, WinogradF22Kernel
 
-#: Kernels (by name + text-section hash) already proven error-free, so
-#: repeated launches of a cached build skip the ~0.4 s analysis.
-_LINT_CLEAN: set[tuple[str, int]] = set()
-
-
-def ensure_lint_clean(kernel: AssembledKernel) -> None:
+class LintGate:
     """Launch gate: refuse kernels with error-severity lint findings.
 
-    Warnings (bank conflicts, wasted ``.reuse`` flags) are allowed
-    through — ablation kernels produce them on purpose — but a kernel
-    with a data hazard, a misaligned/out-of-bounds shared access or a
-    blown register budget would silently compute garbage on hardware,
-    so it must not run here either.
+    Remembers kernels (by name + text-section hash) already proven
+    error-free, so repeated launches of a cached build skip the ~0.4 s
+    analysis.  One instance per
+    :class:`~repro.runtime.ExecutionContext`.
     """
-    key = (kernel.meta.name, hash(kernel.text))
-    if key in _LINT_CLEAN:
-        return
-    found = lint_errors(lint_kernel(kernel))
-    if found:
-        report = "\n".join(d.text() for d in found)
-        raise LintError(
-            f"kernel {kernel.meta.name!r} failed static analysis with "
-            f"{len(found)} error(s):\n{report}",
-            diagnostics=found,
-        )
-    _LINT_CLEAN.add(key)
+
+    def __init__(self) -> None:
+        self._clean: set[tuple[str, int]] = set()
+
+    def ensure(self, kernel: AssembledKernel) -> None:
+        """Lint *kernel* (once); raise :class:`LintError` on any error.
+
+        Warnings (bank conflicts, wasted ``.reuse`` flags) are allowed
+        through — ablation kernels produce them on purpose — but a
+        kernel with a data hazard, a misaligned/out-of-bounds shared
+        access or a blown register budget would silently compute garbage
+        on hardware, so it must not run here either.
+        """
+        key = (kernel.meta.name, hash(kernel.text))
+        if key in self._clean:
+            return
+        found = lint_errors(lint_kernel(kernel))
+        if found:
+            report = "\n".join(d.text() for d in found)
+            raise LintError(
+                f"kernel {kernel.meta.name!r} failed static analysis with "
+                f"{len(found)} error(s):\n{report}",
+                diagnostics=found,
+            )
+        self._clean.add(key)
+
+    def clear(self) -> None:
+        self._clean.clear()
+
+
+def _ctx(context=None):
+    if context is not None:
+        return context
+    from ..runtime import current_context
+
+    return current_context()
+
+
+def ensure_lint_clean(kernel: AssembledKernel, context=None) -> None:
+    """Run the current context's :class:`LintGate` over *kernel*."""
+    _ctx(context).lint_gate.ensure(kernel)
 
 
 def run_fused_sass_conv(
     x_nchw: np.ndarray,
     f_kcrs: np.ndarray,
-    device: DeviceSpec = V100,
+    device: DeviceSpec | None = None,
     tunables: Tunables | None = None,
     prob: ConvProblem | None = None,
     ftf_on_device: bool = False,
+    context=None,
 ):
     """Run the generated Winograd kernel end to end; returns (y_nchw, counters).
 
     With ``ftf_on_device=True`` the filter transform also runs as a SASS
     kernel on the simulator (the paper's separate FTF kernel, §4.1);
     otherwise it is computed host-side (the default, since the FTF is a
-    negligible, memory-bound prelude).
+    negligible, memory-bound prelude).  The build cache and lint gate
+    come from *context* (default: the current execution context, whose
+    device — V100 unless configured otherwise — also fills in a ``None``
+    *device*).
     """
-    tunables = tunables or Tunables()
-    n, c, h, w = x_nchw.shape
-    k = f_kcrs.shape[0]
-    prob = prob or ConvProblem(n=n, c=c, h=h, w=w, k=k)
-    gen = WinogradF22Kernel(prob, tunables)
-    kernel = build_fused_kernel(prob, tunables, device.name)
+    from ..runtime import activate
 
-    x_chwn = nchw_to_chwn(x_nchw.astype(np.float32))
-    f_crsk = kcrs_to_crsk(f_kcrs.astype(np.float32))
-    gmem = GlobalMemory(
-        size=max(64 << 20, 4 * x_chwn.nbytes + 64 * prob.c * prob.k + (8 << 20))
-    )
-    if ftf_on_device:
-        from .ftf import FilterTransformKernel
+    ctx = _ctx(context)
+    with activate(ctx):
+        device = device or ctx.device
+        tunables = tunables or Tunables()
+        n, c, h, w = x_nchw.shape
+        k = f_kcrs.shape[0]
+        prob = prob or ConvProblem(n=n, c=c, h=h, w=w, k=k)
+        gen = WinogradF22Kernel(prob, tunables)
+        kernel = build_fused_kernel(prob, tunables, device.name)
 
-        ftf = FilterTransformKernel(prob)
-        fil_ptr = gmem.alloc_array(f_crsk)
-        ft_ptr = gmem.alloc(4 * prob.c * 16 * prob.k)
-        ftf_kernel = ftf.build()
-        ensure_lint_clean(ftf_kernel)
-        run_grid(
-            ftf_kernel, device, grid=ftf.grid, threads_per_block=256,
-            params={"fil_ptr": fil_ptr, "out_ptr": ft_ptr}, gmem=gmem,
+        x_chwn = nchw_to_chwn(x_nchw.astype(np.float32))
+        f_crsk = kcrs_to_crsk(f_kcrs.astype(np.float32))
+        gmem = GlobalMemory(
+            size=max(64 << 20, 4 * x_chwn.nbytes + 64 * prob.c * prob.k + (8 << 20))
         )
-        f_t = gmem.read_array(ft_ptr, (prob.c, 4, 4, prob.k))
-    else:
-        f_t = FusedWinogradConv().transform_filters(f_crsk)
-    params, out_ptr = gen.alloc_buffers(gmem, x_chwn, f_t)
-    ensure_lint_clean(kernel)
-    result = run_grid(
-        kernel, device, grid=gen.grid, threads_per_block=256, params=params,
-        gmem=gmem,
-    )
-    y_khwn = gmem.read_array(out_ptr, (k, prob.out_h, prob.out_w, n))
-    return khwn_to_nkhw(y_khwn), result.counters
+        if ftf_on_device:
+            from .ftf import FilterTransformKernel
+
+            ftf = FilterTransformKernel(prob)
+            fil_ptr = gmem.alloc_array(f_crsk)
+            ft_ptr = gmem.alloc(4 * prob.c * 16 * prob.k)
+            ftf_kernel = ftf.build()
+            ensure_lint_clean(ftf_kernel)
+            run_grid(
+                ftf_kernel, device, grid=ftf.grid, threads_per_block=256,
+                params={"fil_ptr": fil_ptr, "out_ptr": ft_ptr}, gmem=gmem,
+            )
+            f_t = gmem.read_array(ft_ptr, (prob.c, 4, 4, prob.k))
+        else:
+            f_t = FusedWinogradConv().transform_filters(f_crsk)
+        params, out_ptr = gen.alloc_buffers(gmem, x_chwn, f_t)
+        ensure_lint_clean(kernel)
+        result = run_grid(
+            kernel, device, grid=gen.grid, threads_per_block=256, params=params,
+            gmem=gmem,
+        )
+        y_khwn = gmem.read_array(out_ptr, (k, prob.out_h, prob.out_w, n))
+        return khwn_to_nkhw(y_khwn), result.counters
 
 
 @dataclasses.dataclass
@@ -120,15 +152,15 @@ class MainLoopMeasurement:
     sol: float  # steady-state FP32 pipe utilization (the Fig. 10-11 metric)
 
 
-def _simulate_main_loop(prob, device, tunables, iters, num_blocks):
+def _simulate_main_loop(prob, device, tunables, iters, num_blocks, context=None):
     """One main-loop-only resident-blocks simulation, memoized.
 
     The simulation is a pure function of its signature (synthetic buffer
     *contents* never affect timing, only layout — which the signature
-    determines), so the result is served from the process/disk
+    determines), so the result is served from the context's (or disk)
     simulation cache when available and is bit-identical either way.
     """
-    cache = simulation_cache()
+    cache = simulation_cache(context)
     key = sim_cache_key(
         "main_loop",
         prob=prob,
@@ -167,6 +199,7 @@ def measure_main_loop(
     tunables: Tunables | None = None,
     iters: int = 3,
     num_blocks: int | None = None,
+    context=None,
 ) -> MainLoopMeasurement:
     """Measure steady-state main-loop throughput on one SM.
 
@@ -176,11 +209,17 @@ def measure_main_loop(
     what the paper plots in Figs. 7-9 (its ceiling is the device FP32
     peak); SOL is the FP32-pipe utilization of the marginal iterations.
     """
+    from ..runtime import activate
+
     tunables = tunables or Tunables()
     if iters < 3:
         raise ValueError("need at least 3 iterations for a differential measure")
-    long_run = _simulate_main_loop(prob, device, tunables, iters, num_blocks)
-    short_run = _simulate_main_loop(prob, device, tunables, iters - 2, num_blocks)
+    ctx = _ctx(context)
+    with activate(ctx):
+        long_run = _simulate_main_loop(prob, device, tunables, iters, num_blocks, ctx)
+        short_run = _simulate_main_loop(
+            prob, device, tunables, iters - 2, num_blocks, ctx
+        )
     c_long, c_short = long_run.counters, short_run.counters
     d_cycles = c_long.cycles - c_short.cycles
     d_ffma = c_long.ffma_instrs - c_short.ffma_instrs

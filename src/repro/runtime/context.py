@@ -1,0 +1,270 @@
+"""ExecutionContext: one object owning every piece of runtime state.
+
+Before this layer existed, execution state was scattered as module
+globals: the plan cache and dispatch stats in ``repro.convolution``, the
+kernel-build and simulation caches in ``repro.kernels.cache``, the lint
+gate in ``repro.kernels.runner``.  Tests had to call three different
+``reset_*``/``clear_*`` helpers to get a clean slate, and two workloads
+in one process could not be isolated from each other at all.
+
+:class:`ExecutionContext` inverts that ownership: *it* holds the device,
+the caches, the stats, the lint gate, the workspace arena and the trace
+hooks, and the legacy module-level helpers now delegate to the **default
+context** (so every existing public API — ``conv2d``,
+``get_dispatch_stats``, ``get_kernel_cache_stats`` … — behaves exactly
+as before).  Code that wants isolation builds its own context and either
+passes it explicitly (``conv2d(..., context=ctx)``) or activates it for
+a dynamic extent::
+
+    ctx = ExecutionContext(device=RTX2070)
+    with activate(ctx):
+        conv2d(x, f, algo="AUTO_HEURISTIC")   # uses ctx's plan cache
+    ctx.reset()                                # one call clears everything
+
+Tracing: every kernel build, plan selection and simulator launch records
+a :class:`TraceSpan`; hooks added with :meth:`ExecutionContext.add_trace_hook`
+observe spans as they complete, and :meth:`ExecutionContext.export_trace`
+/ :meth:`write_trace` serialize the buffer as JSON (the artifact the
+session benchmark uploads from CI).
+
+(Unrelated to :class:`repro.gpusim.engine.ExecutionContext`, which is the
+simulator's per-block instruction context; this one is the *library's*
+execution context.)
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import dataclasses
+import json
+import os
+import threading
+import time
+from typing import Callable, Iterator
+
+from ..convolution.autotune import PlanCache
+from ..convolution.metrics import DispatchStats
+from ..gpusim.arch import V100, DeviceSpec
+from ..kernels.cache import KernelBuildCache, SimulationCache
+from ..kernels.runner import LintGate
+from .arena import WorkspaceArena
+
+#: Trace buffer bound: old spans are dropped (and counted) rather than
+#: letting a long-lived process grow the buffer without limit.
+DEFAULT_TRACE_SPANS = 4096
+
+
+@dataclasses.dataclass
+class TraceSpan:
+    """One timed region of runtime work (a build, a plan, a launch)."""
+
+    kind: str  # "build" | "plan" | "launch" | "layer" | caller-defined
+    label: str
+    start: float  # time.perf_counter() at entry
+    end: float
+    attrs: dict
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "label": self.label,
+            "start": self.start,
+            "end": self.end,
+            "seconds": self.seconds,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Bounded span buffer plus observer hooks (thread-safe)."""
+
+    def __init__(self, max_spans: int = DEFAULT_TRACE_SPANS):
+        self._lock = threading.RLock()
+        self._spans: collections.deque[TraceSpan] = collections.deque(maxlen=max_spans)
+        self._hooks: list[Callable[[TraceSpan], None]] = []
+        self.dropped = 0
+
+    @contextlib.contextmanager
+    def span(self, kind: str, label: str, **attrs) -> Iterator[dict]:
+        """Record a span around the ``with`` body; yields the attrs dict
+        so the body can attach results (e.g. the chosen algorithm)."""
+        start = time.perf_counter()
+        try:
+            yield attrs
+        finally:
+            finished = TraceSpan(
+                kind=kind, label=label, start=start,
+                end=time.perf_counter(), attrs=attrs,
+            )
+            with self._lock:
+                if len(self._spans) == self._spans.maxlen:
+                    self.dropped += 1
+                self._spans.append(finished)
+                hooks = list(self._hooks)
+            for hook in hooks:
+                hook(finished)
+
+    def add_hook(self, hook: Callable[[TraceSpan], None]) -> None:
+        with self._lock:
+            self._hooks.append(hook)
+
+    def remove_hook(self, hook: Callable[[TraceSpan], None]) -> None:
+        with self._lock:
+            self._hooks.remove(hook)
+
+    def spans(self) -> list[TraceSpan]:
+        with self._lock:
+            return list(self._spans)
+
+    def export(self) -> list[dict]:
+        return [span.to_dict() for span in self.spans()]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+
+class ExecutionContext:
+    """Owner of every piece of state one execution environment needs.
+
+    Parameters
+    ----------
+    device: default :class:`DeviceSpec` for AUTO dispatch and simulation
+        (V100, like every per-call default it replaces).
+    kernel_cache_entries / sim_cache_entries / plan_cache_entries:
+        cache bounds; the kernel/sim defaults honour the existing
+        ``REPRO_KERNEL_CACHE_SIZE`` / ``REPRO_SIM_CACHE_SIZE`` variables.
+    workspace_limit_bytes: arena-level workspace budget (``None`` =
+        unlimited); see :class:`~repro.runtime.arena.WorkspaceArena`.
+    trace_spans: trace-buffer bound.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec | None = None,
+        *,
+        kernel_cache_entries: int | None = None,
+        sim_cache_entries: int | None = None,
+        plan_cache_entries: int = 256,
+        workspace_limit_bytes: int | None = None,
+        trace_spans: int = DEFAULT_TRACE_SPANS,
+    ):
+        self.device = device or V100
+        self.kernel_cache = KernelBuildCache(
+            max_entries=kernel_cache_entries
+            or int(os.environ.get("REPRO_KERNEL_CACHE_SIZE", "64"))
+        )
+        self.sim_cache = SimulationCache(
+            max_entries=sim_cache_entries
+            or int(os.environ.get("REPRO_SIM_CACHE_SIZE", "512"))
+        )
+        self.dispatch_stats = DispatchStats()
+        self.plans = PlanCache(
+            max_entries=plan_cache_entries, on_evict=self._count_plan_eviction
+        )
+        self.lint_gate = LintGate()
+        self.arena = WorkspaceArena(limit_bytes=workspace_limit_bytes)
+        self.tracer = Tracer(max_spans=trace_spans)
+
+    def _count_plan_eviction(self) -> None:
+        # Dereferenced at eviction time: reset() replaces dispatch_stats
+        # and the counter must land on the *current* object.
+        self.dispatch_stats.plan_evictions += 1
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def span(self, kind: str, label: str, **attrs):
+        """``with ctx.span("build", "Conv3N32"): ...`` — time one region."""
+        return self.tracer.span(kind, label, **attrs)
+
+    def add_trace_hook(self, hook: Callable[[TraceSpan], None]) -> None:
+        self.tracer.add_hook(hook)
+
+    def remove_trace_hook(self, hook: Callable[[TraceSpan], None]) -> None:
+        self.tracer.remove_hook(hook)
+
+    def export_trace(self) -> list[dict]:
+        """The span buffer as JSON-serializable dicts (oldest first)."""
+        return self.tracer.export()
+
+    def write_trace(self, path: str) -> None:
+        """Dump :meth:`export_trace` as a JSON file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.export_trace(), fh, indent=2)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear *every* piece of state this context owns, together.
+
+        Replaces the three separate ``reset_*``/``clear_*`` call sites
+        tests used to need (and the state they could forget): plan cache,
+        kernel-build cache (+stats), simulation cache (+stats), dispatch
+        stats, lint gate, arena and trace buffer.
+        """
+        self.plans.clear()
+        self.kernel_cache.clear()
+        self.kernel_cache.reset_stats()
+        self.sim_cache.clear()
+        self.sim_cache.reset_stats()
+        self.dispatch_stats = DispatchStats()
+        self.lint_gate.clear()
+        self.arena.reset()
+        self.tracer.clear()
+
+
+# ---------------------------------------------------------------------------
+# Default + active context plumbing
+# ---------------------------------------------------------------------------
+_DEFAULT: ExecutionContext | None = None
+_DEFAULT_LOCK = threading.Lock()
+_ACTIVE = threading.local()
+
+
+def default_context() -> ExecutionContext:
+    """The process-wide default context (created lazily, once).
+
+    Owns what used to be the module-global caches/stats, so the legacy
+    helpers (``get_dispatch_stats`` …) read and write it.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        with _DEFAULT_LOCK:
+            if _DEFAULT is None:
+                _DEFAULT = ExecutionContext()
+    return _DEFAULT
+
+
+def current_context() -> ExecutionContext:
+    """The innermost :func:`activate`\\ d context, else the default."""
+    stack = getattr(_ACTIVE, "stack", None)
+    if stack:
+        return stack[-1]
+    return default_context()
+
+
+@contextlib.contextmanager
+def activate(ctx: ExecutionContext) -> Iterator[ExecutionContext]:
+    """Make *ctx* the :func:`current_context` for the ``with`` body.
+
+    Activation is per-thread and re-entrant (contexts stack); worker
+    threads spawned inside the body do **not** inherit it — pass the
+    context explicitly across thread boundaries.
+    """
+    stack = getattr(_ACTIVE, "stack", None)
+    if stack is None:
+        stack = _ACTIVE.stack = []
+    stack.append(ctx)
+    try:
+        yield ctx
+    finally:
+        popped = stack.pop()
+        assert popped is ctx, "unbalanced ExecutionContext activation"

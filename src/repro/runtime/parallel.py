@@ -1,0 +1,65 @@
+"""Process-pool fan-out for independent, pure computations.
+
+Promoted from ``benchmarks/parallel.py`` (which now re-exports these)
+so the runtime's pipelined :class:`~repro.runtime.session.InferenceSession`
+can use the same machinery as the benchmark suite.  Results come back in
+**deterministic input order** (``ProcessPoolExecutor.map`` preserves
+ordering regardless of completion order — a worker finishing early never
+reorders a result series).
+
+Sizing and fallbacks:
+
+* worker count = ``min(REPRO_BENCH_WORKERS or os.cpu_count(), len(items))``;
+* a pool of one worker (e.g. a single-core host), a single item, or
+  ``REPRO_BENCH_PARALLEL=0`` short-circuits to plain serial execution in
+  the parent process — no pool, no pickling, bit-identical results;
+* the pool uses the ``fork`` start method (workers inherit the parent's
+  ``sys.path``, imported modules and default :class:`ExecutionContext`);
+  on platforms without ``fork`` the fan-out degrades to the serial path
+  rather than guessing at spawn semantics.
+
+Worker functions must live at module top level so they pickle by
+reference.  Workers share the parent's on-disk simulation cache (writes
+are atomic renames), so anything a worker simulates is also persisted
+for future runs.  See ``docs/simulation_performance.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _parallel_enabled() -> bool:
+    return os.environ.get("REPRO_BENCH_PARALLEL", "1").lower() not in (
+        "0", "false", "off", "no",
+    )
+
+
+def default_workers(num_items: int) -> int:
+    """Pool size for *num_items* independent tasks (>= 1)."""
+    if not _parallel_enabled():
+        return 1
+    env = os.environ.get("REPRO_BENCH_WORKERS")
+    workers = int(env) if env else (os.cpu_count() or 1)
+    return max(1, min(workers, num_items))
+
+
+def parallel_map(fn, items, workers: int | None = None) -> list:
+    """``[fn(item) for item in items]`` across a process pool.
+
+    Results are returned in input order (deterministic); falls back to
+    in-process serial execution when a pool cannot help (one worker, one
+    item, parallelism disabled, or no ``fork`` support).
+    """
+    items = list(items)
+    if workers is None:
+        workers = default_workers(len(items))
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return [fn(item) for item in items]
+    ctx = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+        return list(pool.map(fn, items))

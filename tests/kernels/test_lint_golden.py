@@ -106,7 +106,8 @@ def test_launch_gate_raises_on_errors():
 def test_launch_gate_passes_and_memoizes_clean_kernel():
     kernel = WinogradF22Kernel(PROB).build()
     ensure_lint_clean(kernel)
-    from repro.kernels import runner
+    from repro.runtime import current_context
 
-    assert (kernel.meta.name, hash(kernel.text)) in runner._LINT_CLEAN
+    gate = current_context().lint_gate
+    assert (kernel.meta.name, hash(kernel.text)) in gate._clean
     ensure_lint_clean(kernel)  # second call is the memoized no-op

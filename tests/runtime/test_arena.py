@@ -1,0 +1,127 @@
+"""WorkspaceArena: reservation, reuse, limits, coalescing."""
+
+import pytest
+
+from repro.common.errors import WorkspaceError, WorkspaceLimitError
+from repro.runtime import ALIGNMENT, WorkspaceArena
+
+
+def test_reserve_returns_writable_view():
+    arena = WorkspaceArena()
+    block = arena.reserve(1024, tag="t")
+    view = block.view()
+    assert view.nbytes == 1024
+    view[:] = b"\x07" * 1024
+    assert view[0] == 7
+    block.release()
+
+
+def test_sequential_reserve_release_reuses_offset():
+    arena = WorkspaceArena()
+    a = arena.reserve(4096)
+    a.release()
+    b = arena.reserve(2048)
+    stats = arena.stats()
+    assert stats.reuses == 1
+    assert stats.peak_bytes == 4096
+    b.release()
+    assert arena.stats().in_use_bytes == 0
+
+
+def test_growing_sizes_still_count_as_reuse():
+    # The session pattern: each layer needs more than the last.  The
+    # arena grows, but the low bytes are reused every time.
+    arena = WorkspaceArena()
+    sizes = [1 << 18, 1 << 20, 1 << 22, 1 << 24]
+    for size in sizes:
+        block = arena.reserve(size)
+        block.release()
+    stats = arena.stats()
+    assert stats.reserves == len(sizes)
+    assert stats.reuses == len(sizes) - 1
+    assert stats.peak_bytes == sizes[-1]
+
+
+def test_reserve_capacity_not_counted_as_grow():
+    arena = WorkspaceArena()
+    arena.reserve_capacity(1 << 24)
+    block = arena.reserve(1 << 24)
+    assert arena.stats().grows == 0
+    block.release()
+
+
+def test_limit_enforced():
+    arena = WorkspaceArena(limit_bytes=4096)
+    block = arena.reserve(2048)
+    with pytest.raises(WorkspaceLimitError):
+        arena.reserve(4096)
+    block.release()
+    arena.reserve(4096).release()  # fits once the first block is gone
+
+
+def test_concurrent_blocks_get_disjoint_offsets():
+    arena = WorkspaceArena()
+    a = arena.reserve(1000)
+    b = arena.reserve(1000)
+    assert a.offset != b.offset
+    assert abs(a.offset - b.offset) >= 1000
+    a.view()[:] = b"\x01" * a.view().nbytes
+    b.view()[:] = b"\x02" * b.view().nbytes
+    assert a.view()[0] == 1 and b.view()[0] == 2
+    a.release()
+    b.release()
+
+
+def test_free_blocks_coalesce():
+    arena = WorkspaceArena()
+    blocks = [arena.reserve(ALIGNMENT) for _ in range(3)]
+    for block in blocks:
+        block.release()
+    # All three coalesced back into the bump region: a reservation the
+    # size of the sum fits without growing.
+    before = arena.stats().grows
+    arena.reserve(3 * ALIGNMENT).release()
+    assert arena.stats().grows == before
+
+
+def test_zero_byte_reservation_is_noop():
+    arena = WorkspaceArena()
+    block = arena.reserve(0)
+    assert block.nbytes == 0
+    block.release()
+    stats = arena.stats()
+    assert stats.peak_bytes == 0
+    assert stats.reuses == 0
+
+
+def test_double_release_raises():
+    arena = WorkspaceArena()
+    block = arena.reserve(256)
+    block.release()
+    with pytest.raises(WorkspaceError):
+        block.release()
+
+
+def test_view_after_release_raises():
+    arena = WorkspaceArena()
+    block = arena.reserve(256)
+    block.release()
+    with pytest.raises(WorkspaceError):
+        block.view()
+
+
+def test_context_manager_releases():
+    arena = WorkspaceArena()
+    with arena.reserve(512) as block:
+        assert block.view().nbytes == 512
+    assert arena.stats().in_use_bytes == 0
+
+
+def test_reset_clears_counters_and_frees():
+    arena = WorkspaceArena()
+    arena.reserve(1024)  # deliberately leaked
+    arena.reset()
+    stats = arena.stats()
+    assert stats.in_use_bytes == 0
+    assert stats.reserves == 0
+    assert stats.peak_bytes == 0

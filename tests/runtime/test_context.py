@@ -1,0 +1,149 @@
+"""ExecutionContext: isolation, activation, reset, tracing, delegation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.convolution import conv2d
+from repro.runtime import (
+    ExecutionContext,
+    activate,
+    current_context,
+    default_context,
+)
+
+
+@pytest.fixture
+def tiny():
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal((1, 4, 8, 8), dtype=np.float32)
+    f = rng.standard_normal((4, 4, 3, 3), dtype=np.float32)
+    return x, f
+
+
+def test_current_context_defaults_to_process_default():
+    assert current_context() is default_context()
+
+
+def test_activate_stacks_and_restores():
+    a, b = ExecutionContext(), ExecutionContext()
+    with activate(a):
+        assert current_context() is a
+        with activate(b):
+            assert current_context() is b
+        assert current_context() is a
+    assert current_context() is default_context()
+
+
+def test_contexts_isolate_plan_caches_and_stats(tiny):
+    x, f = tiny
+    a, b = ExecutionContext(), ExecutionContext()
+    with activate(a):
+        conv2d(x, f, algo="AUTO_HEURISTIC")
+    assert len(a.plans) == 1
+    assert len(b.plans) == 0
+    assert a.dispatch_stats.calls == 1
+    assert b.dispatch_stats.calls == 0
+
+
+def test_explicit_context_kwarg_wins_over_active(tiny):
+    x, f = tiny
+    active, explicit = ExecutionContext(), ExecutionContext()
+    with activate(active):
+        conv2d(x, f, algo="AUTO_HEURISTIC", context=explicit)
+    assert len(explicit.plans) == 1
+    assert len(active.plans) == 0
+
+
+def test_reset_clears_everything(tiny):
+    x, f = tiny
+    ctx = ExecutionContext()
+    with activate(ctx):
+        conv2d(x, f, algo="AUTO_HEURISTIC")
+        ctx.arena.reserve(1024).release()
+    assert len(ctx.plans) == 1
+    assert ctx.dispatch_stats.calls == 1
+    assert ctx.arena.stats().reserves == 1
+    assert ctx.export_trace()
+    ctx.reset()
+    assert len(ctx.plans) == 0
+    assert ctx.dispatch_stats.calls == 0
+    assert ctx.arena.stats().reserves == 0
+    assert ctx.export_trace() == []
+
+
+def test_plan_span_recorded_with_algo(tiny):
+    x, f = tiny
+    ctx = ExecutionContext()
+    conv2d(x, f, algo="AUTO_HEURISTIC", context=ctx)
+    spans = [s for s in ctx.export_trace() if s["kind"] == "plan"]
+    assert len(spans) == 1
+    assert spans[0]["attrs"]["algo"] in (
+        "WINOGRAD", "WINOGRAD_NONFUSED", "DIRECT",
+    )
+    assert spans[0]["seconds"] >= 0
+
+
+def test_trace_hooks_fire_and_export_is_json(tiny):
+    x, f = tiny
+    ctx = ExecutionContext()
+    seen = []
+    ctx.add_trace_hook(lambda span: seen.append(span.kind))
+    conv2d(x, f, algo="AUTO_HEURISTIC", context=ctx)
+    assert "plan" in seen
+    json.dumps(ctx.export_trace())  # must be serializable as-is
+    ctx.remove_trace_hook(ctx.tracer._hooks[0])
+
+
+def test_write_trace(tmp_path, tiny):
+    x, f = tiny
+    ctx = ExecutionContext()
+    conv2d(x, f, algo="AUTO_HEURISTIC", context=ctx)
+    path = tmp_path / "trace.json"
+    ctx.write_trace(str(path))
+    spans = json.loads(path.read_text())
+    assert spans and spans[0]["kind"] == "plan"
+
+
+def test_trace_buffer_bounded():
+    ctx = ExecutionContext(trace_spans=4)
+    for i in range(10):
+        with ctx.span("x", f"s{i}"):
+            pass
+    assert len(ctx.export_trace()) == 4
+    assert ctx.tracer.dropped == 6
+
+
+def test_legacy_helpers_follow_active_context(tiny):
+    x, f = tiny
+    from repro.convolution.autotune import get_plan_cache
+    from repro.convolution.metrics import get_dispatch_stats
+    from repro.kernels.cache import get_kernel_cache_stats
+
+    ctx = ExecutionContext()
+    with activate(ctx):
+        conv2d(x, f, algo="AUTO_HEURISTIC")
+        assert get_dispatch_stats().calls == 1
+        assert len(get_plan_cache()) == 1
+        assert get_kernel_cache_stats().hits == 0
+    assert ctx.dispatch_stats.calls == 1
+
+
+def test_plan_eviction_counts_on_current_stats_object(tiny):
+    x, f = tiny
+    ctx = ExecutionContext(plan_cache_entries=1)
+    with activate(ctx):
+        conv2d(x, f, algo="AUTO_HEURISTIC")
+        conv2d(x[:, :, :6, :6], f, algo="AUTO_HEURISTIC")  # evicts the first
+    assert ctx.dispatch_stats.plan_evictions == 1
+
+
+def test_device_default_used_by_auto_heuristic(tiny):
+    x, f = tiny
+    from repro.gpusim import RTX2070
+
+    ctx = ExecutionContext(device=RTX2070)
+    conv2d(x, f, algo="AUTO_HEURISTIC", context=ctx)
+    (span,) = [s for s in ctx.export_trace() if s["kind"] == "plan"]
+    assert span["attrs"]["device"] == RTX2070.name

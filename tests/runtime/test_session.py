@@ -1,0 +1,178 @@
+"""InferenceSession: compilation, execution, arena coupling, e2e paper run."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConvProblem
+from repro.common.errors import ConvConfigError
+from repro.common.rng import make_rng, random_activation, random_filter
+from repro.convolution import conv2d
+from repro.runtime import ExecutionContext, InferenceSession
+
+TINY = [
+    ConvProblem(n=1, c=4, h=8, w=8, k=4),
+    ConvProblem(n=1, c=8, h=8, w=8, k=8),
+]
+
+
+def _tensors(problems, seed=0):
+    rng = make_rng(seed)
+    return ([random_activation(p, rng) for p in problems],
+            [random_filter(p, rng) for p in problems])
+
+
+def test_compile_produces_plan_per_layer():
+    session = InferenceSession(TINY, context=ExecutionContext())
+    plans = session.compile()
+    assert len(plans) == len(TINY)
+    for plan, prob in zip(plans, TINY):
+        assert plan.prob is prob
+        assert plan.algo
+        assert plan.workspace_bytes >= 0
+    assert session.compile() is plans  # memoized
+
+
+def test_run_matches_per_layer_conv2d():
+    ctx = ExecutionContext()
+    session = InferenceSession(TINY, context=ctx)
+    inputs, filters = _tensors(TINY)
+    result = session.run(inputs, filters)
+    assert len(result.outputs) == len(TINY)
+    for plan, x, f, y in zip(session.plans, inputs, filters, result.outputs):
+        expect = conv2d(x, f, pad=plan.prob.pad, algo=plan.algo)
+        np.testing.assert_array_equal(y, expect)
+
+
+def test_forced_algorithm_mode():
+    ctx = ExecutionContext()
+    session = InferenceSession(TINY, mode="DIRECT", context=ctx)
+    inputs, filters = _tensors(TINY)
+    result = session.run(inputs, filters)
+    assert all(run.algo == "DIRECT" for run in result.layers)
+    assert result.arena.peak_bytes == 0  # DIRECT needs no workspace
+
+
+def test_auto_mode_compiles_from_trials():
+    ctx = ExecutionContext()
+    session = InferenceSession(TINY[:1], mode="AUTO", context=ctx)
+    inputs, filters = _tensors(TINY[:1])
+    result = session.run(inputs, filters)
+    from repro.convolution.api import ALGORITHMS
+
+    assert session.plans[0].algo in ALGORITHMS
+    assert ctx.dispatch_stats.trials_run > 0
+    assert len(result.layers) == 1
+
+
+def test_auto_mode_requires_calibration_for_bare_compile():
+    session = InferenceSession(TINY, mode="AUTO", context=ExecutionContext())
+    with pytest.raises(ConvConfigError):
+        session.compile()
+
+
+def test_pipelined_run_matches_serial():
+    ctx_a, ctx_b = ExecutionContext(), ExecutionContext()
+    inputs, filters = _tensors(TINY)
+    serial = InferenceSession(TINY, context=ctx_a).run(inputs, filters)
+    piped = InferenceSession(TINY, context=ctx_b).run(
+        inputs, filters, pipeline=True
+    )
+    assert piped.pipelined
+    for a, b in zip(serial.outputs, piped.outputs):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_shape_mismatch_rejected():
+    session = InferenceSession(TINY, context=ExecutionContext())
+    inputs, filters = _tensors(TINY)
+    with pytest.raises(ConvConfigError):
+        session.run(inputs[::-1], filters)
+
+
+def test_layer_count_mismatch_rejected():
+    session = InferenceSession(TINY, context=ExecutionContext())
+    inputs, filters = _tensors(TINY)
+    with pytest.raises(ConvConfigError):
+        session.run(inputs[:1], filters[:1])
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ConvConfigError):
+        InferenceSession(TINY, mode="FASTEST", context=ExecutionContext())
+
+
+def test_empty_layer_list_rejected():
+    with pytest.raises(ConvConfigError):
+        InferenceSession([], context=ExecutionContext())
+
+
+def test_workspace_limit_excludes_algorithms():
+    # A zero workspace budget forbids WINOGRAD's 16KC bytes; the session
+    # must fall back to a workspace-free algorithm, not blow the arena.
+    ctx = ExecutionContext()
+    session = InferenceSession(
+        TINY, workspace_limit_bytes=0, context=ctx
+    )
+    inputs, filters = _tensors(TINY)
+    result = session.run(inputs, filters)
+    assert all(run.workspace_bytes == 0 for run in result.layers)
+    assert result.arena.peak_bytes == 0
+
+
+def test_result_to_dict_is_json_ready():
+    import json
+
+    session = InferenceSession(TINY, context=ExecutionContext())
+    inputs, filters = _tensors(TINY)
+    result = session.run(inputs, filters)
+    payload = json.loads(json.dumps(result.to_dict()))
+    assert len(payload["layers"]) == len(TINY)
+    assert payload["arena"]["reserves"] == len(TINY)
+
+
+@pytest.mark.slow
+def test_paper_resnet_layers_end_to_end():
+    """Satellite: the four Table-1 ResNet 3x3 layers at N=32.
+
+    Asserts the per-layer algorithm choices, the arena's high-water
+    mark and reuse accounting, bit-identical outputs vs per-layer
+    conv2d, and determinism across two runs.
+    """
+    from repro.models import resnet_layer
+    from repro.perfmodel.workspace import dispatch_workspace_bytes
+
+    problems = [
+        resnet_layer(name, 32) for name in ("Conv2", "Conv3", "Conv4", "Conv5")
+    ]
+    inputs, filters = _tensors(problems)
+
+    ctx = ExecutionContext()
+    session = InferenceSession(problems, context=ctx)
+    result = session.run(inputs, filters)
+
+    # The heuristic picks the paper's fused Winograd kernel for every
+    # 3x3 ResNet layer (that is the point of the paper).
+    assert [run.algo for run in result.layers] == ["WINOGRAD"] * 4
+
+    # One arena buffer sized at the largest single layer's closed-form
+    # workspace (Conv5: 16*512*512*4 = 16 MiB), reused by every layer.
+    per_layer = [
+        dispatch_workspace_bytes(p, plan.algo)
+        for p, plan in zip(problems, session.plans)
+    ]
+    assert result.arena.peak_bytes == max(per_layer) == 16 << 20
+    assert result.arena.reuses >= len(problems) - 1
+    assert result.arena.grows == 0  # pre-sized from the compiled plan
+
+    # Bit-identical to running each layer through conv2d directly.
+    for plan, x, f, y in zip(session.plans, inputs, filters, result.outputs):
+        np.testing.assert_array_equal(
+            y, conv2d(x, f, pad=plan.prob.pad, algo=plan.algo)
+        )
+
+    # Deterministic across a second run in a fresh context.
+    again = InferenceSession(problems, context=ExecutionContext()).run(
+        inputs, filters
+    )
+    for a, b in zip(result.outputs, again.outputs):
+        np.testing.assert_array_equal(a, b)
