@@ -8,35 +8,39 @@ peak) on the 16 ResNet layer points under:
 * Fig. 8 — LDG interleave distance {2, 4, 8} (paper: LDG8 up to 1.24×);
 * Fig. 9 — STS interleave distance {2, 4, 6} (paper: STS6 ≈ +2%).
 
-The per-iteration main-loop cost is measured on the simulated RTX 2070
-SM per configuration; the per-layer series applies each layer's grid
-(tail-wave) utilization, which is what differentiates layers in the
-paper's plots.
+Each figure is one axis of the ``repro.sched`` schedule space
+(``DEFAULT_SPACE.axis_variants``), measured through the same
+``Schedule`` → ``Tunables`` → simulator path the successive-halving
+tuner scores candidates with — figures and tuner share one vocabulary
+and one measurement cache.  The per-layer series applies each layer's
+grid (tail-wave) utilization, which is what differentiates layers in
+the paper's plots.
 """
 
 import pytest
 from harness import (
     emit,
-    main_loop_measurement,
-    main_loop_tflops,
-    prewarm_main_loop_measurements,
+    prewarm_schedule_measurements,
+    schedule_measurement,
+    schedule_tflops,
 )
 
 from repro.common import format_grid
 from repro.models import paper_layers
+from repro.sched import DEFAULT_SPACE, PAPER_SCHEDULE, QUICK_SPACE
 
 LAYERS = [p.name for p in paper_layers()]
 
 
 def _sweep(variants: dict):
-    # Fan the independent per-strategy measurements out across the
+    # Fan the independent per-schedule measurements out across the
     # process pool first (serial fallback on one core); the per-layer
     # loop below then only applies grid utilization to memoized results.
-    prewarm_main_loop_measurements("RTX2070", variants.values())
+    prewarm_schedule_measurements("RTX2070", variants.values())
     series = {}
-    for label, kwargs in variants.items():
+    for label, schedule in variants.items():
         series[label] = [
-            main_loop_tflops(layer, "RTX2070", **kwargs) for layer in LAYERS
+            schedule_tflops(layer, "RTX2070", schedule) for layer in LAYERS
         ]
     return series
 
@@ -49,47 +53,44 @@ def _emit_figure(name, title, series, paper_claim):
     return series
 
 
+def _cycles(schedule) -> float:
+    return schedule_measurement("RTX2070", schedule).cycles_per_iter
+
+
 def test_fig07_yield_strategies(benchmark):
+    axis = DEFAULT_SPACE.axis_variants("yield_strategy")
     variants = {
-        "cuDNN": dict(yield_strategy="cudnn7"),
-        "NVCC": dict(yield_strategy="nvcc8"),
-        "Natural": dict(yield_strategy="natural"),
+        "cuDNN": axis["yield=cudnn7"],
+        "NVCC": axis["yield=nvcc8"],
+        "Natural": axis["yield=natural"],
     }
     series = benchmark.pedantic(_sweep, args=(variants,), rounds=1, iterations=1)
-    nat = main_loop_measurement("RTX2070", yield_strategy="natural")
-    nv = main_loop_measurement("RTX2070", yield_strategy="nvcc8")
-    cd = main_loop_measurement("RTX2070", yield_strategy="cudnn7")
+    nat, nv, cd = (_cycles(variants[k]) for k in ("Natural", "NVCC", "cuDNN"))
     claim = (
-        f"Natural over NVCC: {nv.cycles_per_iter / nat.cycles_per_iter:.3f}x "
-        f"(paper 1.09x); over cuDNN: "
-        f"{cd.cycles_per_iter / nat.cycles_per_iter:.3f}x (paper 1.11x)"
+        f"Natural over NVCC: {nv / nat:.3f}x (paper 1.09x); "
+        f"over cuDNN: {cd / nat:.3f}x (paper 1.11x)"
     )
     _emit_figure("fig07_yield", "Figure 7: main-loop TFLOPS by yield strategy "
                  "(RTX2070)", series, claim)
-    assert nat.cycles_per_iter < nv.cycles_per_iter
-    assert nat.cycles_per_iter < cd.cycles_per_iter
+    assert nat < nv
+    assert nat < cd
 
 
 def test_fig08_ldg_interleave(benchmark):
-    variants = {f"LDG{n}": dict(ldg_interleave=n) for n in (2, 4, 8)}
+    variants = DEFAULT_SPACE.axis_variants("ldg_interleave")
     series = benchmark.pedantic(_sweep, args=(variants,), rounds=1, iterations=1)
-    l2 = main_loop_measurement("RTX2070", ldg_interleave=2)
-    l8 = main_loop_measurement("RTX2070", ldg_interleave=8)
-    claim = (
-        f"LDG8 over LDG2: {l2.cycles_per_iter / l8.cycles_per_iter:.3f}x "
-        "(paper: up to 1.24x)"
-    )
+    l2, l8 = _cycles(variants["ldg2"]), _cycles(variants["ldg8"])
+    claim = f"LDG8 over LDG2: {l2 / l8:.3f}x (paper: up to 1.24x)"
     _emit_figure("fig08_ldg", "Figure 8: main-loop TFLOPS by LDG scheduling "
                  "(RTX2070)", series, claim)
-    assert l2.cycles_per_iter > l8.cycles_per_iter * 1.05
+    assert l2 > l8 * 1.05
 
 
 def test_fig09_sts_interleave(benchmark):
-    variants = {f"STS{n}": dict(sts_interleave=n) for n in (2, 4, 6)}
+    variants = DEFAULT_SPACE.axis_variants("sts_interleave")
     series = benchmark.pedantic(_sweep, args=(variants,), rounds=1, iterations=1)
-    s2 = main_loop_measurement("RTX2070", sts_interleave=2)
-    s6 = main_loop_measurement("RTX2070", sts_interleave=6)
-    ratio = s2.cycles_per_iter / s6.cycles_per_iter
+    s2, s6 = _cycles(variants["sts2"]), _cycles(variants["sts6"])
+    ratio = s2 / s6
     claim = f"STS6 over STS2: {ratio:.3f}x (paper: ~1.02x)"
     _emit_figure("fig09_sts", "Figure 9: main-loop TFLOPS by STS scheduling "
                  "(RTX2070)", series, claim)
@@ -97,6 +98,33 @@ def test_fig09_sts_interleave(benchmark):
     assert 0.95 < ratio < 1.10
 
 
+@pytest.mark.slow
+def test_schedule_search_agrees_with_figures(benchmark):
+    """The tuner's winner is the schedule the figures argue for."""
+    from repro.gpusim import RTX2070
+    from repro.runtime import ExecutionContext
+    from repro.sched import SearchBudget, paper_ordering, successive_halving
+
+    ctx = ExecutionContext(device=RTX2070)
+    result = benchmark.pedantic(
+        successive_halving,
+        args=(QUICK_SPACE, RTX2070),
+        kwargs=dict(budget=SearchBudget(max_rungs=2), context=ctx),
+        rounds=1, iterations=1,
+    )
+    ordering = paper_ordering(result)
+    lines = ["Schedule search vs Figures 7-9 (RTX2070, quick space)",
+             f"winner: {result.best.schedule.label()} "
+             f"({result.evaluations} evaluations, "
+             f"{result.lint_gated} candidates lint-gated)"]
+    lines += [f"{k}: {v:.4f}x" for k, v in ordering.items() if k != "anchor"]
+    emit("sched_search", "\n".join(lines))
+    assert result.best.schedule == PAPER_SCHEDULE
+    assert ordering["ldg8_over_ldg2"] > 1.05
+    assert ordering["natural_over_nvcc8"] > 1.0
+    assert ordering["natural_over_cudnn7"] > 1.0
+
+
 if __name__ == "__main__":
     for layer in LAYERS[:4]:
-        print(layer, f"{main_loop_tflops(layer, 'RTX2070'):.2f} TFLOPS")
+        print(layer, f"{schedule_tflops(layer, 'RTX2070', PAPER_SCHEDULE):.2f} TFLOPS")

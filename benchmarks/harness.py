@@ -88,6 +88,29 @@ def prewarm_main_loop_measurements(device_name: str, variant_kwargs) -> int:
     return len(pending)
 
 
+def schedule_measurement(device_name: str, schedule, context=None):
+    """Memoized main-loop measurement for one :class:`repro.sched.Schedule`.
+
+    The schedule-first twin of :func:`main_loop_measurement`: figures and
+    the ``repro.sched`` tuner describe configurations with the same
+    vocabulary, and because a ``Schedule``'s fields are ``Tunables``
+    fields, both share one memo entry per canonical configuration.
+    """
+    return main_loop_measurement(device_name, context=context, **schedule.to_dict())
+
+
+def prewarm_schedule_measurements(device_name: str, schedules) -> int:
+    """Fan not-yet-measured schedules out over the process pool."""
+    return prewarm_main_loop_measurements(
+        device_name, [s.to_dict() for s in schedules]
+    )
+
+
+def schedule_tflops(layer_name: str, device_name: str, schedule) -> float:
+    """Device-level main-loop TFLOPS of one layer under one schedule."""
+    return main_loop_tflops(layer_name, device_name, **schedule.to_dict())
+
+
 def prewarm_layer_measurements(device_names, tunables: Tunables | None = None) -> int:
     """Fan the per-device layer-model measurement triples out in parallel."""
     tunables = tunables or Tunables()

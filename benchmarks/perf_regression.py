@@ -1,0 +1,207 @@
+"""CI perf-regression gate for the simulated main-loop cycle counts.
+
+Runs the ``repro.sched`` schedule search plus the Fig. 7-9 axis sweeps,
+then compares every measured cycles-per-iteration metric against the
+checked-in ``benchmarks/baselines/sched_<device>.json``:
+
+* a metric more than ``--tolerance`` (default 10%) *slower* than its
+  baseline fails the gate (exit 1);
+* a metric more than ``--tolerance`` *faster* is reported as an
+  improvement — rerun with ``--update-baselines`` to lock it in;
+* a changed search winner fails the gate (the simulator is
+  deterministic, so the winner only moves when the code does).
+
+The fresh measurements are always written to
+``<out-dir>/BENCH_sched_regression_<device>.json`` so CI can upload
+them as an artifact whether the gate passes or fails.
+
+``--inject-regression PCT`` inflates every measured cycle count by
+PCT percent before comparing — the knob used to demonstrate that the
+gate actually fails (e.g. ``--inject-regression 15`` against a 10%
+tolerance).
+
+Usage::
+
+    python benchmarks/perf_regression.py --quick                # CI gate
+    python benchmarks/perf_regression.py --quick --update-baselines
+    python benchmarks/perf_regression.py --quick --inject-regression 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.gpusim import DEVICES
+from repro.runtime import ExecutionContext
+from repro.sched import (
+    DEFAULT_SPACE,
+    PAPER_SCHEDULE,
+    QUICK_SPACE,
+    SCHEDULE_FIELDS,
+    SearchBudget,
+    evaluate_schedule,
+    successive_halving,
+)
+
+BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
+
+
+def _slug(device_key: str) -> str:
+    return device_key.lower()
+
+
+def baseline_path(device_key: str) -> str:
+    return os.path.join(BASELINE_DIR, f"sched_{_slug(device_key)}.json")
+
+
+def collect_metrics(device_key: str, quick: bool) -> dict:
+    """Measure every gated metric fresh; returns the payload dict.
+
+    Metrics are the rung-0 scores of the schedule search (every
+    candidate at the same budget) plus the Fig. 7-9 axis variants, all
+    simulated cycles per main-loop iteration — deterministic, so any
+    drift is a code change, not noise.
+    """
+    device = DEVICES[device_key]
+    space = QUICK_SPACE if quick else DEFAULT_SPACE
+    budget = SearchBudget(max_rungs=2 if quick else 3)
+    ctx = ExecutionContext(device=device)
+
+    result = successive_halving(space, device, budget=budget, context=ctx)
+    metrics: dict[str, float] = {
+        score.schedule.label(): score.cycles_per_iter
+        for score in result.rungs[0]
+    }
+    # The Fig. 7-9 sweeps (plus the §3.4 double-buffer ablation): axis
+    # variants around the paper schedule, measured at the same budget —
+    # cached points are free, the rest complete the figure coverage.
+    for field in SCHEDULE_FIELDS:
+        for schedule in DEFAULT_SPACE.axis_variants(field, PAPER_SCHEDULE).values():
+            label = schedule.label()
+            if label not in metrics:
+                metrics[label] = evaluate_schedule(
+                    schedule, device, iters=budget.base_iters, context=ctx,
+                ).cycles_per_iter
+    return {
+        "device": device_key,
+        "space": result.space_signature,
+        "iters": budget.base_iters,
+        "winner": result.best.schedule.label(),
+        "metrics": metrics,
+    }
+
+
+def compare(fresh: dict, baseline: dict, tolerance: float) -> tuple[list, list]:
+    """(regressions, notes) from comparing *fresh* against *baseline*.
+
+    Regressions are gate failures: slower-than-tolerance metrics,
+    metrics that disappeared, or a changed search winner.  Notes are
+    informational: improvements beyond tolerance and brand-new metrics.
+    """
+    regressions: list[str] = []
+    notes: list[str] = []
+    if fresh["winner"] != baseline["winner"]:
+        regressions.append(
+            f"search winner changed: {baseline['winner']} -> {fresh['winner']}"
+        )
+    for label, base_cycles in baseline["metrics"].items():
+        cycles = fresh["metrics"].get(label)
+        if cycles is None:
+            regressions.append(f"metric disappeared: {label}")
+            continue
+        ratio = cycles / base_cycles
+        if ratio > 1.0 + tolerance:
+            regressions.append(
+                f"{label}: {cycles:.0f} cycles vs baseline "
+                f"{base_cycles:.0f} ({(ratio - 1) * 100:+.1f}%)"
+            )
+        elif ratio < 1.0 - tolerance:
+            notes.append(
+                f"improvement {label}: {cycles:.0f} cycles vs baseline "
+                f"{base_cycles:.0f} ({(ratio - 1) * 100:+.1f}%) — "
+                "rerun with --update-baselines to lock it in"
+            )
+    for label in fresh["metrics"]:
+        if label not in baseline["metrics"]:
+            notes.append(f"new metric (no baseline yet): {label}")
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--device", default="RTX2070", choices=sorted(DEVICES),
+                        help="simulated device (default: RTX2070)")
+    parser.add_argument("--quick", action="store_true",
+                        help="QUICK_SPACE + 2 rungs (the CI configuration)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional slowdown (default: 0.10)")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="write the fresh metrics as the new baseline")
+    parser.add_argument("--inject-regression", type=float, default=None,
+                        metavar="PCT",
+                        help="inflate measured cycles by PCT%% (gate self-test)")
+    parser.add_argument("--out-dir", default=os.path.join(
+                            os.path.dirname(__file__), "results"),
+                        help="where BENCH_*.json lands (default: results/)")
+    args = parser.parse_args(argv)
+
+    fresh = collect_metrics(args.device, args.quick)
+    if args.inject_regression is not None:
+        factor = 1.0 + args.inject_regression / 100.0
+        fresh["metrics"] = {
+            label: cycles * factor for label, cycles in fresh["metrics"].items()
+        }
+        fresh["injected_regression_pct"] = args.inject_regression
+        print(f"injected a synthetic {args.inject_regression:+.1f}% on every metric")
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    bench_path = os.path.join(
+        args.out_dir, f"BENCH_sched_regression_{_slug(args.device)}.json"
+    )
+    with open(bench_path, "w", encoding="utf-8") as fh:
+        json.dump(fresh, fh, indent=2, sort_keys=True)
+    print(f"wrote {bench_path} ({len(fresh['metrics'])} metrics, "
+          f"winner {fresh['winner']})")
+
+    if args.update_baselines:
+        os.makedirs(BASELINE_DIR, exist_ok=True)
+        with open(baseline_path(args.device), "w", encoding="utf-8") as fh:
+            json.dump(fresh, fh, indent=2, sort_keys=True)
+        print(f"updated {baseline_path(args.device)}")
+        return 0
+
+    path = baseline_path(args.device)
+    if not os.path.exists(path):
+        print(f"error: no baseline at {path}; run with --update-baselines first",
+              file=sys.stderr)
+        return 2
+    with open(path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    if baseline.get("space") != fresh["space"] or baseline.get("iters") != fresh["iters"]:
+        print(f"error: baseline {path} was generated for a different "
+              f"space/budget ({baseline.get('space')} @ {baseline.get('iters')} "
+              f"iters vs {fresh['space']} @ {fresh['iters']}); regenerate it "
+              "with --update-baselines", file=sys.stderr)
+        return 2
+
+    regressions, notes = compare(fresh, baseline, args.tolerance)
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        print(f"\nPERF REGRESSION ({len(regressions)} metric(s) beyond "
+              f"{args.tolerance * 100:.0f}% tolerance):", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"perf gate OK: {len(baseline['metrics'])} metrics within "
+          f"{args.tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,24 +5,27 @@ Commands::
     python -m repro sass ...       # assemble/disassemble/lint SASS
     python -m repro kernels ...    # generate the paper's kernels
     python -m repro session ...    # run an InferenceSession end to end
+    python -m repro sched ...      # search the SASS schedule space
 
 ``python -m repro.sass`` and ``python -m repro.kernels`` keep working as
 thin aliases of the first two; ``session`` is the unified runtime's CLI
-(see ``repro.runtime.cli``).
+(see ``repro.runtime.cli``) and ``sched`` the schedule autotuner's
+(see ``repro.sched.cli``).
 """
 
 from __future__ import annotations
 
 import sys
 
-COMMANDS = ("sass", "kernels", "session")
+COMMANDS = ("sass", "kernels", "session", "sched")
 
 _USAGE = (
-    "usage: python -m repro {sass,kernels,session} ...\n"
+    "usage: python -m repro {sass,kernels,session,sched} ...\n"
     "\n"
     "  sass      assemble, disassemble and inspect Volta/Turing SASS\n"
     "  kernels   generate the paper's SASS kernels\n"
     "  session   plan and run a layer stack through the unified runtime\n"
+    "  sched     autotune the fused kernel's SASS instruction schedule\n"
 )
 
 
@@ -46,6 +49,10 @@ def main(argv: list[str] | None = None) -> int:
         from .runtime.cli import main as session_main
 
         return session_main(["session", *rest])
+    if command == "sched":
+        from .sched.cli import main as sched_main
+
+        return sched_main(rest)
     print(f"unknown command {command!r}\n{_USAGE}", end="", file=sys.stderr)
     return 2
 

@@ -129,6 +129,7 @@ def conv2d(
     workspace_limit_bytes: int | None = None,
     device=None,
     context=None,
+    tune_schedule: bool | None = None,
 ) -> np.ndarray:
     """Batched 2-D convolution with a selectable (or automatic) algorithm.
 
@@ -148,6 +149,10 @@ def conv2d(
     context: the :class:`repro.runtime.ExecutionContext` supplying the
         plan cache, dispatch stats and trace hooks (default: the current
         context — the process-wide default unless one is activated).
+    tune_schedule: AUTO modes only — run the ``repro.sched``
+        schedule-space search for a WINOGRAD winner and store the chosen
+        :class:`~repro.sched.Schedule` on the cached plan.  ``None``
+        (default) defers to the context's ``schedule_search`` config.
     """
     if not isinstance(algo, str):
         raise ConvConfigError(f"algo must be a string, got {algo!r}")
@@ -164,12 +169,13 @@ def conv2d(
         return autotune_conv2d(
             x, f, pad, mode=algo,
             workspace_limit_bytes=workspace_limit_bytes, device=device,
-            context=context,
+            context=context, tune_schedule=tune_schedule,
         )
-    if workspace_limit_bytes is not None or device is not None:
+    if (workspace_limit_bytes is not None or device is not None
+            or tune_schedule is not None):
         raise ConvConfigError(
-            "workspace_limit_bytes/device only apply to the AUTO modes; "
-            f"algo={algo!r} was requested explicitly"
+            "workspace_limit_bytes/device/tune_schedule only apply to the "
+            f"AUTO modes; algo={algo!r} was requested explicitly"
         )
     if context is not None:
         from ..runtime import activate

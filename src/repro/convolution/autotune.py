@@ -87,6 +87,11 @@ class ConvPlan:
     ``fallbacks`` is the remaining try-order *after* ``algo``: if the
     chosen algorithm ever raises on a later call, the plan heals itself
     by promoting the next entry instead of re-running selection.
+
+    ``schedule`` is the SASS instruction schedule
+    (:class:`repro.sched.Schedule`) chosen by the schedule-space search
+    when dispatch ran with ``tune_schedule`` and the winning algorithm
+    is the fused Winograd kernel; ``None`` otherwise.
     """
 
     key: PlanKey
@@ -97,6 +102,7 @@ class ConvPlan:
     predicted_times: dict[str, float] = dataclasses.field(default_factory=dict)
     excluded: dict[str, str] = dataclasses.field(default_factory=dict)
     hits: int = 0
+    schedule: object | None = None  # repro.sched.Schedule when tuned
 
 
 class PlanCache:
@@ -209,6 +215,22 @@ def _select_candidates(prob, device, workspace_limit):
     return ranked, excluded, predictions
 
 
+def _tune_plan_schedule(plan: ConvPlan, device, ctx) -> None:
+    """Attach the schedule-search winner to a WINOGRAD plan (in place).
+
+    The search itself is memoized on the context's
+    :class:`repro.sched.ScheduleBook`, so only the first plan per
+    (device, space, budget) pays for it — everything after is a lookup.
+    Runs strictly behind the plan cache: cached plans that already carry
+    a schedule never re-enter here.
+    """
+    from ..sched import ScheduleSearchConfig, ensure_schedule
+
+    config = ctx.schedule_search or ScheduleSearchConfig()
+    result = ensure_schedule(device=device, config=config, context=ctx)
+    plan.schedule = result.best.schedule
+
+
 def autotune_conv2d(
     x: np.ndarray,
     f: np.ndarray,
@@ -217,6 +239,7 @@ def autotune_conv2d(
     workspace_limit_bytes: int | None = None,
     device=None,
     context=None,
+    tune_schedule: bool | None = None,
 ) -> np.ndarray:
     """Dispatch one convolution through the AUTO/AUTO_HEURISTIC pipeline.
 
@@ -224,6 +247,10 @@ def autotune_conv2d(
     not intended as a public entry point (use ``conv2d(algo="AUTO")``).
     All mutable state (plan cache, dispatch stats) lives on *context*
     (default: the current :class:`repro.runtime.ExecutionContext`).
+
+    ``tune_schedule`` opts the WINOGRAD winner into the SASS
+    schedule-space search (``repro.sched``); ``None`` defers to whether
+    the context carries a ``schedule_search`` config.
     """
     from ..runtime import activate, current_context
 
@@ -236,6 +263,8 @@ def autotune_conv2d(
     ctx = context if context is not None else current_context()
     with activate(ctx):
         device = device or ctx.device
+        if tune_schedule is None:
+            tune_schedule = ctx.schedule_search is not None
         stats = ctx.dispatch_stats
         stats.record_call(mode)
 
@@ -250,6 +279,10 @@ def autotune_conv2d(
         if plan is not None:
             stats.cache_hits += 1
             plan.hits += 1
+            if tune_schedule and plan.schedule is None and plan.algo == "WINOGRAD":
+                # A plan cached before tuning was enabled: attach the
+                # (memoized) winner so later snapshots see it too.
+                _tune_plan_schedule(plan, device, ctx)
             return _run_plan(plan, x, f, pad, stats, ctx.plans)
 
         stats.cache_misses += 1
@@ -275,6 +308,9 @@ def autotune_conv2d(
                     key, ranked, excluded, predictions, x, f, pad, stats
                 )
             span["algo"] = plan.algo
+            if tune_schedule and plan.algo == "WINOGRAD":
+                _tune_plan_schedule(plan, device, ctx)
+                span["schedule"] = plan.schedule.label()
         ctx.plans.store(key, plan)
         stats.record_choice(plan.algo)
         return y
@@ -387,5 +423,8 @@ def _publish_healed(
         predicted_times=dict(plan.predicted_times),
         excluded=dict(plan.excluded, **new_exclusions),
         hits=plan.hits,
+        # The schedule belongs to the fused kernel; a heal that demoted
+        # WINOGRAD must not carry its schedule onto another algorithm.
+        schedule=plan.schedule if algo == "WINOGRAD" else None,
     )
     plans.store(plan.key, healed)

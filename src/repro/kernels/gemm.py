@@ -60,6 +60,7 @@ class BatchedGemmKernel(WinogradF22Kernel):
         # Deliberately skip WinogradF22Kernel.__init__ (no ConvProblem);
         # replicate only the resource map it would have produced.
         self.t = tunables
+        self.depth = tunables.double_buffer
         self.bk = 64
         self.cols = 8
         self.batch, self.m, self.n, self.kd = batch, m, n, kd

@@ -54,6 +54,7 @@ class Tunables:
     bk: int = 64                     # filters per block           (§3.3)
     smem_layout: str = "transposed"  # transposed | tile_major     (§4.3)
     use_p2r: bool = True             # pack masks with P2R/R2P     (§3.5)
+    double_buffer: int = 2           # fragment buffer depth       (§3.4)
 
     def __post_init__(self) -> None:
         if self.bk not in (32, 64):
@@ -62,6 +63,11 @@ class Tunables:
             raise ConvConfigError("smem_layout must be transposed or tile_major")
         if self.ldg_interleave < 1 or self.sts_interleave < 1:
             raise ConvConfigError("interleave distances must be >= 1")
+        if self.double_buffer not in (1, 2):
+            raise ConvConfigError(
+                "double_buffer must be 2 (the paper's register ping-pong) "
+                "or 1 (single-buffered fragment ablation)"
+            )
 
 
 def _magic_u32(divisor: int) -> int:
@@ -86,6 +92,7 @@ class WinogradF22Kernel:
             )
         self.prob = prob
         self.t = tunables
+        self.depth = tunables.double_buffer
         self.bk = tunables.bk
         self.cols = self.bk // 8  # filter columns per thread per GEMM (8 or 4)
         self.th = prob.tiles_h(2)
@@ -298,7 +305,7 @@ class WinogradF22Kernel:
         during step 7); the row pass finishes in place with one temp.
         """
         d = lambda x, y: self.pf_in + 4 * x + y
-        s = lambda x, y: self.in_frag(0, 0, 0) + 4 * x + y  # 16 scratch regs
+        s = lambda x, y: self.itf_scratch + 4 * x + y  # 16 scratch regs
         tmp = self.TMP[0]
         lines = []
         first = self._ctl(wait=1 << 0)  # wait B0: prefetched input landed
@@ -338,8 +345,19 @@ class WinogradF22Kernel:
                 )
         return lines
 
+    @property
+    def itf_scratch(self) -> int:
+        """Base of the 16 ITF scratch registers (the BᵀIB outputs).
+
+        Depth 2: the ITF runs during step 7, which computes from block 1,
+        so block 0's input fragments are dead and serve as scratch.
+        Depth 1: every step reads block 0, so the otherwise-unused
+        block-1 input fragments are the scratch instead.
+        """
+        return self.in_frag(0 if self.depth == 2 else 1, 0, 0)
+
     def sts_input_stream(self) -> list[str]:
-        scratch = self.in_frag(0, 0, 0)  # the ITF's output registers
+        scratch = self.itf_scratch  # the ITF's output registers
         lines = []
         for e in range(16):
             if self.t.smem_layout == "transposed":
@@ -493,6 +511,8 @@ class WinogradF22Kernel:
     # Main loop body
     # ------------------------------------------------------------------
     def loop_body(self) -> list[str]:
+        if self.depth == 1:
+            return self._loop_body_single()
         # Fragment loads are spread through each step's FFMAs (one LDS per
         # ~14 FFMAs) instead of bursting at step boundaries: a back-to-back
         # clump of 8 LDS.128 from every warp at once would convoy on the
@@ -517,6 +537,54 @@ class WinogradF22Kernel:
         step7 = self.ffma_step(1)
         step7[0] = f"{self._ctl(wait=1 << 3)} {step7[0]}"
         tail = weave(step7, self.itf_stream(), 2)  # ITF as early as possible
+        tail = weave(tail, self.sts_filter_stream(), self.t.sts_interleave)
+        tail = weave(tail, self.sts_input_stream(), self.t.sts_interleave,
+                     start=len(step7) // 2)
+        L += tail
+
+        L += self.advance_pointers()
+        L.append(f"IADD3 R{self.ITER}, R{self.ITER}, -1, RZ;")
+        L.append(f"ISETP.NE.AND P5, PT, R{self.ITER}, RZ, PT;")
+        L.append("BAR.SYNC;")
+        for line in self.lds_step(0, 0):
+            L.append(_predicate(line, "P5"))
+        L.append("@P5 BRA MAIN_LOOP;")
+        return L
+
+    def _loop_body_single(self) -> list[str]:
+        """The ``double_buffer=1`` ablation: one fragment buffer (§3.4).
+
+        Every k-step computes from register block 0 and the next step's
+        fragment loads are issued as a burst *after* the step's FFMAs
+        (in-order issue keeps the write-after-read safe: FFMA operands
+        are consumed at issue, before any later LDS can write back).
+        Each step's first FFMA then waits on B2 for that burst to land,
+        so the FFMA stream stalls on the shared-memory latency once per
+        k-step — the serialization the paper's ping-pong register
+        double-buffering exists to hide.
+        """
+        L: list[str] = []
+        # Steps 0..6: FFMAs, then the next step's LDS burst; the LDG
+        # stream is woven over the whole stretch as in the paper path.
+        steps06: list[str] = []
+        for k in range(7):
+            ffmas = self.ffma_step(0)
+            ffmas[0] = f"{self._ctl(wait=1 << 2)} {ffmas[0]}"
+            steps06 += ffmas
+            steps06 += self.lds_step(0, k + 1)
+        steps06 = weave(steps06, self.ldg_stream(), self.t.ldg_interleave)
+        L += steps06
+
+        # Same MIO-ordering argument as the ping-pong path: every
+        # shared-memory read is issued before the barrier, so the
+        # post-barrier STS cannot overtake them.
+        L.append("BAR.SYNC;")
+
+        # Step 7: 128 FFMAs with ITF + STS woven in (scratch lives in
+        # the idle block-1 fragment registers, see ``itf_scratch``).
+        step7 = self.ffma_step(0)
+        step7[0] = f"{self._ctl(wait=1 << 2)} {step7[0]}"
+        tail = weave(step7, self.itf_stream(), 2)
         tail = weave(tail, self.sts_filter_stream(), self.t.sts_interleave)
         tail = weave(tail, self.sts_input_stream(), self.t.sts_interleave,
                      start=len(step7) // 2)

@@ -143,6 +143,10 @@ class ExecutionContext:
     workspace_limit_bytes: arena-level workspace budget (``None`` =
         unlimited); see :class:`~repro.runtime.arena.WorkspaceArena`.
     trace_spans: trace-buffer bound.
+    schedule_search: a :class:`repro.sched.ScheduleSearchConfig` that
+        opts AUTO dispatch into the SASS schedule search (``None`` =
+        off; a per-call ``tune_schedule=True`` still searches with the
+        default config).  Winners are memoized on :attr:`schedules`.
     """
 
     def __init__(
@@ -154,8 +158,15 @@ class ExecutionContext:
         plan_cache_entries: int = 256,
         workspace_limit_bytes: int | None = None,
         trace_spans: int = DEFAULT_TRACE_SPANS,
+        schedule_search=None,
     ):
+        # Late import: repro.sched builds on the kernels/gpusim layers,
+        # which must be importable before this module finishes loading.
+        from ..sched.search import ScheduleBook
+
         self.device = device or V100
+        self.schedule_search = schedule_search
+        self.schedules = ScheduleBook()
         self.kernel_cache = KernelBuildCache(
             max_entries=kernel_cache_entries
             or int(os.environ.get("REPRO_KERNEL_CACHE_SIZE", "64"))
@@ -208,7 +219,7 @@ class ExecutionContext:
         Replaces the three separate ``reset_*``/``clear_*`` call sites
         tests used to need (and the state they could forget): plan cache,
         kernel-build cache (+stats), simulation cache (+stats), dispatch
-        stats, lint gate, arena and trace buffer.
+        stats, lint gate, arena, trace buffer and schedule book.
         """
         self.plans.clear()
         self.kernel_cache.clear()
@@ -219,6 +230,7 @@ class ExecutionContext:
         self.lint_gate.clear()
         self.arena.reset()
         self.tracer.clear()
+        self.schedules.clear()
 
 
 # ---------------------------------------------------------------------------

@@ -44,7 +44,12 @@ SESSION_MODES = ("AUTO", "AUTO_HEURISTIC")
 
 @dataclasses.dataclass(frozen=True)
 class LayerPlan:
-    """One layer's compiled execution decision."""
+    """One layer's compiled execution decision.
+
+    ``schedule`` is the SASS schedule the ``repro.sched`` search chose
+    for a WINOGRAD layer compiled with ``tune_schedule``; ``None`` when
+    tuning was off or another algorithm won.
+    """
 
     prob: ConvProblem
     algo: str
@@ -52,6 +57,7 @@ class LayerPlan:
     predicted_seconds: float
     fallbacks: tuple[str, ...] = ()
     excluded: dict = dataclasses.field(default_factory=dict)
+    schedule: object | None = None  # repro.sched.Schedule when tuned
 
     def to_dict(self) -> dict:
         return {
@@ -61,6 +67,7 @@ class LayerPlan:
             "predicted_seconds": self.predicted_seconds,
             "fallbacks": list(self.fallbacks),
             "excluded": dict(self.excluded),
+            "schedule": self.schedule.to_dict() if self.schedule else None,
         }
 
 
@@ -151,6 +158,10 @@ class InferenceSession:
         enforced limit.
     context: the owning :class:`ExecutionContext` (default: current).
     device: ranking device (default: the context's device).
+    tune_schedule: run the ``repro.sched`` schedule-space search for
+        WINOGRAD layers at compile time and record the winner on each
+        :class:`LayerPlan`; ``None`` (default) defers to whether the
+        context carries a ``schedule_search`` config.
     """
 
     def __init__(
@@ -161,6 +172,7 @@ class InferenceSession:
         workspace_limit_bytes: int | None = None,
         context: ExecutionContext | None = None,
         device=None,
+        tune_schedule: bool | None = None,
     ):
         problems = list(problems)
         if not problems:
@@ -183,6 +195,9 @@ class InferenceSession:
         self.workspace_limit_bytes = workspace_limit_bytes
         self.context = context or current_context()
         self.device = device or self.context.device
+        if tune_schedule is None:
+            tune_schedule = self.context.schedule_search is not None
+        self.tune_schedule = tune_schedule
         self._plans: list[LayerPlan] | None = None
         if workspace_limit_bytes is not None:
             self.context.arena.set_limit(workspace_limit_bytes)
@@ -215,6 +230,8 @@ class InferenceSession:
                         calibration[1][i] if calibration else None,
                     )
                     span["algo"] = plan.algo
+                    if plan.schedule is not None:
+                        span["schedule"] = plan.schedule.label()
                 plans.append(plan)
             # One buffer sized at the network's high-water mark: the core
             # of the arena story (not counted as a runtime "grow").
@@ -241,6 +258,7 @@ class InferenceSession:
                 x, f, pad=prob.pad, algo="AUTO",
                 workspace_limit_bytes=self.workspace_limit_bytes,
                 device=self.device, context=self.context,
+                tune_schedule=self.tune_schedule,
             )
             key = PlanKey.from_problem(
                 prob, np.result_type(x, f), self.workspace_limit_bytes,
@@ -255,6 +273,7 @@ class InferenceSession:
                 predicted_seconds=plan.trial_times.get(plan.algo, 0.0),
                 fallbacks=plan.fallbacks,
                 excluded=dict(plan.excluded),
+                schedule=plan.schedule,
             )
 
         ranked, excluded = rank_algorithms(
@@ -274,6 +293,14 @@ class InferenceSession:
                     f"forced algorithm {algo} cannot run {prob}: "
                     f"{excluded[algo]}"
                 )
+        schedule = None
+        if self.tune_schedule and algo == "WINOGRAD":
+            from ..sched import ScheduleSearchConfig, ensure_schedule
+
+            config = self.context.schedule_search or ScheduleSearchConfig()
+            schedule = ensure_schedule(
+                device=self.device, config=config, context=self.context
+            ).best.schedule
         return LayerPlan(
             prob=prob,
             algo=algo,
@@ -281,6 +308,7 @@ class InferenceSession:
             predicted_seconds=predicted_time(prob, self.device, algo),
             fallbacks=fallbacks,
             excluded=excluded,
+            schedule=schedule,
         )
 
     @property

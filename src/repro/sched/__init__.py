@@ -1,0 +1,45 @@
+"""Schedule-space autotuning for the fused kernel's SASS instruction
+schedule (§6): the search space (:mod:`repro.sched.space`), the
+successive-halving tuner (:mod:`repro.sched.search`) and the
+``python -m repro sched`` CLI (:mod:`repro.sched.cli`).
+"""
+
+from .search import (
+    CandidateScore,
+    ScheduleBook,
+    ScheduleSearchConfig,
+    SearchBudget,
+    SearchResult,
+    ensure_schedule,
+    evaluate_schedule,
+    paper_ordering,
+    successive_halving,
+)
+from .space import (
+    CUDNN_SCHEDULE,
+    DEFAULT_SPACE,
+    PAPER_SCHEDULE,
+    QUICK_SPACE,
+    SCHEDULE_FIELDS,
+    Schedule,
+    ScheduleSpace,
+)
+
+__all__ = [
+    "CUDNN_SCHEDULE",
+    "CandidateScore",
+    "DEFAULT_SPACE",
+    "PAPER_SCHEDULE",
+    "QUICK_SPACE",
+    "SCHEDULE_FIELDS",
+    "Schedule",
+    "ScheduleBook",
+    "ScheduleSearchConfig",
+    "ScheduleSpace",
+    "SearchBudget",
+    "SearchResult",
+    "ensure_schedule",
+    "evaluate_schedule",
+    "paper_ordering",
+    "successive_halving",
+]

@@ -1,0 +1,425 @@
+"""Schedule-space autotuner: successive halving over SASS schedules.
+
+maxDNN (Lavin 2015) and the Citadel Volta microbenchmarking study treat
+the *instruction schedule* as the optimization target; TuringAs exists
+to make that space writable.  This module makes it **searchable**: every
+:class:`~repro.sched.space.Schedule` candidate is generated through the
+existing ``kernels``/``sass`` pipeline, statically vetted by sasslint,
+scored with the simulator in the loop (gpusim), and pruned with a plain
+successive-halving schedule instead of an exhaustive sweep:
+
+* rung 0 measures **every** candidate at the cheapest budget the
+  differential microbenchmark allows (3 main-loop iterations);
+* each following rung keeps the best ``1/eta`` fraction and re-measures
+  at a larger iteration budget, so the expensive, high-fidelity
+  simulations are spent only on surviving candidates.
+
+Repeated points are (nearly) free: kernel builds come from the
+:class:`~repro.kernels.cache.KernelBuildCache` and simulations from the
+two-tier :class:`~repro.kernels.cache.SimulationCache` — and because a
+rung-``r+1`` measurement at ``iters`` reuses the rung-``r`` simulation
+at ``iters - 2`` as its differential baseline, promotion never repays
+for cycles already simulated.
+
+Every candidate evaluation records a ``"sched"`` trace span on the
+:class:`~repro.runtime.ExecutionContext`, so a search is fully
+observable in the session JSON trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import threading
+
+from ..common.errors import ConvConfigError
+from ..gpusim.arch import DeviceSpec
+from ..kernels.cache import build_fused_kernel
+from ..kernels.runner import ensure_lint_clean, measure_main_loop
+from ..kernels.winograd_f22 import Tunables
+from .space import DEFAULT_SPACE, PAPER_SCHEDULE, Schedule, ScheduleSpace
+
+
+def _ctx(context=None):
+    if context is not None:
+        return context
+    from ..runtime import current_context
+
+    return current_context()
+
+
+def _surrogate_problem():
+    # The main loop's per-iteration cost is layer-independent at fixed
+    # tunables (§4: same block shape); the layer model's mid-size
+    # surrogate keeps each simulation small.
+    from ..perfmodel.layer_model import _SURROGATE
+
+    return _SURROGATE
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchBudget:
+    """Successive-halving knobs (see ``docs/schedules.md``).
+
+    ``base_iters`` is the rung-0 simulated main-loop iteration count
+    (the differential measurement needs >= 3); every later rung adds
+    ``iters_step`` iterations.  Each rung keeps ``ceil(n / eta)``
+    survivors, stopping after ``max_rungs`` rungs or when a single
+    candidate remains.
+    """
+
+    base_iters: int = 3
+    iters_step: int = 2
+    eta: int = 3
+    max_rungs: int = 3
+    num_blocks: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.base_iters < 3:
+            raise ConvConfigError(
+                f"base_iters must be >= 3 (differential measure), "
+                f"got {self.base_iters}"
+            )
+        if self.iters_step < 1:
+            raise ConvConfigError(f"iters_step must be >= 1, got {self.iters_step}")
+        if self.eta < 2:
+            raise ConvConfigError(f"eta must be >= 2, got {self.eta}")
+        if self.max_rungs < 1:
+            raise ConvConfigError(f"max_rungs must be >= 1, got {self.max_rungs}")
+        if self.num_blocks is not None and self.num_blocks < 1:
+            raise ConvConfigError(
+                f"num_blocks must be >= 1 or None, got {self.num_blocks}"
+            )
+
+    def rung_iters(self, rung: int) -> int:
+        return self.base_iters + rung * self.iters_step
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleSearchConfig:
+    """What a context-level opt-in to schedule search runs."""
+
+    space: ScheduleSpace = DEFAULT_SPACE
+    budget: SearchBudget = SearchBudget()
+    base_tunables: Tunables | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class CandidateScore:
+    """One schedule's measured main-loop cost at one budget."""
+
+    schedule: Schedule
+    iters: int
+    cycles_per_iter: float
+    tflops: float
+    sol: float
+
+    def to_dict(self) -> dict:
+        return {
+            "schedule": self.schedule.to_dict(),
+            "label": self.schedule.label(),
+            "iters": self.iters,
+            "cycles_per_iter": self.cycles_per_iter,
+            "tflops": self.tflops,
+            "sol": self.sol,
+        }
+
+
+@dataclasses.dataclass
+class SearchResult:
+    """Outcome of one successive-halving run."""
+
+    device: str
+    space_signature: str
+    budget: SearchBudget
+    rungs: list[list[CandidateScore]]  # per rung, ranked best-first
+    best: CandidateScore
+    evaluations: int
+    lint_gated: int  # candidates statically vetted before scoring
+
+    @property
+    def schedule(self) -> Schedule:
+        return self.best.schedule
+
+    def ranking(self) -> list[CandidateScore]:
+        """The final rung's scores, best first."""
+        return list(self.rungs[-1])
+
+    def score_for(self, schedule: Schedule) -> CandidateScore | None:
+        """The *latest* (highest-budget) score of one candidate, if any."""
+        for rung in reversed(self.rungs):
+            for score in rung:
+                if score.schedule == schedule:
+                    return score
+        return None
+
+    def rung0_score_for(self, schedule: Schedule) -> CandidateScore | None:
+        """The rung-0 score — the only rung where every candidate was
+        measured at the *same* budget, so cross-candidate ratios are
+        meaningful (simulated marginal cycles/iter drifts with the
+        iteration budget, so scores from different rungs never compare)."""
+        for score in self.rungs[0]:
+            if score.schedule == schedule:
+                return score
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "device": self.device,
+            "space": self.space_signature,
+            "budget": self.budget.to_dict(),
+            "best": self.best.to_dict(),
+            "evaluations": self.evaluations,
+            "lint_gated": self.lint_gated,
+            "rungs": [[s.to_dict() for s in rung] for rung in self.rungs],
+        }
+
+
+def evaluate_schedule(
+    schedule: Schedule,
+    device: DeviceSpec,
+    *,
+    iters: int = 3,
+    num_blocks: int | None = None,
+    base_tunables: Tunables | None = None,
+    prob=None,
+    context=None,
+) -> CandidateScore:
+    """Score one schedule with the simulator in the loop.
+
+    Builds (or fetches) the main-loop-only kernel for the schedule's
+    tunables and measures steady-state cycles per bc-iteration; records
+    a ``"sched"`` trace span carrying the result.  Lint gating happens
+    on build via the context's :class:`~repro.kernels.runner.LintGate`.
+    """
+    ctx = _ctx(context)
+    prob = prob if prob is not None else _surrogate_problem()
+    tunables = schedule.to_tunables(base_tunables)
+    with ctx.span(
+        "sched", schedule.label(), device=device.name, iters=iters
+    ) as span:
+        meas = measure_main_loop(
+            prob, device=device, tunables=tunables, iters=iters,
+            num_blocks=num_blocks, context=ctx,
+        )
+        span["cycles_per_iter"] = meas.cycles_per_iter
+        span["tflops"] = meas.tflops
+    return CandidateScore(
+        schedule=schedule,
+        iters=iters,
+        cycles_per_iter=meas.cycles_per_iter,
+        tflops=meas.tflops,
+        sol=meas.sol,
+    )
+
+
+def lint_gate_candidate(
+    schedule: Schedule,
+    device: DeviceSpec,
+    *,
+    iters: int = 3,
+    base_tunables: Tunables | None = None,
+    prob=None,
+    context=None,
+) -> None:
+    """Statically vet one candidate's generated SASS (sasslint).
+
+    Raises :class:`~repro.common.errors.LintError` on any error-severity
+    diagnostic.  Builds through the kernel-build cache, so a vetted
+    candidate's later measurement reuses the assembled kernel.
+    """
+    ctx = _ctx(context)
+    prob = prob if prob is not None else _surrogate_problem()
+    kernel = build_fused_kernel(
+        prob, schedule.to_tunables(base_tunables), device.name,
+        main_loop_only=True, iters=iters, context=ctx,
+    )
+    ensure_lint_clean(kernel, context=ctx)
+
+
+def successive_halving(
+    space: ScheduleSpace | None = None,
+    device: DeviceSpec | None = None,
+    *,
+    budget: SearchBudget | None = None,
+    base_tunables: Tunables | None = None,
+    prob=None,
+    candidates: list[Schedule] | None = None,
+    context=None,
+) -> SearchResult:
+    """Prune *space* down to one winning :class:`Schedule`.
+
+    Rung 0 lint-gates and measures every candidate at ``base_iters``;
+    each later rung keeps the best ``ceil(n / eta)`` and re-measures at
+    a larger iteration budget.  Ranking is by steady-state cycles per
+    main-loop iteration (ascending), with the schedule label as a
+    deterministic tie-break.  Returns the full rung history so callers
+    (figures, the perf gate, the CLI) can read every intermediate score.
+    """
+    from ..runtime import activate
+
+    ctx = _ctx(context)
+    device = device or ctx.device
+    budget = budget or SearchBudget()
+    if candidates is None:
+        space = space or DEFAULT_SPACE
+        candidates = space.candidates()
+        signature = space.signature()
+    else:
+        candidates = list(candidates)
+        signature = f"explicit:{len(candidates)}"
+    if not candidates:
+        raise ConvConfigError("schedule search needs at least one candidate")
+
+    rungs: list[list[CandidateScore]] = []
+    evaluations = 0
+    with activate(ctx):
+        with ctx.span(
+            "sched_search", signature, device=device.name,
+            candidates=len(candidates),
+        ) as span:
+            for candidate in candidates:
+                lint_gate_candidate(
+                    candidate, device, iters=budget.rung_iters(0),
+                    base_tunables=base_tunables, prob=prob, context=ctx,
+                )
+            lint_gated = len(candidates)
+
+            survivors = candidates
+            for rung in range(budget.max_rungs):
+                iters = budget.rung_iters(rung)
+                scores = [
+                    evaluate_schedule(
+                        s, device, iters=iters, num_blocks=budget.num_blocks,
+                        base_tunables=base_tunables, prob=prob, context=ctx,
+                    )
+                    for s in survivors
+                ]
+                evaluations += len(scores)
+                scores.sort(key=lambda s: (s.cycles_per_iter, s.schedule.label()))
+                rungs.append(scores)
+                if len(scores) == 1:
+                    break
+                keep = max(1, math.ceil(len(scores) / budget.eta))
+                if rung == budget.max_rungs - 1:
+                    break
+                survivors = [s.schedule for s in scores[:keep]]
+            span["evaluations"] = evaluations
+            span["best"] = rungs[-1][0].schedule.label()
+
+    return SearchResult(
+        device=device.name,
+        space_signature=signature,
+        budget=budget,
+        rungs=rungs,
+        best=rungs[-1][0],
+        evaluations=evaluations,
+        lint_gated=lint_gated,
+    )
+
+
+class ScheduleBook:
+    """Per-context memo of search winners, keyed by (device, space, budget).
+
+    One :class:`~repro.runtime.ExecutionContext` owns one book; the
+    AUTO dispatch path and :class:`~repro.runtime.InferenceSession`
+    consult it so a whole layer stack pays for at most one search per
+    device.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, SearchResult] = {}
+
+    @staticmethod
+    def _key(device_name: str, config: ScheduleSearchConfig) -> tuple:
+        return (device_name, config.space.signature(), config.budget, config.base_tunables)
+
+    def get_or_search(self, device: DeviceSpec, config: ScheduleSearchConfig,
+                      context=None) -> SearchResult:
+        key = self._key(device.name, config)
+        with self._lock:
+            result = self._entries.get(key)
+        if result is not None:
+            return result
+        # Search outside the lock (it is long); a concurrent duplicate
+        # search is wasteful but harmless — last writer wins with an
+        # identical (deterministic) result.
+        result = successive_halving(
+            config.space, device, budget=config.budget,
+            base_tunables=config.base_tunables, context=context,
+        )
+        with self._lock:
+            self._entries.setdefault(key, result)
+            return self._entries[key]
+
+    def lookup(self, device_name: str, config: ScheduleSearchConfig) -> SearchResult | None:
+        with self._lock:
+            return self._entries.get(self._key(device_name, config))
+
+    def results(self) -> list[SearchResult]:
+        with self._lock:
+            return list(self._entries.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+def ensure_schedule(
+    device: DeviceSpec | None = None,
+    config: ScheduleSearchConfig | None = None,
+    context=None,
+) -> SearchResult:
+    """The context's memoized search result for *device* (searching once).
+
+    *config* defaults to the context's ``schedule_search`` configuration
+    (or a fresh :class:`ScheduleSearchConfig` if the context has none).
+    """
+    ctx = _ctx(context)
+    device = device or ctx.device
+    config = config or getattr(ctx, "schedule_search", None) or ScheduleSearchConfig()
+    return ctx.schedules.get_or_search(device, config, context=ctx)
+
+
+def paper_ordering(result: SearchResult) -> dict:
+    """The Fig. 7-9 orderings extracted from one search's rung-0 scores.
+
+    Returns ratio entries (>1.0 means the paper's choice wins) for every
+    axis the searched space covered, anchored at :data:`PAPER_SCHEDULE`:
+
+    * ``natural_over_nvcc8`` / ``natural_over_cudnn7`` — Fig. 7;
+    * ``ldg8_over_ldg2`` — Fig. 8 (paper: up to 1.24×);
+    * ``sts6_over_sts2`` — Fig. 9 (paper: ~1.02×);
+    * ``db2_over_db1`` — the §3.4 double-buffer ablation.
+
+    Ratios are cycles(worse) / cycles(paper's choice), i.e. the
+    simulated main-loop *throughput* advantage of the paper's setting.
+    """
+
+    def cycles(**kwargs) -> float | None:
+        score = result.rung0_score_for(dataclasses.replace(PAPER_SCHEDULE, **kwargs))
+        return score.cycles_per_iter if score else None
+
+    base = cycles()
+    report: dict = {"anchor": PAPER_SCHEDULE.label()}
+    if base is None:
+        return report
+    pairs = {
+        "natural_over_nvcc8": cycles(yield_strategy="nvcc8"),
+        "natural_over_cudnn7": cycles(yield_strategy="cudnn7"),
+        "ldg8_over_ldg2": cycles(ldg_interleave=2),
+        "sts6_over_sts2": cycles(sts_interleave=2),
+        "db2_over_db1": cycles(double_buffer=1),
+    }
+    for name, other in pairs.items():
+        if other is not None:
+            report[name] = other / base
+    return report

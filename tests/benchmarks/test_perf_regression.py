@@ -1,0 +1,149 @@
+"""The perf-regression gate's comparison logic and CLI exit codes.
+
+``compare()`` is tested directly on synthetic payloads; the CLI paths
+(baseline update, clean pass, injected regression) run ``main()`` with
+the simulator patched to an instant cost model, so the full gate —
+collect, inject, write artifact, compare, exit code — is exercised
+without gpusim.
+"""
+
+import json
+import os
+import sys
+import types
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks"))
+
+import perf_regression  # noqa: E402
+
+
+def _payload(metrics, winner="yield=natural/ldg8/sts6/db2"):
+    return {
+        "device": "RTX2070",
+        "space": "quick",
+        "iters": 3,
+        "winner": winner,
+        "metrics": dict(metrics),
+    }
+
+
+# ---------------------------------------------------------------------------
+# compare()
+# ---------------------------------------------------------------------------
+def test_compare_clean():
+    base = _payload({"a": 1000.0, "b": 2000.0})
+    regressions, notes = perf_regression.compare(base, base, tolerance=0.10)
+    assert regressions == [] and notes == []
+
+
+def test_compare_within_tolerance_passes():
+    base = _payload({"a": 1000.0})
+    fresh = _payload({"a": 1090.0})  # +9% < 10%
+    regressions, notes = perf_regression.compare(fresh, base, tolerance=0.10)
+    assert regressions == [] and notes == []
+
+
+def test_compare_flags_regression_beyond_tolerance():
+    base = _payload({"a": 1000.0, "b": 2000.0})
+    fresh = _payload({"a": 1150.0, "b": 2000.0})  # a: +15% > 10%
+    regressions, notes = perf_regression.compare(fresh, base, tolerance=0.10)
+    assert len(regressions) == 1
+    assert "a" in regressions[0] and "+15.0%" in regressions[0]
+    assert notes == []
+
+
+def test_compare_winner_change_is_a_regression():
+    base = _payload({"a": 1000.0})
+    fresh = _payload({"a": 1000.0}, winner="yield=cudnn7/ldg2/sts2/db2")
+    regressions, _ = perf_regression.compare(fresh, base, tolerance=0.10)
+    assert len(regressions) == 1
+    assert "winner changed" in regressions[0]
+
+
+def test_compare_missing_metric_is_a_regression():
+    base = _payload({"a": 1000.0, "gone": 500.0})
+    fresh = _payload({"a": 1000.0})
+    regressions, _ = perf_regression.compare(fresh, base, tolerance=0.10)
+    assert regressions == ["metric disappeared: gone"]
+
+
+def test_compare_improvement_and_new_metric_are_notes_only():
+    base = _payload({"a": 1000.0})
+    fresh = _payload({"a": 800.0, "new": 123.0})  # -20% plus a new metric
+    regressions, notes = perf_regression.compare(fresh, base, tolerance=0.10)
+    assert regressions == []
+    assert len(notes) == 2
+    assert any("improvement a" in n for n in notes)
+    assert any("new metric" in n for n in notes)
+
+
+# ---------------------------------------------------------------------------
+# main(): update -> pass -> injected failure, all against a tmp baseline
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def gate_env(monkeypatch, tmp_path):
+    """Patch the simulator + baseline dir; return the CLI arg prefix."""
+
+    def fake_measure(prob, device, tunables, iters=3, num_blocks=None, context=None):
+        cycles = (
+            5000.0
+            - 60 * tunables.ldg_interleave
+            - 10 * tunables.sts_interleave
+            + {"natural": 0, "nvcc8": 60, "cudnn7": 100}[tunables.yield_strategy]
+            + (40 if tunables.double_buffer == 1 else 0)
+        )
+        return types.SimpleNamespace(
+            cycles_per_iter=cycles, tflops=1e6 / cycles, sol=0.9
+        )
+
+    monkeypatch.setattr("repro.sched.search.measure_main_loop", fake_measure)
+    monkeypatch.setattr(
+        "repro.sched.search.lint_gate_candidate", lambda *a, **k: None
+    )
+    baseline_dir = tmp_path / "baselines"
+    monkeypatch.setattr(perf_regression, "BASELINE_DIR", str(baseline_dir))
+    out_dir = tmp_path / "results"
+    return ["--quick", "--device", "RTX2070", "--out-dir", str(out_dir)], out_dir
+
+
+def test_gate_missing_baseline_exits_2(gate_env):
+    argv, _ = gate_env
+    assert perf_regression.main(argv) == 2
+
+
+def test_gate_update_then_pass_then_injected_failure(gate_env, capsys):
+    argv, out_dir = gate_env
+    assert perf_regression.main(argv + ["--update-baselines"]) == 0
+    baseline = json.loads(
+        open(perf_regression.baseline_path("RTX2070")).read()
+    )
+    assert baseline["winner"] == "yield=natural/ldg8/sts6/db2"
+    # quick space (12) plus the off-grid Fig. 7-9 axis variants
+    assert len(baseline["metrics"]) >= 12
+
+    assert perf_regression.main(argv) == 0
+    assert "perf gate OK" in capsys.readouterr().out
+
+    # a 15% injected slowdown must fail the 10% gate on every metric
+    assert perf_regression.main(argv + ["--inject-regression", "15"]) == 1
+    err = capsys.readouterr().err
+    assert "PERF REGRESSION" in err
+    assert "+15.0%" in err
+    # the fresh measurements are still written for the CI artifact
+    bench = json.loads(
+        (out_dir / "BENCH_sched_regression_rtx2070.json").read_text()
+    )
+    assert bench["injected_regression_pct"] == 15.0
+
+
+def test_gate_rejects_baseline_from_other_space(gate_env):
+    argv, _ = gate_env
+    assert perf_regression.main(argv + ["--update-baselines"]) == 0
+    path = perf_regression.baseline_path("RTX2070")
+    stale = json.loads(open(path).read())
+    stale["space"] = "some-other-space"
+    with open(path, "w") as fh:
+        json.dump(stale, fh)
+    assert perf_regression.main(argv) == 2

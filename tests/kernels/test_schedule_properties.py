@@ -1,0 +1,143 @@
+"""Property tests for the schedule machinery (paper §6).
+
+Two invariants keep the schedule space safe to search:
+
+1. :func:`repro.kernels.weave` only *re-orders* — the woven stream is a
+   permutation of primary + side with both relative orders preserved
+   and ``.reuse`` pairs never split;
+2. every :class:`repro.sched.Schedule` candidate generates a main loop
+   with exactly the base schedule's FFMA stream (same multiset of
+   operations, none dropped or duplicated — interleaving and yield
+   flags move instructions, they never change the math) and passes
+   sasslint clean.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import RTX2070
+from repro.kernels import Tunables, weave
+from repro.kernels.cache import build_fused_kernel
+from repro.perfmodel.layer_model import _SURROGATE
+from repro.runtime import ExecutionContext
+from repro.sched import PAPER_SCHEDULE, QUICK_SPACE, Schedule
+from repro.sched.search import lint_gate_candidate
+
+# ---------------------------------------------------------------------------
+# 1. weave() is a permutation
+# ---------------------------------------------------------------------------
+
+# Primary lines modelled as FFMAs, a fraction carrying .reuse (the flag
+# weave() must not split from its successor).
+primary_lines = st.lists(
+    st.booleans().map(lambda reuse: "FFMA.reuse;" if reuse else "FFMA;"),
+    min_size=0, max_size=64,
+)
+side_lines = st.integers(min_value=0, max_value=24).map(
+    lambda n: [f"SIDE{i};" for i in range(n)]
+)
+
+
+@given(primary=primary_lines, side=side_lines,
+       spacing=st.integers(min_value=1, max_value=12),
+       start=st.integers(min_value=0, max_value=12))
+@settings(max_examples=200, deadline=None)
+def test_weave_is_a_permutation(primary, side, spacing, start):
+    # Tag primary lines so duplicates stay distinguishable: a dropped
+    # line and a duplicated line would otherwise cancel out.
+    primary = [f"{line}#p{i}" for i, line in enumerate(primary)]
+    out = weave(primary, side, spacing, start)
+
+    assert sorted(out) == sorted(primary + side)  # nothing lost, nothing doubled
+    assert [l for l in out if "#p" in l] == primary  # primary order kept
+    assert [l for l in out if l.startswith("SIDE")] == side  # side order kept
+
+
+@given(primary=primary_lines, side=side_lines,
+       spacing=st.integers(min_value=1, max_value=12),
+       start=st.integers(min_value=0, max_value=12))
+@settings(max_examples=200, deadline=None)
+def test_weave_never_splits_reuse_pairs(primary, side, spacing, start):
+    primary = [f"{line}#p{i}" for i, line in enumerate(primary)]
+    out = weave(primary, side, spacing, start)
+    # The guarantee: a side instruction never separates a .reuse line
+    # from its *next primary* instruction (the reuse cache only survives
+    # back-to-back issue).  A trailing .reuse has no successor, so side
+    # leftovers appended after the last primary line are fine.
+    for idx, (prev, line) in enumerate(zip(out, out[1:]), start=1):
+        if ".reuse" in prev and line.startswith("SIDE"):
+            assert not any("#p" in later for later in out[idx:]), (
+                f"side instruction woven into a .reuse pair: {prev} -> {line}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# 2. every candidate keeps the FFMA stream and lints clean
+# ---------------------------------------------------------------------------
+
+def _ffma_multiset(kernel):
+    """The kernel's FFMA operations, control codes excluded.
+
+    Yield strategies rewrite control fields and interleaving moves
+    instructions — neither may change *which* FFMAs execute, so the
+    comparison key is the operation itself (guard, dest, sources).
+    """
+    return sorted(
+        repr((i.guard, i.dest, i.srcs, i.flags))
+        for i in kernel.instructions if i.name == "FFMA"
+    )
+
+
+def _main_loop(schedule: Schedule, ctx) -> object:
+    return build_fused_kernel(
+        _SURROGATE, schedule.to_tunables(), RTX2070.name,
+        main_loop_only=True, iters=3, context=ctx,
+    )
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExecutionContext(device=RTX2070)
+
+
+@pytest.fixture(scope="module")
+def base_ffmas(ctx):
+    return _ffma_multiset(_main_loop(PAPER_SCHEDULE, ctx))
+
+
+@pytest.mark.parametrize(
+    "schedule", QUICK_SPACE.candidates(),
+    ids=lambda s: s.label(),
+)
+def test_candidate_preserves_ffmas_and_lints_clean(schedule, ctx, base_ffmas):
+    kernel = _main_loop(schedule, ctx)
+    assert _ffma_multiset(kernel) == base_ffmas
+    lint_gate_candidate(schedule, RTX2070, context=ctx)  # raises on any error
+
+
+@given(
+    yield_strategy=st.sampled_from(["natural", "nvcc8", "cudnn7"]),
+    ldg_interleave=st.integers(min_value=1, max_value=12),
+    sts_interleave=st.integers(min_value=1, max_value=8),
+    double_buffer=st.sampled_from([1, 2]),
+)
+@settings(max_examples=12, deadline=None)
+@pytest.mark.slow
+def test_offgrid_schedules_also_preserve_ffmas(
+    yield_strategy, ldg_interleave, sts_interleave, double_buffer,
+):
+    """The invariant holds off the search grid too (any valid knob value)."""
+    ctx = ExecutionContext(device=RTX2070)
+    schedule = Schedule(
+        yield_strategy=yield_strategy, ldg_interleave=ldg_interleave,
+        sts_interleave=sts_interleave, double_buffer=double_buffer,
+    )
+    base = Tunables(double_buffer=double_buffer)
+    kernel = _main_loop(schedule, ctx)
+    base_kernel = build_fused_kernel(
+        _SURROGATE, base, RTX2070.name, main_loop_only=True, iters=3,
+        context=ctx,
+    )
+    assert _ffma_multiset(kernel) == _ffma_multiset(base_kernel)
+    lint_gate_candidate(schedule, RTX2070, context=ctx)

@@ -61,6 +61,8 @@ def test_tunables_validation():
         Tunables(smem_layout="fancy")
     with pytest.raises(ConvConfigError):
         Tunables(ldg_interleave=0)
+    with pytest.raises(ConvConfigError):
+        Tunables(double_buffer=3)
 
 
 def test_magic_u32_division():
@@ -130,6 +132,28 @@ def test_ffma_bank_parity_rule():
 
 def test_full_kernel_assembles_hazard_free():
     kernel = _gen().build()
+    assert validate_control(kernel.instructions) == []
+    assert kernel.max_register() + 1 <= 253
+
+
+def test_single_buffer_keeps_ffma_count():
+    body = _gen(Tunables(double_buffer=1)).loop_body()
+    ffmas = [l for l in body if "FFMA" in l]
+    assert len(ffmas) == 1024  # the §3.4 ablation changes latency, not math
+
+
+def test_single_buffer_reads_one_fragment_block():
+    """depth=1: every k-step computes from register block 0 — the LDS
+    bursts all write the same fragment block instead of ping-ponging."""
+    single = _gen(Tunables(double_buffer=1)).loop_body()
+    double = _gen(Tunables(double_buffer=2)).loop_body()
+    lds = lambda body: [l for l in body if "LDS" in l]  # noqa: E731
+    assert len(lds(single)) == len(lds(double))  # same traffic ...
+    assert single != double  # ... different schedule
+
+
+def test_single_buffer_assembles_hazard_free():
+    kernel = _gen(Tunables(double_buffer=1)).build()
     assert validate_control(kernel.instructions) == []
     assert kernel.max_register() + 1 <= 253
 

@@ -1,0 +1,112 @@
+"""Schedule / ScheduleSpace: validation, conversions, enumeration."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ConvConfigError
+from repro.kernels import Tunables
+from repro.sched import (
+    CUDNN_SCHEDULE,
+    DEFAULT_SPACE,
+    PAPER_SCHEDULE,
+    QUICK_SPACE,
+    SCHEDULE_FIELDS,
+    Schedule,
+    ScheduleSpace,
+)
+
+
+def test_paper_schedule_matches_tunables_defaults():
+    # The default Tunables *is* the paper's schedule; the two must agree
+    # or the planner and the tuner would disagree about the baseline.
+    assert Schedule.from_tunables(Tunables()) == PAPER_SCHEDULE
+
+
+def test_schedule_roundtrips_through_tunables():
+    sched = Schedule(yield_strategy="nvcc8", ldg_interleave=4,
+                     sts_interleave=2, double_buffer=1)
+    assert Schedule.from_tunables(sched.to_tunables()) == sched
+
+
+def test_to_tunables_preserves_structural_base():
+    base = Tunables(bk=32)
+    grafted = CUDNN_SCHEDULE.to_tunables(base)
+    assert grafted.bk == 32
+    assert grafted.yield_strategy == "cudnn7"
+    assert grafted.ldg_interleave == 2
+    # and the base itself is untouched (dataclasses.replace semantics)
+    assert base.yield_strategy == "natural"
+
+
+def test_schedule_validation():
+    with pytest.raises(ConvConfigError):
+        Schedule(yield_strategy="eager")
+    with pytest.raises(ConvConfigError):
+        Schedule(ldg_interleave=0)
+    with pytest.raises(ConvConfigError):
+        Schedule(sts_interleave=-2)
+    with pytest.raises(ConvConfigError):
+        Schedule(double_buffer=3)
+
+
+def test_schedule_dict_roundtrip_and_unknown_fields():
+    sched = Schedule(ldg_interleave=4)
+    assert Schedule.from_dict(sched.to_dict()) == sched
+    assert set(sched.to_dict()) == set(SCHEDULE_FIELDS)
+    with pytest.raises(ConvConfigError):
+        Schedule.from_dict({"ldg_interleave": 4, "bk": 64})
+
+
+def test_schedule_label():
+    assert PAPER_SCHEDULE.label() == "yield=natural/ldg8/sts6/db2"
+    assert CUDNN_SCHEDULE.label() == "yield=cudnn7/ldg2/sts2/db2"
+
+
+def test_space_enumeration_is_deterministic_and_complete():
+    candidates = DEFAULT_SPACE.candidates()
+    assert len(candidates) == len(DEFAULT_SPACE) == 54
+    assert len(set(candidates)) == 54
+    assert candidates == DEFAULT_SPACE.candidates()
+    assert PAPER_SCHEDULE in DEFAULT_SPACE
+    assert CUDNN_SCHEDULE in DEFAULT_SPACE
+
+
+def test_quick_space_is_a_subset():
+    quick = set(QUICK_SPACE.candidates())
+    assert len(quick) == len(QUICK_SPACE) == 12
+    assert quick <= set(DEFAULT_SPACE.candidates())
+    assert PAPER_SCHEDULE in QUICK_SPACE
+
+
+def test_space_signature_distinguishes_spaces():
+    assert DEFAULT_SPACE.signature() != QUICK_SPACE.signature()
+    assert QUICK_SPACE.signature() == ScheduleSpace(
+        ldg_interleaves=(2, 8), sts_interleaves=(2, 6), double_buffers=(2,)
+    ).signature()
+
+
+def test_space_validation():
+    with pytest.raises(ConvConfigError):
+        ScheduleSpace(yield_strategies=())
+    with pytest.raises(ConvConfigError):
+        ScheduleSpace(ldg_interleaves=(2, 2))
+    with pytest.raises(ConvConfigError):
+        ScheduleSpace(double_buffers=(1, 2, 3))
+
+
+def test_axis_variants_pin_other_axes():
+    variants = DEFAULT_SPACE.axis_variants("ldg_interleave")
+    assert set(variants) == {"ldg2", "ldg4", "ldg8"}
+    for schedule in variants.values():
+        assert schedule.yield_strategy == PAPER_SCHEDULE.yield_strategy
+        assert schedule.sts_interleave == PAPER_SCHEDULE.sts_interleave
+    assert variants["ldg8"] == PAPER_SCHEDULE
+
+    around = DEFAULT_SPACE.axis_variants("yield_strategy", CUDNN_SCHEDULE)
+    assert around["yield=cudnn7"] == CUDNN_SCHEDULE
+    assert around["yield=natural"] == dataclasses.replace(
+        CUDNN_SCHEDULE, yield_strategy="natural"
+    )
+    with pytest.raises(ConvConfigError):
+        DEFAULT_SPACE.axis_variants("bk")
