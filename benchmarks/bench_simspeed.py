@@ -1,0 +1,124 @@
+"""Wall-clock benchmark for the simulator fast path.
+
+Times the two CI-critical simulation workloads end to end, cold and
+warm, and writes ``BENCH_simspeed_<engine>.json`` next to the other
+benchmark artifacts so the speedup is tracked in CI like the cycle
+baselines:
+
+* ``perf_regression`` — the quick schedule-search gate
+  (``benchmarks/perf_regression.py --quick``);
+* ``fig07_08_09`` — the Fig. 7-9 scheduling sweeps
+  (``benchmarks/bench_fig07_08_09_scheduling.py``).
+
+Each run happens in a fresh subprocess.  *Cold* points the two-tier
+simulation cache at an empty directory, so every kernel is built,
+linted, decoded and simulated from scratch; *warm* repeats the run
+against the now-populated cache.  ``--engines fast,reference`` also
+times the per-cycle reference loop and reports the cold speedup ratio
+(the fast engine is the default everywhere; the reference loop remains
+the equivalence oracle).
+
+Usage::
+
+    python benchmarks/bench_simspeed.py                    # fast engine
+    python benchmarks/bench_simspeed.py --engines fast,reference
+    python benchmarks/bench_simspeed.py --skip-fig         # quickest
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+PATHS = {
+    "perf_regression": [
+        sys.executable, "benchmarks/perf_regression.py", "--quick",
+    ],
+    "fig07_08_09": [
+        sys.executable, "-m", "pytest",
+        "benchmarks/bench_fig07_08_09_scheduling.py",
+        "-q", "-p", "no:cacheprovider", "--benchmark-disable",
+    ],
+}
+
+
+def _timed_run(cmd: list[str], env: dict[str, str]) -> float:
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        cmd, cwd=ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    elapsed = time.perf_counter() - t0
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout.decode(errors="replace"))
+        raise SystemExit(f"{' '.join(cmd)} exited {proc.returncode}")
+    return elapsed
+
+
+def measure_engine(engine: str, path_names: list[str]) -> dict:
+    measurements: dict[str, dict[str, float]] = {}
+    for name in path_names:
+        with tempfile.TemporaryDirectory(prefix=f"simspeed-{name}-") as cache:
+            env = os.environ.copy()
+            env["PYTHONPATH"] = "src"
+            env["REPRO_SIM_ENGINE"] = engine
+            env["REPRO_SIM_CACHE_DIR"] = cache
+            cold = _timed_run(PATHS[name], env)
+            warm = _timed_run(PATHS[name], env)
+        measurements[name] = {
+            "cold_s": round(cold, 3), "warm_s": round(warm, 3),
+        }
+        print(f"{engine:>9s} {name}: cold {cold:6.2f}s  warm {warm:6.2f}s")
+    return measurements
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--engines", default="fast",
+        help="comma-separated REPRO_SIM_ENGINE values to time",
+    )
+    parser.add_argument(
+        "--skip-fig", action="store_true",
+        help="time only the perf_regression path",
+    )
+    parser.add_argument("--out-dir", default=RESULTS_DIR)
+    args = parser.parse_args(argv)
+
+    path_names = ["perf_regression"]
+    if not args.skip_fig:
+        path_names.append("fig07_08_09")
+
+    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    by_engine = {e: measure_engine(e, path_names) for e in engines}
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    for engine, measurements in by_engine.items():
+        payload = {"engine": engine, "paths": measurements}
+        if engine != "reference" and "reference" in by_engine:
+            payload["cold_speedup_vs_reference"] = {
+                name: round(
+                    by_engine["reference"][name]["cold_s"]
+                    / measurements[name]["cold_s"],
+                    2,
+                )
+                for name in measurements
+            }
+        out = os.path.join(args.out_dir, f"BENCH_simspeed_{engine}.json")
+        with open(out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

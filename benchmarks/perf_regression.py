@@ -43,6 +43,7 @@ from repro.sched import (
     SCHEDULE_FIELDS,
     SearchBudget,
     evaluate_schedule,
+    prefetch_schedules,
     successive_halving,
 )
 
@@ -78,13 +79,19 @@ def collect_metrics(device_key: str, quick: bool) -> dict:
     # The Fig. 7-9 sweeps (plus the §3.4 double-buffer ablation): axis
     # variants around the paper schedule, measured at the same budget —
     # cached points are free, the rest complete the figure coverage.
+    pending: dict[str, object] = {}
     for field in SCHEDULE_FIELDS:
         for schedule in DEFAULT_SPACE.axis_variants(field, PAPER_SCHEDULE).values():
             label = schedule.label()
-            if label not in metrics:
-                metrics[label] = evaluate_schedule(
-                    schedule, device, iters=budget.base_iters, context=ctx,
-                ).cycles_per_iter
+            if label not in metrics and label not in pending:
+                pending[label] = schedule
+    prefetch_schedules(
+        list(pending.values()), device, iters=budget.base_iters, context=ctx,
+    )
+    for label, schedule in pending.items():
+        metrics[label] = evaluate_schedule(
+            schedule, device, iters=budget.base_iters, context=ctx,
+        ).cycles_per_iter
     return {
         "device": device_key,
         "space": result.space_signature,

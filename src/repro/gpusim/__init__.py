@@ -15,6 +15,7 @@ from .launch import (
     estimate_grid_time,
     prepare_kernel,
     run_grid,
+    simulate_batch,
     simulate_resident_blocks,
 )
 from .memory import (
@@ -54,5 +55,6 @@ __all__ = [
     "prepare_kernel",
     "profile_report",
     "run_grid",
+    "simulate_batch",
     "simulate_resident_blocks",
 ]

@@ -24,7 +24,7 @@ from ..common.errors import SimulatorError
 from ..sass.instruction import Instruction
 from ..sass.isa import RZ, SETP_BOOL, SETP_CMP, SPECIAL_REGISTERS, width_of
 from ..sass.operands import Const, Imm, Reg
-from .memory import SmemAccessReport, coalesced_sectors
+from .memory import SmemAccessReport
 from .warp import WarpState
 
 _U32 = np.uint32
@@ -175,7 +175,10 @@ def execute(instr: Instruction, warp: WarpState, ctx: ExecutionContext) -> ExecR
         else:
             addrs = warp.read_reg(base).astype(np.int64) + instr.mem.offset
         if spec.mem_space == "global":
-            sectors = coalesced_sectors(addrs, width, mask)
+            # Each 32-byte sector is classified individually: a warp
+            # straddling the L2-resident working set charges only its
+            # resident sectors to L2 and the rest to DRAM.
+            dram_sectors, l2_sectors = ctx.gmem.classify_sectors(addrs, width, mask)
             cycles = max(1, (int(mask.sum()) * width) // 128)
             if spec.is_load:
                 vals = ctx.gmem.load_warp(addrs, width, mask)
@@ -187,7 +190,6 @@ def execute(instr: Instruction, warp: WarpState, ctx: ExecutionContext) -> ExecR
                     axis=1,
                 )
                 ctx.gmem.store_warp(addrs, data, width, mask)
-            resident = mask.any() and ctx.gmem.is_l2_resident(int(addrs[mask][0]))
             if spec.is_store:
                 # The read-dependence barrier of a store clears once the
                 # source registers are consumed into the store queue —
@@ -196,17 +198,19 @@ def execute(instr: Instruction, warp: WarpState, ctx: ExecutionContext) -> ExecR
             elif ctx.device is None:
                 lat = 200
             else:
+                # The consumer waits for the access's slowest sector, so
+                # one DRAM sector makes the whole load an L2 miss.
                 lat = (
                     ctx.device.lat_gmem_l2_hit
-                    if resident
+                    if l2_sectors and not dram_sectors
                     else ctx.device.lat_gmem_l2_miss
                 )
             return ExecResult(
                 "lsu",
                 pipe_cycles=cycles,
                 variable_latency=lat,
-                dram_sectors=0 if resident else sectors,
-                l2_sectors=sectors if resident else 0,
+                dram_sectors=dram_sectors,
+                l2_sectors=l2_sectors,
             )
         if spec.mem_space == "shared":
             if spec.is_load:

@@ -1,0 +1,1338 @@
+"""Fast SM simulation: vectorized functional replay + trace-driven timing.
+
+The reference loop in :mod:`repro.gpusim.sm` interleaves *semantics*
+(``engine.execute`` — NumPy over one warp's 32 lanes) with *scheduling*
+(pure Python over cycles).  Per dynamic instruction that costs tens of
+microseconds, almost all of it loop-invariant object inspection.
+
+This module splits the two concerns:
+
+1. **Functional replay** (:class:`_Replay`): all resident warps execute
+   the pre-decoded program (:mod:`repro.gpusim.decode`) in lockstep
+   *groups* over a ``(256, nwarps, 32)`` register file, so one NumPy op
+   covers every warp at the same pc.  Groups split on per-warp-uniform
+   divergence (predicated ``EXIT``/``BRA``) and synchronize at
+   ``BAR.SYNC`` in barrier-phase order — valid for the data-race-free
+   kernels this simulator targets (the §5.1.4 control-code contract the
+   assembler's hazard checker enforces).  Intra-warp divergence raises
+   :class:`SimulatorError` exactly like the reference engine.  The
+   replay emits, per warp, a trace of instruction instances with their
+   dynamic timing footprint (LSU occupancy, DRAM/L2 sectors, shared-
+   memory conflict cycles).
+
+2. **Timing loop** (:func:`_timed_run`): a scalar pass that replays the
+   reference scheduler decision-for-decision — yield/stay preference,
+   round-robin scan, switch bubbles, scoreboard barriers, MSHR queue,
+   DRAM/L2 bandwidth shaping — against the traces.  Because every
+   per-instance quantity was precomputed, one issue costs a handful of
+   list indexings; idle stretches are skipped arithmetically (the idle
+   and barrier-wait counters are integrated in closed form over the
+   skipped window).  Counters match the reference loop exactly; the
+   cycle-equivalence tests in ``tests/gpusim/test_fast_engine.py`` pin
+   that bit-for-bit.
+
+Engine selection lives in :meth:`repro.gpusim.sm.SMSimulator.run`
+(``REPRO_SIM_ENGINE=fast|reference``, default fast).
+"""
+
+from __future__ import annotations
+
+import gc
+import heapq
+
+import numpy as np
+
+from ..common.errors import SimDeadlock, SimMemoryFault, SimulatorError
+from ..sass.control import NO_BARRIER
+from .arch import DeviceSpec
+from .counters import Counters
+from .decode import (
+    CC_FFMA,
+    CC_HALF2,
+    CC_HFMA2,
+    K_ALU,
+    K_BAR,
+    K_BRA,
+    K_EXIT,
+    K_MEM_CONST,
+    K_MEM_GLOBAL,
+    K_MEM_SHARED,
+    K_NOP,
+    K_P2R,
+    K_R2P,
+    K_S2R,
+    K_ISETP,
+    PIPE_ALU,
+    PIPE_FMA,
+    PIPE_LSU,
+    PIPE_MIO,
+    SRC_CONST,
+    SRC_IMM,
+    SRC_REG,
+    DecodedProgram,
+    decode_program,
+)
+from .memory import SECTOR_BYTES, GlobalMemory
+
+_U32 = np.uint32
+_SIGN = np.uint32(0x80000000)
+
+
+def _max_cycles() -> int:
+    """MAX_CYCLES is read dynamically so tests can monkeypatch it."""
+    from . import sm
+
+    return sm.MAX_CYCLES
+
+
+_BIG = np.int64(1) << np.int64(62)
+
+
+def _classify_group(
+    gmem: GlobalMemory, addrs: np.ndarray, width: int, full: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``GlobalMemory.classify_sectors`` over a (g, 32) group.
+
+    Per warp: the unique 32-byte sectors its active lanes touch, split
+    into L2-resident and streaming counts — same union (begin sectors +
+    end sector per lane) as ``memory.sector_ids``.
+    """
+    g = addrs.shape[0]
+    offs = np.arange(0, width, SECTOR_BYTES, dtype=np.int64)
+    sectors = np.concatenate(
+        [
+            (addrs[:, :, None] + offs[None, None, :]) // SECTOR_BYTES,
+            ((addrs + width - 1) // SECTOR_BYTES)[:, :, None],
+        ],
+        axis=2,
+    ).reshape(g, -1)
+    valid = np.repeat(full, offs.size + 1, axis=1)
+    sectors = np.where(valid, sectors, _BIG)
+    sectors.sort(axis=1)
+    valid = sectors < _BIG
+    uniq = valid.copy()
+    uniq[:, 1:] &= sectors[:, 1:] != sectors[:, :-1]
+    base = sectors * SECTOR_BYTES
+    resident = np.zeros_like(valid)
+    for lo, hi in gmem._l2_resident:
+        resident |= (base >= lo) & (base < hi)
+    l2 = (uniq & resident).sum(axis=1)
+    dram = uniq.sum(axis=1) - l2
+    return dram.astype(np.int64), l2.astype(np.int64)
+
+
+def _conflict_cycles_group(
+    addrs: np.ndarray, width: int, full: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Vectorized ``memory.bank_conflict_report`` over a (g, 32) group.
+
+    Returns per-warp serialized cycles plus the phase count; conflicts
+    are ``cycles - phases``.  An all-inactive warp (or phase) still
+    consumes its phase slots, exactly like the scalar version.
+    """
+    g = addrs.shape[0]
+    phases = width // 4
+    lanes_per_phase = 32 // phases
+    words_per_lane = width // 4
+    offs = np.arange(words_per_lane, dtype=np.int64)
+    rowid = np.arange(g, dtype=np.int64)[:, None]
+    total = np.zeros(g, dtype=np.int64)
+    for p in range(phases):
+        lanes = slice(p * lanes_per_phase, (p + 1) * lanes_per_phase)
+        words = (
+            addrs[:, lanes, None] // 4 + offs[None, None, :]
+        ).reshape(g, -1)
+        valid = np.repeat(full[:, lanes], words_per_lane, axis=1)
+        words = np.where(valid, words, _BIG)
+        words.sort(axis=1)
+        valid = words < _BIG
+        uniq = valid.copy()
+        uniq[:, 1:] &= words[:, 1:] != words[:, :-1]
+        banks = words % 32
+        cnt = np.bincount(
+            (rowid * 32 + banks).ravel(),
+            weights=uniq.ravel(),
+            minlength=g * 32,
+        ).reshape(g, 32)
+        total += np.maximum(cnt.max(axis=1).astype(np.int64), 1)
+    return total, phases
+
+
+# Candidate schedules of one problem share the synthetic buffer arena,
+# so global accesses with the same addresses classify identically — and
+# trip-count siblings repeat their first-iteration addresses exactly.
+# Keyed on the L2-residency ranges too, since those decide the split.
+_CLASSIFY_MEMO: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+_CLASSIFY_MEMO_MAX = 4096
+
+
+def _classify_cached(
+    gmem: GlobalMemory, addrs: np.ndarray, width: int, full: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    key = (
+        width, tuple(gmem._l2_resident), addrs.tobytes(), full.tobytes(),
+    )
+    hit = _CLASSIFY_MEMO.get(key)
+    if hit is None:
+        if len(_CLASSIFY_MEMO) >= _CLASSIFY_MEMO_MAX:
+            _CLASSIFY_MEMO.clear()
+        dram, l2 = _classify_group(gmem, addrs, width, full)
+        dram.setflags(write=False)
+        l2.setflags(write=False)
+        hit = (dram, l2)
+        _CLASSIFY_MEMO[key] = hit
+    return hit
+
+
+# The double-buffered main loop touches the same shared-memory address
+# pattern every iteration, so conflict analysis is re-run on identical
+# inputs thousands of times per search.  The report is a pure function
+# of (addrs, width, active mask) — memoize it module-wide.
+_CONFLICT_MEMO: dict[tuple, tuple[np.ndarray, int]] = {}
+_CONFLICT_MEMO_MAX = 4096
+
+
+def _conflict_cycles_cached(
+    addrs: np.ndarray, width: int, full: np.ndarray
+) -> tuple[np.ndarray, int]:
+    key = (width, addrs.tobytes(), full.tobytes())
+    hit = _CONFLICT_MEMO.get(key)
+    if hit is None:
+        if len(_CONFLICT_MEMO) >= _CONFLICT_MEMO_MAX:
+            _CONFLICT_MEMO.clear()
+        total, phases = _conflict_cycles_group(addrs, width, full)
+        total.setflags(write=False)
+        hit = (total, phases)
+        _CONFLICT_MEMO[key] = hit
+    return hit
+
+
+# ---------------------------------------------------------------------------
+# Functional replay
+# ---------------------------------------------------------------------------
+
+
+class _Segment:
+    """A run of instructions shared verbatim by a set of warps."""
+
+    __slots__ = ("steps", "dyn")
+
+    def __init__(self) -> None:
+        self.steps: list[int] = []
+        # step index -> (pipe_cycles, var_lat, dram, l2, smem_conf) arrays
+        self.dyn: dict[int, tuple] = {}
+
+
+class _Group:
+    """A set of warps in lockstep at one pc."""
+
+    __slots__ = ("pc", "warps", "seg", "count")
+
+    def __init__(self, pc: int, warps: np.ndarray, count: int) -> None:
+        self.pc = pc
+        self.warps = warps
+        self.seg = _Segment()
+        self.count = count  # instances executed before this segment (cap)
+
+
+class _Replay:
+    def __init__(self, dp: DecodedProgram, device: DeviceSpec | None,
+                 gmem: GlobalMemory, blocks) -> None:
+        self.dp = dp
+        self.device = device
+        self.gmem = gmem
+        nw = sum(b.num_warps for b in blocks)
+        self.nw = nw
+        self.regs = np.zeros((256, nw, 32), dtype=_U32)
+        self.preds = np.zeros((8, nw, 32), dtype=bool)
+        self.preds[7] = True
+        self.lane = np.arange(32, dtype=_U32)
+
+        block_of = np.empty(nw, dtype=np.int64)
+        wid = np.empty(nw, dtype=_U32)
+        bx = np.empty(nw, dtype=_U32)
+        by = np.empty(nw, dtype=_U32)
+        bz = np.empty(nw, dtype=_U32)
+        w0 = 0
+        for b_pos, block in enumerate(blocks):
+            for w in range(block.num_warps):
+                block_of[w0] = b_pos
+                wid[w0] = w
+                bx[w0] = block.block_idx
+                by[w0] = block.block_idx_y
+                bz[w0] = block.block_idx_z
+                w0 += 1
+        self.block_of = block_of
+        self.wid = wid
+        self.bx, self.by, self.bz = bx, by, bz
+
+        self.smem_sizes = [max(b.smem_bytes, 16) for b in blocks]
+        self.smem_size = max(self.smem_sizes)
+        self.smem = np.zeros((len(blocks), self.smem_size), dtype=np.uint8)
+        self.const = np.stack([b.const_bank for b in blocks])
+        self._const_u32_cache: dict[int, np.ndarray] = {}
+
+        self.done = np.zeros(nw, dtype=bool)
+        self.live = [b.num_warps for b in blocks]
+        self.arrived = [0] * len(blocks)
+        # per block: suspended (pc, warps, count) awaiting barrier release
+        self.suspended: list[list[tuple[int, np.ndarray, int]]] = [
+            [] for _ in blocks
+        ]
+        self.chains: list[list[tuple[_Segment, int]]] = [[] for _ in range(nw)]
+        self.ready: list[_Group] = []
+
+    # -- group management ---------------------------------------------------
+    def _spawn(self, pc: int, warps: np.ndarray, count: int) -> None:
+        g = _Group(pc, warps, count)
+        for pos, w in enumerate(warps):
+            self.chains[w].append((g.seg, pos))
+        self.ready.append(g)
+
+    def _finish(self, warps: np.ndarray) -> None:
+        self.done[warps] = True
+        for b, cnt in zip(*np.unique(self.block_of[warps], return_counts=True)):
+            self.live[int(b)] -= int(cnt)
+
+    def run(self) -> None:
+        self._spawn(0, np.arange(self.nw, dtype=np.int64), 0)
+        while True:
+            while self.ready:
+                self._run_group(self.ready.pop())
+            # Barrier-release sweep: Volta arrival semantics — a block
+            # releases once every *live* warp has arrived (exited warps
+            # no longer count).
+            released = False
+            for b in range(len(self.live)):
+                if self.arrived[b] and self.arrived[b] >= self.live[b]:
+                    entries = self.suspended[b]
+                    self.suspended[b] = []
+                    self.arrived[b] = 0
+                    by_pc: dict[int, list] = {}
+                    for pc, warps, count in entries:
+                        by_pc.setdefault(pc, []).append((warps, count))
+                    for pc, parts in by_pc.items():
+                        warps = np.concatenate([p[0] for p in parts])
+                        count = max(p[1] for p in parts)
+                        self._spawn(pc, warps, count)
+                    released = True
+            if not released:
+                break
+        if not self.done.all():
+            raise SimDeadlock(
+                "warps stalled at BAR.SYNC with no live warp able to arrive"
+            )
+
+    # -- operand access -----------------------------------------------------
+    def _const_u32(self, offset: int) -> np.ndarray:
+        hit = self._const_u32_cache.get(offset)
+        if hit is None:
+            hit = (
+                self.const[:, offset : offset + 4].copy().view(_U32).ravel()
+            )
+            self._const_u32_cache[offset] = hit
+        return hit
+
+    def _mask(self, d, warps: np.ndarray):
+        """Guard mask over the group, or None for unpredicated."""
+        if d.guard_idx == 7 and not d.guard_neg:
+            return None
+        m = self.preds[d.guard_idx][warps]
+        return ~m if d.guard_neg else m
+
+    def _fetch(self, src, warps: np.ndarray):
+        t = src[0]
+        if t == SRC_REG:
+            v = self.regs[src[1]][warps]
+            if src[2]:
+                v = v ^ _SIGN
+            return v
+        if t == SRC_IMM:
+            return np.uint32(src[1])
+        # constant: one u32 per block, broadcast over lanes
+        return self._const_u32(src[1])[self.block_of[warps]][:, None]
+
+    def _write_reg(self, idx: int, warps: np.ndarray, vals, mask) -> None:
+        if idx == 255:
+            return
+        row = self.regs[idx]
+        if mask is None:
+            row[warps] = vals
+        else:
+            sub = row[warps]
+            np.copyto(sub, vals, where=mask, casting="unsafe")
+            row[warps] = sub
+
+    def _write_pred(self, idx: int, warps: np.ndarray, vals, mask) -> None:
+        if idx == 7:
+            return
+        row = self.preds[idx]
+        sub = row[warps]
+        if mask is None:
+            sub[:] = vals
+        else:
+            np.copyto(sub, vals, where=mask)
+        row[warps] = sub
+
+    # -- group execution ----------------------------------------------------
+    def _run_group(self, g: _Group) -> None:
+        dp = self.dp
+        instrs = dp.instrs
+        kinds = dp.kind
+        steps = g.seg.steps
+        warps = g.warps
+        pc = g.pc
+        cap = _max_cycles() + 2
+        n_steps = 0
+        while True:
+            if g.count + n_steps > cap:
+                raise SimDeadlock(
+                    f"warp executed more than {cap} instructions"
+                )
+            d = instrs[pc]
+            k = kinds[pc]
+            if k <= K_R2P and k != K_MEM_GLOBAL and k != K_MEM_SHARED:
+                # Pure register-file ops: no trace dynamics.
+                steps.append(pc)
+                n_steps += 1
+                if k == K_ALU:
+                    self._exec_alu(d, warps)
+                elif k == K_ISETP:
+                    self._exec_isetp(d, warps)
+                elif k == K_S2R:
+                    self._exec_s2r(d, warps)
+                elif k == K_MEM_CONST:
+                    self._exec_ldc(d, warps)
+                elif k == K_P2R:
+                    self._exec_p2r(d, warps)
+                else:
+                    self._exec_r2p(d, warps)
+                pc += 1
+                continue
+            if k == K_MEM_GLOBAL or k == K_MEM_SHARED:
+                steps.append(pc)
+                n_steps += 1
+                if k == K_MEM_GLOBAL:
+                    dyn = self._exec_gmem(d, warps)
+                else:
+                    dyn = self._exec_smem(d, warps)
+                g.seg.dyn[len(steps) - 1] = dyn
+                pc += 1
+                continue
+            if k == K_NOP:
+                steps.append(pc)
+                n_steps += 1
+                pc += 1
+                continue
+            if k == K_EXIT:
+                mask = self._mask(d, warps)
+                steps.append(pc)
+                n_steps += 1
+                if mask is None:
+                    self._finish(warps)
+                    return
+                alln = mask.all(axis=1)
+                anyn = mask.any(axis=1)
+                if (anyn & ~alln).any():
+                    raise SimulatorError(
+                        "divergent EXIT: this simulator supports predication, "
+                        "not independent thread scheduling"
+                    )
+                if alln.all():
+                    self._finish(warps)
+                    return
+                if not alln.any():
+                    pc += 1
+                    continue
+                self._finish(warps[alln])
+                self._spawn(pc + 1, warps[~alln], g.count + n_steps)
+                return
+            if k == K_BRA:
+                mask = self._mask(d, warps)
+                steps.append(pc)
+                n_steps += 1
+                target = pc + 1 + d.bra_target
+                if mask is None:
+                    pc = target
+                    continue
+                taken = mask.all(axis=1)
+                anyn = mask.any(axis=1)
+                if (anyn & ~taken).any():
+                    raise SimulatorError(
+                        "divergent BRA is not supported; predicate instead"
+                    )
+                if taken.all():
+                    pc = target
+                    continue
+                if not taken.any():
+                    pc += 1
+                    continue
+                self._spawn(target, warps[taken], g.count + n_steps)
+                self._spawn(pc + 1, warps[~taken], g.count + n_steps)
+                return
+            if k == K_BAR:
+                steps.append(pc)
+                n_steps += 1
+                count = g.count + n_steps
+                blocks = self.block_of[warps]
+                for b in np.unique(blocks):
+                    sel = warps[blocks == b]
+                    self.arrived[int(b)] += len(sel)
+                    self.suspended[int(b)].append((pc + 1, sel, count))
+                return
+            inst = self.dp.program[pc]
+            raise SimulatorError(
+                f"instruction {inst.name} has no execution semantics"
+            )
+
+    # -- per-kind executors -------------------------------------------------
+    def _exec_s2r(self, d, warps: np.ndarray) -> None:
+        mask = self._mask(d, warps)
+        g = len(warps)
+        sr = d.sr_id
+        if sr == 0:
+            vals = self.wid[warps][:, None] * _U32(32) + self.lane[None, :]
+        elif sr in (1, 2):
+            vals = np.zeros((g, 32), dtype=_U32)
+        elif sr == 3:
+            vals = np.broadcast_to(self.bx[warps][:, None], (g, 32))
+        elif sr == 4:
+            vals = np.broadcast_to(self.by[warps][:, None], (g, 32))
+        elif sr == 5:
+            vals = np.broadcast_to(self.bz[warps][:, None], (g, 32))
+        elif sr == 6:
+            vals = np.broadcast_to(self.lane[None, :], (g, 32))
+        else:
+            vals = np.broadcast_to(self.wid[warps][:, None], (g, 32))
+        self._write_reg(d.dest, warps, vals, mask)
+
+    def _addrs(self, d, warps: np.ndarray) -> np.ndarray:
+        base = d.mem_base
+        if base == 255:
+            return np.full((len(warps), 32), d.mem_offset, dtype=np.int64)
+        lo = self.regs[base][warps].astype(np.int64)
+        if d.mem_extended:
+            hi = (
+                self.regs[base + 1][warps].astype(np.int64)
+                if base + 1 < 256
+                else 0
+            )
+            lo = lo | (hi << 32)
+        return lo + d.mem_offset
+
+    def _exec_gmem(self, d, warps: np.ndarray) -> tuple:
+        g = len(warps)
+        mask = self._mask(d, warps)
+        full = np.ones((g, 32), dtype=bool) if mask is None else mask
+        addrs = self._addrs(d, warps)
+        width = d.mem_width
+        gmem = self.gmem
+        dev = self.device
+        act = addrs[full]
+        if act.size and (
+            act.min() < 256
+            or act.max() + width > gmem.size
+            or np.any(act % width)
+        ):
+            # Faithful fault: re-check warp by warp for the message.
+            for j in range(g):
+                active = addrs[j][full[j]]
+                if active.size:
+                    self._check_gmem_lanes(active, width)
+        dram, l2 = _classify_cached(gmem, addrs, width, full)
+        cyc = np.maximum(1, full.sum(axis=1, dtype=np.int64) * width // 128)
+        if not d.is_load:
+            lat = np.full(g, 20, dtype=np.int64)
+        elif dev is None:
+            lat = np.full(g, 200, dtype=np.int64)
+        else:
+            lat = np.where(
+                (l2 > 0) & (dram == 0),
+                dev.lat_gmem_l2_hit,
+                dev.lat_gmem_l2_miss,
+            )
+        nwords = width // 4
+        offsets = np.arange(width, dtype=np.int64)
+        if d.is_load:
+            vals = np.zeros((g, 32, nwords), dtype=_U32)
+            sel = full
+            if sel.any():
+                idx = addrs[sel][:, None] + offsets[None, :]
+                vals[sel] = (
+                    gmem.data[idx].view(_U32).reshape(-1, nwords)
+                )
+            for i in range(nwords):
+                self._write_reg(d.dest + i, warps, vals[:, :, i], mask)
+        else:
+            data_reg = d.srcs[0][1]
+            if full.any():
+                data = np.stack(
+                    [self.regs[data_reg + i][warps] for i in range(nwords)],
+                    axis=2,
+                )
+                raw = (
+                    np.ascontiguousarray(data[full])
+                    .view(np.uint8)
+                    .reshape(-1, width)
+                )
+                idx = addrs[full][:, None] + offsets[None, :]
+                gmem.data[idx] = raw
+        return (cyc, lat, dram, l2, np.zeros(g, dtype=np.int64))
+
+    def _check_gmem_lanes(self, addrs: np.ndarray, width: int) -> None:
+        if addrs.min() < 256 or addrs.max() + width > self.gmem.size:
+            bad = addrs[(addrs < 256) | (addrs + width > self.gmem.size)][0]
+            raise SimMemoryFault(
+                f"global lane access at {int(bad):#x} out of bounds"
+            )
+        if np.any(addrs % width):
+            bad = int(addrs[addrs % width != 0][0])
+            raise SimMemoryFault(
+                f"misaligned {width}-byte global access at {bad:#x}"
+            )
+
+    def _exec_smem(self, d, warps: np.ndarray) -> tuple:
+        g = len(warps)
+        mask = self._mask(d, warps)
+        full = np.ones((g, 32), dtype=bool) if mask is None else mask
+        addrs = self._addrs(d, warps)
+        width = d.mem_width
+        size = self.smem_size
+        blocks = self.block_of[warps]
+        base_lat = (
+            (self.device.lat_smem if self.device else 19) if d.is_load else 10
+        )
+        sizes = np.array(
+            [self.smem_sizes[int(b)] for b in blocks], dtype=np.int64
+        )
+        bad = full & ((addrs < 0) | (addrs + width > sizes[:, None]))
+        if bad.any() or np.any(addrs[full] % width):
+            for j in range(g):
+                active = addrs[j][full[j]]
+                if active.size:
+                    self._check_smem_lanes(active, width, int(sizes[j]))
+        cyc, phases = _conflict_cycles_cached(addrs, width, full)
+        sconf = cyc - phases
+        lat = base_lat + sconf
+        nwords = width // 4
+        offsets = np.arange(width, dtype=np.int64)
+        flat = self.smem.reshape(-1)
+        block_base = (self.block_of[warps] * size)[:, None]
+        if d.is_load:
+            vals = np.zeros((g, 32, nwords), dtype=_U32)
+            if full.any():
+                idx = (addrs + block_base)[full][:, None] + offsets[None, :]
+                vals[full] = flat[idx].view(_U32).reshape(-1, nwords)
+            for i in range(nwords):
+                self._write_reg(d.dest + i, warps, vals[:, :, i], mask)
+        else:
+            data_reg = d.srcs[0][1]
+            if full.any():
+                data = np.stack(
+                    [self.regs[data_reg + i][warps] for i in range(nwords)],
+                    axis=2,
+                )
+                raw = (
+                    np.ascontiguousarray(data[full])
+                    .view(np.uint8)
+                    .reshape(-1, width)
+                )
+                idx = (addrs + block_base)[full][:, None] + offsets[None, :]
+                flat[idx] = raw
+        return (
+            cyc, lat, np.zeros(g, dtype=np.int64),
+            np.zeros(g, dtype=np.int64), sconf,
+        )
+
+    def _check_smem_lanes(self, addrs: np.ndarray, width: int, size: int) -> None:
+        if addrs.min() < 0 or addrs.max() + width > size:
+            bad = int(addrs[(addrs < 0) | (addrs + width > size)][0])
+            raise SimMemoryFault(
+                f"shared access at {bad:#x} outside the {size}-byte block"
+            )
+        if np.any(addrs % width):
+            bad = int(addrs[addrs % width != 0][0])
+            raise SimMemoryFault(
+                f"misaligned {width}-byte shared access at {bad:#x}"
+            )
+
+    def _exec_ldc(self, d, warps: np.ndarray) -> None:
+        g = len(warps)
+        mask = self._mask(d, warps)
+        full = np.ones((g, 32), dtype=bool) if mask is None else mask
+        addrs = self._addrs(d, warps)
+        width = d.mem_width
+        nwords = width // 4
+        vals = np.zeros((g, 32, nwords), dtype=_U32)
+        if full.any():
+            offsets = np.arange(width, dtype=np.int64)
+            cbase = (self.block_of[warps] * self.const.shape[1])[:, None]
+            idx = (addrs + cbase)[full][:, None] + offsets[None, :]
+            vals[full] = (
+                self.const.reshape(-1)[idx].view(_U32).reshape(-1, nwords)
+            )
+        for i in range(nwords):
+            self._write_reg(d.dest + i, warps, vals[:, :, i], mask)
+
+    def _exec_p2r(self, d, warps: np.ndarray) -> None:
+        mask = self._mask(d, warps)
+        vals = np.zeros((len(warps), 32), dtype=_U32)
+        for i in range(7):
+            if d.pack_mask & (1 << i):
+                vals |= self.preds[i][warps].astype(_U32) << _U32(i)
+        self._write_reg(d.dest, warps, vals, mask)
+
+    def _exec_r2p(self, d, warps: np.ndarray) -> None:
+        mask = self._mask(d, warps)
+        src = self.regs[d.srcs[0][1]][warps]
+        for i in range(7):
+            if d.pack_mask & (1 << i):
+                self._write_pred(
+                    i, warps, (src >> _U32(i)) & _U32(1) != 0, mask
+                )
+
+    def _exec_isetp(self, d, warps: np.ndarray) -> None:
+        mask = self._mask(d, warps)
+        a = self._fetch(d.srcs[0], warps)
+        b = self._fetch(d.srcs[1], warps)
+        if d.setp_u32:
+            a_cmp = (
+                np.uint64(a) if np.isscalar(a) or a.ndim == 0
+                else a.astype(np.uint64)
+            )
+            b_cmp = (
+                np.uint64(b) if np.isscalar(b) or b.ndim == 0
+                else b.astype(np.uint64)
+            )
+        else:
+            a_cmp = _s32(a)
+            b_cmp = _s32(b)
+        cmp = d.setp_cmp
+        if cmp == "EQ":
+            result = a_cmp == b_cmp
+        elif cmp == "NE":
+            result = a_cmp != b_cmp
+        elif cmp == "LT":
+            result = a_cmp < b_cmp
+        elif cmp == "LE":
+            result = a_cmp <= b_cmp
+        elif cmp == "GT":
+            result = a_cmp > b_cmp
+        else:
+            result = a_cmp >= b_cmp
+        combine = self.preds[d.setp_src_idx][warps]
+        if d.setp_src_neg:
+            combine = ~combine
+        if d.setp_bool == "AND":
+            result = result & combine
+        elif d.setp_bool == "OR":
+            result = result | combine
+        else:
+            result = result ^ combine
+        self._write_pred(d.setp_dest, warps, result, mask)
+
+    def _exec_alu(self, d, warps: np.ndarray) -> None:
+        mask = self._mask(d, warps)
+        name = d.name
+        srcs = [self._fetch(s, warps) for s in d.srcs]
+
+        if name == "FFMA":
+            out = _f32u(_f32(srcs[0]) * _f32(srcs[1]) + _f32(srcs[2]))
+        elif name in ("HFMA2", "HADD2", "HMUL2"):
+            halves = [_f16(s, len(warps)) for s in srcs]
+            if name == "HFMA2":
+                res = halves[0] * halves[1] + halves[2]
+            elif name == "HADD2":
+                res = halves[0] + halves[1]
+            else:
+                res = halves[0] * halves[1]
+            out = np.ascontiguousarray(res.astype(np.float16)).view(_U32)
+        elif name == "FADD":
+            out = _f32u(_f32(srcs[0]) + _f32(srcs[1]))
+        elif name == "FMUL":
+            out = _f32u(_f32(srcs[0]) * _f32(srcs[1]))
+        elif name == "FMNMX":
+            out = _f32u(np.maximum(_f32(srcs[0]), _f32(srcs[1])))
+        elif name == "MUFU":
+            x = _f32(srcs[0])
+            if d.mufu_fn == "RCP":
+                with np.errstate(divide="ignore"):
+                    out = _f32u(np.float32(1.0) / x)
+            else:
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    out = _f32u(np.float32(1.0) / np.sqrt(x))
+        elif name == "IADD3":
+            out = _wrap_u32(srcs[0] + srcs[1] + srcs[2])
+        elif name == "IMAD":
+            if d.imad_wide:
+                if d.imad_u32:
+                    prod = _u64(srcs[0]) * _u64(srcs[1])
+                else:
+                    prod = _s32(srcs[0]).astype(np.int64) * _s32(
+                        srcs[1]
+                    ).astype(np.int64)
+                c_src = d.srcs[2]
+                if c_src[0] == SRC_REG and c_src[1] != 255:
+                    base = c_src[1]
+                    lo = self.regs[base][warps].astype(np.int64)
+                    hi = (
+                        self.regs[base + 1][warps].astype(np.int64)
+                        if base + 1 < 256
+                        else 0
+                    )
+                    addend = lo | (hi << 32)
+                else:
+                    addend = _i64(srcs[2])
+                total = (prod.astype(np.int64) + addend).astype(np.uint64)
+                self._write_reg(
+                    d.dest, warps, (total & np.uint64(0xFFFFFFFF)).astype(_U32),
+                    mask,
+                )
+                self._write_reg(
+                    d.dest + 1, warps, (total >> np.uint64(32)).astype(_U32),
+                    mask,
+                )
+                return
+            out = _wrap_u32(srcs[0] * srcs[1] + srcs[2])
+        elif name == "LOP3":
+            a, b, c = srcs
+            if d.lop3_op == "AND":
+                out = (a & b) ^ c
+            elif d.lop3_op == "OR":
+                out = (a | b) ^ c
+            else:
+                out = a ^ b ^ c
+        elif name == "SHF":
+            a, sh, c = srcs
+            sh = sh & _U32(31)
+            if d.shf_left:
+                hi_in = np.where(sh > 0, c >> ((_U32(32) - sh) & _U32(31)), _U32(0))
+                out = ((a << sh) | hi_in).astype(_U32)
+            else:
+                lo_shift = a >> sh
+                hi_in = np.where(sh > 0, c << ((_U32(32) - sh) & _U32(31)), _U32(0))
+                out = (lo_shift | hi_in).astype(_U32)
+        elif name == "MOV":
+            out = srcs[0]
+        elif name == "SEL":
+            out = srcs[0]
+        elif name == "CS2R":
+            out = np.zeros((len(warps), 32), dtype=_U32)
+        elif name == "POPC":
+            v = np.ascontiguousarray(srcs[0])
+            out = (
+                np.unpackbits(v.view(np.uint8))
+                .reshape(v.shape + (32,))
+                .sum(axis=-1)
+                .astype(_U32)
+            )
+        else:  # pragma: no cover — decode marks these unsupported
+            raise SimulatorError(f"instruction {name} has no execution semantics")
+        self._write_reg(d.dest, warps, out, mask)
+
+
+def _f32(v):
+    if isinstance(v, np.ndarray):
+        return np.ascontiguousarray(v).view(np.float32)
+    return np.array(v, dtype=_U32).view(np.float32)[()]
+
+
+def _f32u(v):
+    return np.asarray(v, dtype=np.float32).view(_U32)
+
+
+def _f16(v, g: int):
+    if isinstance(v, np.ndarray):
+        return np.ascontiguousarray(v).view(np.float16)
+    return np.full((g, 32), v, dtype=_U32).view(np.float16)
+
+
+def _s32(v):
+    if isinstance(v, np.ndarray):
+        return v.view(np.int32)
+    return np.array(v, dtype=_U32).view(np.int32)[()]
+
+
+def _u64(v):
+    if isinstance(v, np.ndarray):
+        return v.astype(np.uint64)
+    return np.uint64(v)
+
+
+def _i64(v):
+    if isinstance(v, np.ndarray):
+        return v.astype(np.int64)
+    return np.int64(int(v))
+
+
+def _wrap_u32(v):
+    if isinstance(v, np.ndarray):
+        return v.astype(_U32) if v.dtype != _U32 else v
+    return np.uint32(v & 0xFFFFFFFF)
+
+
+# ---------------------------------------------------------------------------
+# Trace-driven timing
+# ---------------------------------------------------------------------------
+
+
+#: Index layout of one trace-instance tuple (see ``_assemble_traces``).
+#: (i, wait_bits, pipe, pipe_cycles, var_lat, dram, l2, sconf,
+#:  stall, yield, write_bar, read_bar, participating, conflict_cleared,
+#:  cclass, is_bar)
+_T_LEN = 16
+
+
+def _assemble_traces(dp: DecodedProgram, replay: _Replay) -> list[list[tuple]]:
+    """Per-warp instance-tuple lists.
+
+    Each instance is one flat tuple carrying everything the timing loop
+    reads — one list index + unpack per issue instead of a dozen array
+    lookups.  Instances of the same static instruction share a single
+    tuple object; only memory ops (whose footprint is dynamic) get
+    per-instance copies with the replay-recorded values patched in.
+    """
+    wait_bits = [
+        tuple(b for b in range(6) if wm >> b & 1) for wm in dp.wait_mask
+    ]
+    static = [
+        (
+            i,
+            wait_bits[i],
+            dp.pipe[i],
+            dp.base_cycles[i],
+            dp.base_lat[i],
+            0,
+            0,
+            0,
+            dp.stall[i],
+            dp.yield_flag[i],
+            dp.write_bar[i],
+            dp.read_bar[i],
+            dp.participating[i],
+            dp.conflict_cleared[i],
+            dp.cclass[i],
+            dp.kind[i] == K_BAR,
+        )
+        for i in range(dp.n)
+    ]
+    traces: list[list[tuple]] = []
+    for w in range(replay.nw):
+        trace: list[tuple] = []
+        for seg, pos in replay.chains[w]:
+            offset = len(trace)
+            trace.extend(static[i] for i in seg.steps)
+            for step, (c_, la_, dr_, l2_, sc_) in seg.dyn.items():
+                t = static[seg.steps[step]]
+                trace[offset + step] = (
+                    t[0], t[1], t[2],
+                    int(c_[pos]), int(la_[pos]),
+                    int(dr_[pos]), int(l2_[pos]), int(sc_[pos]),
+                    t[8], t[9], t[10], t[11], t[12], t[13], t[14], t[15],
+                )
+        traces.append(trace)
+    return traces
+
+
+def _timed_run(
+    device: DeviceSpec,
+    dp: DecodedProgram,
+    traces,
+    block_of: list[int],
+    num_blocks: int,
+    bar_needed: list[int],
+) -> Counters:
+    """Replay the reference scheduler against pre-computed traces.
+
+    This function is a line-for-line port of the loop in
+    :meth:`repro.gpusim.sm.SMSimulator.run`; any change there must be
+    mirrored here (the cycle-equivalence tests will catch drift).
+    """
+    nw = len(traces)
+    max_cycles = _max_cycles()
+    conflict_cached = dp.conflict_cached
+    conflict_memo = dp._conflict_memo
+    # Hot-loop local bindings: the issue loop touches these once or more
+    # per issued instruction, and LOAD_FAST beats LOAD_GLOBAL.
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    pipe_fma = PIPE_FMA
+    pipe_alu = PIPE_ALU
+    pipe_lsu = PIPE_LSU
+    pipe_mio = PIPE_MIO
+    cc_ffma = CC_FFMA
+    cc_hfma2 = CC_HFMA2
+    cc_half2 = CC_HALF2
+    no_barrier = NO_BARRIER
+
+    # Warp state (plain lists — scalar access dominates).
+    ptr = [0] * nw
+    seq_len = [len(t) for t in traces]
+    # Current trace tuple per warp (every trace ends with EXIT, so it is
+    # never empty): one list index in the eligibility scan instead of
+    # two.
+    cur = [t[0] for t in traces]
+    ready_at = [0] * nw
+    done = [False] * nw
+    at_bar = [False] * nw
+    bar_cnt = [[0] * 6 for _ in range(nw)]
+    reuse_valid = [False] * nw
+    last_part = [-1] * nw
+
+    n_sched = device.schedulers_per_sm
+    sched_warps: list[list[int]] = [[] for _ in range(n_sched)]
+    pos_in_sched = [0] * nw
+    for w in range(nw):
+        s = w % n_sched
+        pos_in_sched[w] = len(sched_warps[s])
+        sched_warps[s].append(w)
+    preferred: list[int | None] = [None] * n_sched
+    last_issued: list[int | None] = [None] * n_sched
+    next_free = [0] * n_sched
+    rr = [0] * n_sched
+    charged = [False] * n_sched
+
+    fma_busy = [0] * n_sched
+    alu_busy = [0] * n_sched
+    lsu_busy = 0
+    mio_busy = 0
+    dram_free = 0.0
+    l2_free = 0.0
+    sector_cost = SECTOR_BYTES / device.dram_bytes_per_cycle_per_sm
+    l2_sector_cost = SECTOR_BYTES / (
+        device.l2_gbps / device.clock_ghz / device.num_sms
+    )
+
+    events: list[tuple[int, int, int]] = []
+    mshr: list[int] = []
+    mshr_depth = device.lsu_queue_depth
+    bar_count = [0] * num_blocks
+    bar_needed = list(bar_needed)
+    now = 0
+    live = nw
+
+    c = Counters()
+    c_instr = 0
+    c_ffma = 0
+    c_fp32 = 0
+    c_hfma2 = 0
+    c_half2 = 0
+    c_fma_busy = 0
+    c_alu_busy = 0
+    c_lsu_busy = 0
+    c_mio_busy = 0
+    c_dram = 0
+    c_l2 = 0
+    c_sconf = 0
+    c_rbc = 0
+    c_switch = 0
+    c_switch_pen = 0
+    c_idle = 0
+    c_barwait = 0
+
+    while live > 0:
+        if now > max_cycles:
+            raise SimDeadlock(f"no completion after {max_cycles} cycles")
+        while events and events[0][0] <= now:
+            _, widx, barrier = heappop(events)
+            bar_cnt[widx][barrier] -= 1
+        while mshr and mshr[0] <= now:
+            heappop(mshr)
+
+        issued_any = False
+        mshr_full = len(mshr) >= mshr_depth
+        for s_idx in range(n_sched):
+            if next_free[s_idx] > now:
+                continue
+            choice = -1
+            switched = False
+            pref = preferred[s_idx]
+            if pref is not None:
+                w = pref
+                if not done[w] and not at_bar[w] and ready_at[w] <= now:
+                    t = cur[w]
+                    ok = True
+                    wbits = t[1]
+                    if wbits:
+                        bc = bar_cnt[w]
+                        for b in wbits:
+                            if bc[b] > 0:
+                                ok = False
+                                break
+                    if ok:
+                        p = t[2]
+                        if p == pipe_fma:
+                            ok = fma_busy[s_idx] <= now
+                        elif p == pipe_alu:
+                            ok = alu_busy[s_idx] <= now
+                        elif p == pipe_lsu:
+                            ok = lsu_busy <= now and not mshr_full
+                        elif p == pipe_mio:
+                            ok = mio_busy <= now
+                        if ok:
+                            choice = w
+            if choice < 0:
+                warps_s = sched_warps[s_idx]
+                n = len(warps_s)
+                base = rr[s_idx] + 1
+                for step in range(n):
+                    w = warps_s[(base + step) % n]
+                    if done[w] or at_bar[w] or ready_at[w] > now:
+                        continue
+                    t = cur[w]
+                    wbits = t[1]
+                    if wbits:
+                        bc = bar_cnt[w]
+                        blocked = False
+                        for b in wbits:
+                            if bc[b] > 0:
+                                blocked = True
+                                break
+                        if blocked:
+                            continue
+                    p = t[2]
+                    if p == pipe_fma:
+                        if fma_busy[s_idx] > now:
+                            continue
+                    elif p == pipe_alu:
+                        if alu_busy[s_idx] > now:
+                            continue
+                    elif p == pipe_lsu:
+                        if lsu_busy > now or mshr_full:
+                            continue
+                    elif p == pipe_mio:
+                        if mio_busy > now:
+                            continue
+                    choice = w
+                    switched = (
+                        preferred[s_idx] is None
+                        and last_issued[s_idx] is not None
+                    )
+                    break
+            if choice < 0:
+                c_idle += 1
+                continue
+            if switched and not charged[s_idx]:
+                charged[s_idx] = True
+                next_free[s_idx] = now + 1
+                c_switch += 1
+                c_switch_pen += 1
+                continue
+            charged[s_idx] = False
+
+            widx = choice
+            k = ptr[widx]
+            if switched:
+                reuse_valid[last_issued[s_idx]] = False
+
+            # ---- "execute": everything dynamic comes from the trace -----
+            (
+                i, _wbits, p, pipe_cycles, delay, dram_sec, l2_sec, sconf,
+                st, yflag, wb, rb, part, confl0, cc, is_bar,
+            ) = cur[widx]
+
+            conflict = False
+            if part:
+                prev = last_part[widx]
+                if reuse_valid[widx] and prev >= 0:
+                    conflict = conflict_memo.get((i, prev))
+                    if conflict is None:
+                        conflict = conflict_cached(i, prev)
+                else:
+                    conflict = confl0
+                last_part[widx] = i
+                reuse_valid[widx] = True
+
+            # ---- timing bookkeeping ------------------------------------
+            c_instr += 1
+            if p == pipe_fma:
+                if conflict:
+                    pipe_cycles += 1
+                    c_rbc += 1
+                fma_busy[s_idx] = now + pipe_cycles
+                c_fma_busy += pipe_cycles
+                c_fp32 += 1
+                if cc == cc_ffma:
+                    c_ffma += 1
+                elif cc == cc_hfma2:
+                    c_hfma2 += 1
+                elif cc == cc_half2:
+                    c_half2 += 1
+            elif p == pipe_alu:
+                alu_busy[s_idx] = now + pipe_cycles
+                c_alu_busy += pipe_cycles
+            elif p == pipe_lsu:
+                lsu_busy = now + pipe_cycles
+                c_lsu_busy += pipe_cycles
+            elif p == pipe_mio:
+                mio_busy = now + pipe_cycles
+                c_mio_busy += pipe_cycles
+                c_sconf += sconf
+            c_dram += dram_sec
+            c_l2 += l2_sec
+
+            # ---- scoreboard barriers -----------------------------------
+            if delay:
+                ready = float(now + delay)
+                if dram_sec:
+                    ready = max(ready, dram_free + dram_sec * sector_cost)
+                    dram_free = (
+                        max(dram_free, float(now)) + dram_sec * sector_cost
+                    )
+                if l2_sec:
+                    ready = max(ready, l2_free + l2_sec * l2_sector_cost)
+                    l2_free = (
+                        max(l2_free, float(now)) + l2_sec * l2_sector_cost
+                    )
+                delay = int(ready) - now
+                if p == pipe_lsu:
+                    heappush(mshr, now + delay)
+                if wb != no_barrier:
+                    bar_cnt[widx][wb] += 1
+                    heappush(events, (now + delay, widx, wb))
+                if rb != no_barrier:
+                    bar_cnt[widx][rb] += 1
+                    heappush(events, (now + delay, widx, rb))
+
+            # ---- control flow ------------------------------------------
+            if k + 1 >= seq_len[widx]:
+                # The trace ends at the warp's EXIT.
+                done[widx] = True
+                live -= 1
+                b = block_of[widx]
+                bar_needed[b] -= 1
+                if bar_count[b] and bar_count[b] >= bar_needed[b]:
+                    bar_count[b] = 0
+                    for other in range(nw):
+                        if block_of[other] == b:
+                            at_bar[other] = False
+            else:
+                ptr[widx] = k + 1
+                cur[widx] = traces[widx][k + 1]
+                if is_bar:
+                    b = block_of[widx]
+                    bar_count[b] += 1
+                    at_bar[widx] = True
+                    if bar_count[b] >= bar_needed[b]:
+                        bar_count[b] = 0
+                        for other in range(nw):
+                            if block_of[other] == b:
+                                at_bar[other] = False
+
+            ready_at[widx] = now + (st if st > 1 else 1)
+            rr[s_idx] = pos_in_sched[widx]
+            next_free[s_idx] = now + 1
+            last_issued[s_idx] = widx
+            if yflag:
+                preferred[s_idx] = None
+                reuse_valid[widx] = False
+            else:
+                preferred[s_idx] = widx
+            issued_any = True
+
+        if issued_any:
+            now += 1
+            continue
+
+        # Nothing issued: account this cycle, then skip ahead to the
+        # next time any scheduler input can change.
+        for w in range(nw):
+            if not done[w] and not at_bar[w] and ready_at[w] <= now:
+                c_barwait += 1
+
+        horizon = None
+        if events:
+            t = events[0][0]
+            if t > now and (horizon is None or t < horizon):
+                horizon = t
+        if mshr:
+            t = mshr[0]
+            if t > now and (horizon is None or t < horizon):
+                horizon = t
+        for t in next_free:
+            if t > now and (horizon is None or t < horizon):
+                horizon = t
+        for w in range(nw):
+            if not done[w] and not at_bar[w]:
+                t = ready_at[w]
+                if t > now and (horizon is None or t < horizon):
+                    horizon = t
+        for t in fma_busy:
+            if t > now and (horizon is None or t < horizon):
+                horizon = t
+        for t in alu_busy:
+            if t > now and (horizon is None or t < horizon):
+                horizon = t
+        if lsu_busy > now and (horizon is None or lsu_busy < horizon):
+            horizon = lsu_busy
+        if mio_busy > now and (horizon is None or mio_busy < horizon):
+            horizon = mio_busy
+        if horizon is None:
+            # No pending event can ever unblock an eligible warp — the
+            # reference loop would spin to MAX_CYCLES and raise.
+            raise SimDeadlock(
+                f"no completion after {max_cycles} cycles"
+            )
+        if horizon > now + 1:
+            if horizon > max_cycles + 1:
+                horizon = max_cycles + 1
+            a, b_end = now + 1, horizon
+            span = b_end - a
+            # issue_idle: schedulers keep failing until the horizon.
+            for t in next_free:
+                c_idle += span if t <= a else max(0, b_end - t)
+            # barrier_wait: per warp, cycles with ready_at satisfied.
+            for w in range(nw):
+                if not done[w] and not at_bar[w]:
+                    t = ready_at[w]
+                    c_barwait += span if t <= a else max(0, b_end - t)
+            now = b_end
+        else:
+            now += 1
+
+    c.cycles = now
+    c.instructions = c_instr
+    c.ffma_instrs = c_ffma
+    c.fp32_instrs = c_fp32
+    c.hfma2_instrs = c_hfma2
+    c.half2_instrs = c_half2
+    c.fma_pipe_busy = c_fma_busy
+    c.alu_pipe_busy = c_alu_busy
+    c.lsu_pipe_busy = c_lsu_busy
+    c.mio_pipe_busy = c_mio_busy
+    c.dram_sectors = c_dram
+    c.l2_sectors = c_l2
+    c.smem_conflict_cycles = c_sconf
+    c.reg_bank_conflicts = c_rbc
+    c.warp_switches = c_switch
+    c.switch_penalty_cycles = c_switch_pen
+    c.issue_idle_cycles = c_idle
+    c.barrier_wait_cycles = c_barwait
+    return c
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def fast_run(device: DeviceSpec, program, gmem: GlobalMemory, blocks) -> Counters:
+    """Run one SM round (same contract as ``SMSimulator.run``)."""
+    # Replay and timing allocate millions of short-lived containers
+    # (trace tuples, numpy views); cyclic-GC passes over them cost more
+    # than the garbage they could ever reclaim here, so pause collection
+    # for the duration.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        dp = decode_program(program)
+        replay = _Replay(dp, device, gmem, blocks)
+        replay.run()
+        traces = _assemble_traces(dp, replay)
+        block_of = [int(b) for b in replay.block_of]
+        bar_needed = [b.num_warps for b in blocks]
+        return _timed_run(device, dp, traces, block_of, len(blocks), bar_needed)
+    finally:
+        if gc_was_enabled:
+            gc.enable()

@@ -213,6 +213,42 @@ def simulate_resident_blocks(
     return LaunchResult(counters=counters, groups=1, occupancy=occupancy)
 
 
+def simulate_batch(
+    jobs,
+    device: DeviceSpec,
+    gmem: GlobalMemory,
+    threads_per_block: int = 256,
+) -> list[LaunchResult]:
+    """Run many candidate kernels against one shared memory image.
+
+    *jobs* is a sequence of ``(kernel, params, num_blocks)`` triples
+    (``num_blocks=None`` for full occupancy).  Buffer *contents* never
+    affect timing — only layout does — so a single
+    :class:`~repro.gpusim.memory.GlobalMemory` image whose allocations
+    cover every job's pointers serves the whole batch; each unique
+    program is decoded once up front (the schedule search's
+    successive-halving rungs and the perf-regression sweep route their
+    candidate measurements through here).  Results are returned in job
+    order.
+    """
+    from .decode import decode_program
+
+    jobs = list(jobs)
+    seen: set[int] = set()
+    for kernel, _params, _num_blocks in jobs:
+        _meta, program = _kernel_parts(kernel)
+        if id(program) not in seen:
+            seen.add(id(program))
+            decode_program(program)  # warm the shared decode cache
+    return [
+        simulate_resident_blocks(
+            kernel, device, params=params, gmem=gmem,
+            threads_per_block=threads_per_block, num_blocks=num_blocks,
+        )
+        for kernel, params, num_blocks in jobs
+    ]
+
+
 def estimate_grid_time(
     device: DeviceSpec,
     resident: LaunchResult,

@@ -72,6 +72,29 @@ class GlobalMemory:
     def is_l2_resident(self, addr: int) -> bool:
         return any(lo <= addr < hi for lo, hi in self._l2_resident)
 
+    def resident_sector_mask(self, sectors: np.ndarray) -> np.ndarray:
+        """Per-sector L2 residency (sector classified by its base address)."""
+        base = sectors * SECTOR_BYTES
+        resident = np.zeros(sectors.size, dtype=bool)
+        for lo, hi in self._l2_resident:
+            resident |= (base >= lo) & (base < hi)
+        return resident
+
+    def classify_sectors(
+        self, addrs: np.ndarray, width: int, mask: np.ndarray
+    ) -> tuple[int, int]:
+        """(dram_sectors, l2_sectors) of one warp access, sector by sector.
+
+        A warp whose lanes straddle the boundary of the L2-resident
+        working set charges each 32-byte sector to the side it actually
+        lives on, instead of classifying the whole access by one lane.
+        """
+        sectors = sector_ids(addrs, width, mask)
+        if sectors.size == 0:
+            return 0, 0
+        n_l2 = int(self.resident_sector_mask(sectors).sum())
+        return int(sectors.size) - n_l2, n_l2
+
     # ---- host-side array IO ------------------------------------------------
     def write_array(self, addr: int, array: np.ndarray) -> None:
         raw = np.ascontiguousarray(array).view(np.uint8).ravel()
@@ -129,17 +152,22 @@ class GlobalMemory:
             )
 
 
-def coalesced_sectors(addrs: np.ndarray, width: int, mask: np.ndarray) -> int:
-    """Number of 32-byte sectors a warp access touches (its DRAM traffic)."""
+def sector_ids(addrs: np.ndarray, width: int, mask: np.ndarray) -> np.ndarray:
+    """Unique 32-byte sector indices a warp access touches."""
     active = addrs[mask]
     if active.size == 0:
-        return 0
+        return np.empty(0, dtype=np.int64)
     offsets = np.arange(0, width, SECTOR_BYTES, dtype=np.int64)
     sectors = ((active[:, None] + offsets[None, :]) // SECTOR_BYTES).ravel()
     # A lane access spanning into the next sector (unaligned) touches it too;
     # alignment is enforced, so begin/end sectors suffice.
     end_sectors = (active + width - 1) // SECTOR_BYTES
-    return int(np.union1d(sectors, end_sectors).size)
+    return np.union1d(sectors, end_sectors)
+
+
+def coalesced_sectors(addrs: np.ndarray, width: int, mask: np.ndarray) -> int:
+    """Number of 32-byte sectors a warp access touches (its DRAM traffic)."""
+    return int(sector_ids(addrs, width, mask).size)
 
 
 @dataclasses.dataclass

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import os
 
 import numpy as np
 
@@ -84,6 +85,23 @@ class SMSimulator:
 
     # ------------------------------------------------------------------
     def run(self, blocks: list[BlockSpec]) -> Counters:
+        if os.environ.get("REPRO_SIM_ENGINE", "fast") != "reference":
+            from .fastsim import fast_run
+
+            self.counters = fast_run(
+                self.device, self.program, self.gmem, blocks
+            )
+            return self.counters
+        return self._run_reference(blocks)
+
+    def _run_reference(self, blocks: list[BlockSpec]) -> Counters:
+        """The original interleaved execute+schedule loop.
+
+        Kept as the semantic oracle: the fast engine's timing loop is a
+        port of this function, and the cycle-equivalence tests compare
+        the two counter-for-counter (``REPRO_SIM_ENGINE=reference``
+        selects it at runtime).
+        """
         device = self.device
         program = self.program
         counters = self.counters
@@ -234,22 +252,25 @@ class SMSimulator:
                 # ---- scoreboard barriers --------------------------------
                 delay = result.variable_latency
                 if delay:
+                    # An access can charge both buckets (a warp straddling
+                    # the L2-resident boundary); it completes when its
+                    # slowest bucket drains.
+                    ready = float(now + delay)
                     if result.dram_sectors:
                         ready = max(
-                            now + delay, dram_free + result.dram_sectors * sector_cost
+                            ready, dram_free + result.dram_sectors * sector_cost
                         )
                         dram_free = max(dram_free, float(now)) + (
                             result.dram_sectors * sector_cost
                         )
-                        delay = int(ready) - now
-                    elif result.l2_sectors:
+                    if result.l2_sectors:
                         ready = max(
-                            now + delay, l2_free + result.l2_sectors * l2_sector_cost
+                            ready, l2_free + result.l2_sectors * l2_sector_cost
                         )
                         l2_free = max(l2_free, float(now)) + (
                             result.l2_sectors * l2_sector_cost
                         )
-                        delay = int(ready) - now
+                    delay = int(ready) - now
                     if result.pipe == "lsu":
                         heapq.heappush(mshr, now + delay)
                     for bar in (instr.control.write_bar, instr.control.read_bar):
@@ -261,6 +282,16 @@ class SMSimulator:
                 if result.exited:
                     warp.done = True
                     live -= 1
+                    # Volta arrival semantics: an exited warp no longer
+                    # counts toward its block's barrier.  If it was the
+                    # last straggler, release the warps already waiting.
+                    b = block_of[widx]
+                    bar_needed[b] -= 1
+                    if bar_count[b] and bar_count[b] >= bar_needed[b]:
+                        bar_count[b] = 0
+                        for other_idx, other in enumerate(warps):
+                            if block_of[other_idx] == b:
+                                other.at_bar = False
                 elif result.barrier_sync:
                     b = block_of[widx]
                     bar_count[b] += 1
@@ -278,7 +309,9 @@ class SMSimulator:
 
                 warp.ready_at = now + max(instr.control.stall, 1)
                 sched.rr = sched.warps.index(widx)
-                sched.next_free = now + 1 + (1 if switched else 0)
+                # The switch's one-cycle cost was already paid by the
+                # ``charged`` bubble above; the issue itself is normal.
+                sched.next_free = now + 1
                 sched.last_issued = widx
                 if instr.control.yield_flag:
                     # Yield: prefer other warps next and forfeit the reuse

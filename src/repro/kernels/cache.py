@@ -46,6 +46,9 @@ import tempfile
 import threading
 
 from ..common.problem import ConvProblem
+from ..sass.assembler import AssembledKernel
+from ..sass.encoder import INSTRUCTION_BYTES, encode_instruction
+from ..sass.operands import Imm
 from .winograd_f22 import Tunables, WinogradF22Kernel
 
 _SCHEMA_VERSION = 1  # bump to invalidate every persisted payload
@@ -159,6 +162,27 @@ class KernelBuildCache:
                     self._stats.evictions += 1
             return self._entries[key]
 
+    def find_family_member(self, key: BuildKey):
+        """A cached ``(iters, kernel)`` differing from *key* only in ``iters``.
+
+        Used to derive trip-count variants without a full assembler pass
+        (see :func:`_reiterate_kernel`); returns ``None`` when no sibling
+        with a concrete ``iters`` is cached.
+        """
+        with self._lock:
+            for k in reversed(self._entries):
+                if (
+                    isinstance(k, BuildKey)
+                    and k.iters is not None
+                    and k.iters != key.iters
+                    and k.prob == key.prob
+                    and k.tunables == key.tunables
+                    and k.device == key.device
+                    and k.main_loop_only == key.main_loop_only
+                ):
+                    return k.iters, self._entries[k]
+        return None
+
     def set_limit(self, max_entries: int) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
@@ -193,6 +217,61 @@ def _ctx(context=None):
     return current_context()
 
 
+def _reiterate_kernel(
+    kernel: AssembledKernel, iter_reg: int, old_iters: int, new_iters: int
+) -> AssembledKernel | None:
+    """Derive an ``iters=new_iters`` build from an assembled sibling.
+
+    Builds of one (problem, tunables, device, build mode) family differ
+    in exactly one instruction: the ``MOV R_iter, <imm>`` trip-count
+    override emitted after the prologue.  Cloning the sibling with that
+    immediate swapped and the one 16-byte word re-encoded in place is
+    bit-identical to a fresh assembler pass (the hazard pass keys on
+    registers, never immediate values) at none of the cost.  Returns
+    ``None`` if the override cannot be located (caller falls back to a
+    full build).
+    """
+    idx = None
+    for pos, instr in enumerate(kernel.instructions):
+        if (
+            instr.name == "MOV"
+            and not instr.flags
+            and instr.dest is not None
+            and instr.dest.index == iter_reg
+            and len(instr.srcs) == 1
+            and isinstance(instr.srcs[0], Imm)
+            and instr.srcs[0].value == old_iters
+        ):
+            idx = pos  # keep the last match: the post-prologue override
+    if idx is None:
+        return None
+    old = kernel.instructions[idx]
+    patched = dataclasses.replace(
+        old,
+        srcs=(Imm(new_iters),),
+        control=dataclasses.replace(old.control),
+    )
+    instructions = list(kernel.instructions)
+    instructions[idx] = patched
+    text = bytearray(kernel.text)
+    word = encode_instruction(patched)
+    text[idx * INSTRUCTION_BYTES : (idx + 1) * INSTRUCTION_BYTES] = (
+        word.to_bytes(INSTRUCTION_BYTES, "little")
+    )
+    derived = AssembledKernel(
+        meta=kernel.meta,
+        instructions=instructions,
+        labels=kernel.labels,
+        text=bytes(text),
+    )
+    # Seed the simulator's decode cache from the sibling's decode too:
+    # everything but the patched immediate carries over.
+    from ..gpusim.decode import derive_decode
+
+    derive_decode(kernel.instructions, instructions, idx)
+    return derived
+
+
 def build_fused_kernel(
     prob: ConvProblem,
     tunables: Tunables | None,
@@ -208,12 +287,15 @@ def build_fused_kernel(
     The build cache lives on the :class:`~repro.runtime.ExecutionContext`
     (*context*, default: the current one); ``REPRO_KERNEL_CACHE=0``
     bypasses it and rebuilds every call (the uncached baseline path).
-    Every actual assembler pass records a ``"build"`` trace span.
+    Every actual assembler pass records a ``"build"`` trace span.  When a
+    sibling differing only in ``iters`` is already cached, the kernel is
+    derived from it by patching the trip-count immediate instead of
+    assembling from scratch (see :func:`_reiterate_kernel`).
     """
     ctx = _ctx(context)
     tunables = tunables or Tunables()
 
-    def _build():
+    def _full_build():
         with ctx.span(
             "build", prob.label(), device=device_name,
             main_loop_only=main_loop_only,
@@ -221,8 +303,20 @@ def build_fused_kernel(
             return WinogradF22Kernel(prob, tunables).build(main_loop_only, iters)
 
     if not _env_enabled("REPRO_KERNEL_CACHE"):
-        return _build()
+        return _full_build()
     key = BuildKey(prob, tunables, device_name, main_loop_only, iters)
+
+    def _build():
+        if iters is not None:
+            found = ctx.kernel_cache.find_family_member(key)
+            if found is not None:
+                sib_iters, sib = found
+                iter_reg = WinogradF22Kernel(prob, tunables).ITER
+                derived = _reiterate_kernel(sib, iter_reg, sib_iters, iters)
+                if derived is not None:
+                    return derived
+        return _full_build()
+
     return ctx.kernel_cache.get_or_build(key, _build)
 
 

@@ -22,7 +22,12 @@ from ..common.layouts import kcrs_to_crsk, khwn_to_nkhw, nchw_to_chwn
 from ..common.problem import ConvProblem
 from ..gpusim.arch import DeviceSpec, V100
 from ..gpusim.counters import Counters
-from ..gpusim.launch import LaunchResult, run_grid, simulate_resident_blocks
+from ..gpusim.launch import (
+    LaunchResult,
+    run_grid,
+    simulate_batch,
+    simulate_resident_blocks,
+)
 from ..gpusim.memory import GlobalMemory
 from ..sass.analysis import errors as lint_errors
 from ..sass.analysis import lint_kernel
@@ -41,9 +46,9 @@ class LintGate:
     """
 
     def __init__(self) -> None:
-        self._clean: set[tuple[str, int]] = set()
+        self._clean: set = set()
 
-    def ensure(self, kernel: AssembledKernel) -> None:
+    def ensure(self, kernel: AssembledKernel, family=None) -> None:
         """Lint *kernel* (once); raise :class:`LintError` on any error.
 
         Warnings (bank conflicts, wasted ``.reuse`` flags) are allowed
@@ -51,9 +56,21 @@ class LintGate:
         kernel with a data hazard, a misaligned/out-of-bounds shared
         access or a blown register budget would silently compute garbage
         on hardware, so it must not run here either.
+
+        *family* (hashable, optional) names a group of kernels known to
+        share one lint verdict: same problem/tunables/device/build mode,
+        differing only in the main-loop trip count.  The generator emits
+        the same per-iteration instruction stream regardless of
+        ``iters``, so once one member lints clean the whole family does
+        — e.g. the differential ``iters``/``iters − 2`` measurement pair
+        pays for a single analysis.
         """
         key = (kernel.meta.name, hash(kernel.text))
         if key in self._clean:
+            return
+        fam_key = ("family", family) if family is not None else None
+        if fam_key is not None and fam_key in self._clean:
+            self._clean.add(key)
             return
         found = lint_errors(lint_kernel(kernel))
         if found:
@@ -64,6 +81,8 @@ class LintGate:
                 diagnostics=found,
             )
         self._clean.add(key)
+        if fam_key is not None:
+            self._clean.add(fam_key)
 
     def clear(self) -> None:
         self._clean.clear()
@@ -77,9 +96,24 @@ def _ctx(context=None):
     return current_context()
 
 
-def ensure_lint_clean(kernel: AssembledKernel, context=None) -> None:
+def ensure_lint_clean(kernel: AssembledKernel, context=None, family=None) -> None:
     """Run the current context's :class:`LintGate` over *kernel*."""
-    _ctx(context).lint_gate.ensure(kernel)
+    _ctx(context).lint_gate.ensure(kernel, family=family)
+
+
+def lint_family_key(prob, device, tunables, main_loop_only=True):
+    """Family key for :meth:`LintGate.ensure`: everything but ``iters``.
+
+    Builds of the same (problem, tunables, device, build mode) differ
+    only in how many times the identical bc-iteration body runs, so one
+    clean lint covers every iteration count.
+    """
+    return (
+        "main_loop" if main_loop_only else "full",
+        dataclasses.astuple(prob),
+        device.name,
+        dataclasses.astuple(tunables),
+    )
 
 
 def run_fused_sass_conv(
@@ -152,6 +186,46 @@ class MainLoopMeasurement:
     sol: float  # steady-state FP32 pipe utilization (the Fig. 10-11 metric)
 
 
+_ARENAS: dict = {}  # prob signature -> (GlobalMemory, params)
+_MAX_ARENAS = 8
+
+
+def _main_loop_arena(prob) -> tuple[GlobalMemory, dict[str, int]]:
+    """The shared synthetic buffer image for main-loop sims of *prob*.
+
+    Buffer contents never affect timing — only layout, size and L2
+    residency do, and those are a pure function of the problem — so one
+    :class:`GlobalMemory` image serves every candidate schedule and
+    iteration count (the batched measurement path hands it to
+    :func:`~repro.gpusim.launch.simulate_batch`).
+    """
+    key = dataclasses.astuple(prob)
+    arena = _ARENAS.get(key)
+    if arena is None:
+        gmem = GlobalMemory(size=128 << 20)
+        in_elems = (prob.c + 8) * prob.h * prob.w * prob.n
+        fil_elems = (prob.c + 8) * 16 * prob.k
+        in_ptr = gmem.alloc(4 * in_elems)
+        fil_ptr = gmem.alloc(4 * fil_elems, l2_resident=True)
+        out_ptr = gmem.alloc(4 * prob.k * prob.out_h * prob.out_w * prob.n)
+        arena = (gmem, {"in_ptr": in_ptr, "fil_ptr": fil_ptr, "out_ptr": out_ptr})
+        while len(_ARENAS) >= _MAX_ARENAS:
+            _ARENAS.pop(next(iter(_ARENAS)))
+        _ARENAS[key] = arena
+    return arena
+
+
+def _main_loop_key(prob, device, tunables, iters, num_blocks) -> str:
+    return sim_cache_key(
+        "main_loop",
+        prob=prob,
+        device=device,
+        tunables=tunables,
+        iters=iters,
+        num_blocks=num_blocks,
+    )
+
+
 def _simulate_main_loop(prob, device, tunables, iters, num_blocks, context=None):
     """One main-loop-only resident-blocks simulation, memoized.
 
@@ -161,36 +235,66 @@ def _simulate_main_loop(prob, device, tunables, iters, num_blocks, context=None)
     simulation cache when available and is bit-identical either way.
     """
     cache = simulation_cache(context)
-    key = sim_cache_key(
-        "main_loop",
-        prob=prob,
-        device=device,
-        tunables=tunables,
-        iters=iters,
-        num_blocks=num_blocks,
-    )
+    key = _main_loop_key(prob, device, tunables, iters, num_blocks)
     payload = cache.get(key)
     if payload is not None:
         return LaunchResult.from_payload(payload)
     kernel = build_fused_kernel(
         prob, tunables, device.name, main_loop_only=True, iters=iters
     )
-    ensure_lint_clean(kernel)
-    gmem = GlobalMemory(size=128 << 20)
-    # Synthetic buffers: content does not matter for timing, but layout,
-    # size and L2 residency do.
-    in_elems = (prob.c + 8) * prob.h * prob.w * prob.n
-    fil_elems = (prob.c + 8) * 16 * prob.k
-    in_ptr = gmem.alloc(4 * in_elems)
-    fil_ptr = gmem.alloc(4 * fil_elems, l2_resident=True)
-    out_ptr = gmem.alloc(4 * prob.k * prob.out_h * prob.out_w * prob.n)
-    params = {"in_ptr": in_ptr, "fil_ptr": fil_ptr, "out_ptr": out_ptr}
+    ensure_lint_clean(kernel, family=lint_family_key(prob, device, tunables))
+    gmem, params = _main_loop_arena(prob)
     result = simulate_resident_blocks(
         kernel, device, params=params, gmem=gmem, threads_per_block=256,
         num_blocks=num_blocks,
     )
     cache.put(key, result.to_payload())
     return result
+
+
+def prefetch_main_loop_sims(
+    prob,
+    device,
+    tunables_list,
+    iters_list,
+    num_blocks=None,
+    context=None,
+) -> int:
+    """Batch-simulate every (tunables × iters) pair not already cached.
+
+    The batched front door to :func:`~repro.gpusim.launch.simulate_batch`:
+    one shared decode per program and one shared ``GlobalMemory`` image
+    across the whole candidate set.  Afterwards every
+    :func:`_simulate_main_loop` call for these pairs is a cache hit, so
+    callers (the successive-halving rungs, the perf-regression sweep)
+    keep their per-candidate scoring unchanged.  Returns the number of
+    simulations actually run.
+    """
+    cache = simulation_cache(context)
+    gmem, params = _main_loop_arena(prob)
+    jobs = []
+    keys = []
+    for tunables in tunables_list:
+        for iters in iters_list:
+            key = _main_loop_key(prob, device, tunables, iters, num_blocks)
+            if cache.get(key) is not None or key in keys:
+                continue
+            kernel = build_fused_kernel(
+                prob, tunables, device.name, main_loop_only=True, iters=iters,
+                context=context,
+            )
+            ensure_lint_clean(
+                kernel, context=context,
+                family=lint_family_key(prob, device, tunables),
+            )
+            keys.append(key)
+            jobs.append((kernel, params, num_blocks))
+    if not jobs:
+        return 0
+    results = simulate_batch(jobs, device, gmem, threads_per_block=256)
+    for key, result in zip(keys, results):
+        cache.put(key, result.to_payload())
+    return len(results)
 
 
 def measure_main_loop(

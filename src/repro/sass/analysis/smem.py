@@ -54,6 +54,9 @@ BANK_BYTES = 4
 
 _U32 = np.uint32
 
+_FULL_MASK = np.ones(32, dtype=bool)
+_FULL_MASK.setflags(write=False)  # shared by every unguarded step
+
 
 def warp_access_cycles(
     addrs: np.ndarray, width: int, mask: np.ndarray
@@ -90,23 +93,49 @@ def warp_access_cycles(
     return phases, cycles, worst
 
 
+# Tunables that share a layout produce the same warp access patterns,
+# and a double-buffered loop repeats each pattern every iteration — the
+# conflict report is a pure function of (addrs, width, mask), so
+# memoize it module-wide.
+_ACCESS_MEMO: dict[tuple, tuple[int, int, int]] = {}
+_ACCESS_MEMO_MAX = 8192
+
+
+def _access_cycles_cached(
+    addrs: np.ndarray, width: int, mask: np.ndarray
+) -> tuple[int, int, int]:
+    key = (width, addrs.tobytes(), mask.tobytes())
+    hit = _ACCESS_MEMO.get(key)
+    if hit is None:
+        if len(_ACCESS_MEMO) >= _ACCESS_MEMO_MAX:
+            _ACCESS_MEMO.clear()
+        hit = warp_access_cycles(addrs, width, mask)
+        _ACCESS_MEMO[key] = hit
+    return hit
+
+
 # ---------------------------------------------------------------------------
 # Symbolic per-warp evaluation
 # ---------------------------------------------------------------------------
 
 
 class _WarpEval:
-    """Concrete 32-lane evaluation with unknown-poisoning.
+    """Concrete lane evaluation with unknown-poisoning, all warps at once.
 
-    Register and predicate files hold either a ``(32,)`` vector or None
-    (unknown).  The arithmetic mirrors ``repro.gpusim.engine`` so the
-    static address model cannot drift from the dynamic one.
+    Register and predicate files hold either a lane vector or None
+    (unknown).  Values are ``(num_warps, 32)`` arrays — or ``(32,)``
+    when warp-invariant, which broadcasts identically — so one pass
+    evaluates every warp in lockstep.  The arithmetic mirrors
+    ``repro.gpusim.engine`` so the static address model cannot drift
+    from the dynamic one.
     """
 
-    def __init__(self, warp_id: int):
-        self.warp_id = warp_id
+    def __init__(self, num_warps: int):
+        self.nw = num_warps
         self.lanes = np.arange(32, dtype=_U32)
-        self.tids = (warp_id * 32 + self.lanes).astype(_U32)
+        wid = np.arange(num_warps, dtype=_U32)[:, None]
+        self.warp_ids = np.broadcast_to(wid, (num_warps, 32))
+        self.tids = (wid * _U32(32) + self.lanes[None, :]).astype(_U32)
         self.regs: dict[int, np.ndarray | None] = {}
         self.preds: dict[int, np.ndarray | None] = {
             i: np.zeros(32, dtype=bool) for i in range(7)
@@ -173,16 +202,24 @@ class _WarpEval:
 
     def guard_mask(self, instr: Instruction) -> np.ndarray | None:
         if instr.guard.is_pt and not instr.guard.negated:
-            return np.ones(32, dtype=bool)
+            return _FULL_MASK
         return self.pred(instr.guard)
 
     # ---- one instruction ---------------------------------------------------
     def step(self, instr: Instruction) -> None:
         name = instr.name
-        mask = self.guard_mask(instr)
-
         if name in ("BRA", "EXIT", "BAR", "NOP"):
             return
+        spec = instr.spec
+        if spec.pipe == "fma" or name == "MUFU":
+            # FP results never feed shared addressing; ``_alu`` would
+            # evaluate the sources only to return None, so jump straight
+            # to the poisoned destination it produces.
+            if instr.dest is not None and instr.dest.index != RZ:
+                self.regs[instr.dest.index] = None
+            return
+        mask = self.guard_mask(instr)
+
         if name == "S2R":
             assert instr.dest is not None
             sr = next(f for f in instr.flags if f.startswith("SR_"))
@@ -194,7 +231,7 @@ class _WarpEval:
             elif sr_id == 6:
                 vals = self.lanes
             else:
-                vals = np.full(32, self.warp_id, dtype=_U32)
+                vals = self.warp_ids
             self.set_reg(instr.dest.index, vals, mask)
             return
         if instr.spec.is_load:
@@ -241,7 +278,7 @@ class _WarpEval:
                     if p is None:
                         known = False
                         break
-                    vals |= p.astype(_U32) << _U32(i)
+                    vals = vals | (p.astype(_U32) << _U32(i))
             self.set_reg(instr.dest.index, vals if known else None, mask)
             return
         if name == "R2P":
@@ -303,8 +340,14 @@ class _WarpEval:
         if name == "SEL":
             return known[0]  # engine models SEL the same way
         if name == "POPC":
-            return np.array(
-                [bin(int(v)).count("1") for v in known[0]], dtype=_U32
+            v = np.ascontiguousarray(
+                np.broadcast_to(known[0], (self.nw, 32)).astype(_U32)
+            )
+            return (
+                np.unpackbits(v.view(np.uint8))
+                .reshape(v.shape + (32,))
+                .sum(axis=-1)
+                .astype(_U32)
             )
         return None  # FP pipe etc.: values never feed shared addressing
 
@@ -352,7 +395,8 @@ class _WarpEval:
     def shared_addrs(
         self, instr: Instruction
     ) -> tuple[np.ndarray, np.ndarray] | None:
-        """(addrs, active-lane mask), or None if not statically known."""
+        """(addrs, active-lane mask) as ``(num_warps, 32)`` arrays, or
+        None if not statically known."""
         assert instr.mem is not None
         mask = self.guard_mask(instr)
         if mask is None:
@@ -373,7 +417,8 @@ class _WarpEval:
                 ) + instr.mem.offset
             else:
                 addrs = lo.astype(np.int64) + instr.mem.offset
-        return addrs, mask
+        shape = (self.nw, 32)
+        return np.broadcast_to(addrs, shape), np.broadcast_to(mask, shape)
 
 
 # ---------------------------------------------------------------------------
@@ -397,19 +442,21 @@ class SharedMemoryPass(AnalysisPass):
         unknown_positions: set[int] = set()
         smem_bytes = ctx.smem_bytes
 
-        for warp_id in range(ctx.num_warps):
-            state = _WarpEval(warp_id)
-            for pos, instr in enumerate(ctx.instructions):
-                if instr.spec.mem_space == "shared":
-                    resolved = state.shared_addrs(instr)
-                    if resolved is None:
-                        unknown_positions.add(pos)
-                    else:
+        state = _WarpEval(ctx.num_warps)
+        for pos, instr in enumerate(ctx.instructions):
+            if instr.spec.mem_space == "shared":
+                resolved = state.shared_addrs(instr)
+                if resolved is None:
+                    unknown_positions.add(pos)
+                else:
+                    addrs, mask = resolved
+                    for warp_id in range(ctx.num_warps):
                         self._check_access(
-                            pos, instr, warp_id, *resolved,
+                            pos, instr, warp_id, addrs[warp_id],
+                            mask[warp_id],
                             smem_bytes=smem_bytes, findings=findings,
                         )
-                state.step(instr)
+            state.step(instr)
 
         diags = [
             Diagnostic(
@@ -484,7 +531,7 @@ class SharedMemoryPass(AnalysisPass):
                      "computation",
             ))
 
-        phases, cycles, worst = warp_access_cycles(addrs, width, mask)
+        phases, cycles, worst = _access_cycles_cached(addrs, width, mask)
         if cycles > phases:
             self._keep(findings, pos, "SM001", _Finding(
                 severity=Severity.WARNING,

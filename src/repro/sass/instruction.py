@@ -20,6 +20,7 @@ register.
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 from ..common.errors import EncodingError
 from .control import ControlCode
@@ -41,7 +42,7 @@ class Instruction:
     target: str | int | None = None  # BRA: label name, or resolved offset
     line: int = 0
 
-    @property
+    @functools.cached_property
     def spec(self) -> OpSpec:
         return spec_for(self.name)
 
@@ -108,6 +109,9 @@ class Instruction:
     # ------------------------------------------------------------------
     def reads_registers(self) -> list[int]:
         """Regular-register indices this instruction reads (RZ excluded)."""
+        cached = self.__dict__.get("_reads_cache")
+        if cached is not None:
+            return cached
         data = self._store_data_reg()
         regs: list[int] = []
         for src in self.srcs:
@@ -121,35 +125,53 @@ class Instruction:
 
             nregs = max(1, width_of(self.flags) // 4)
             regs.extend(range(data.index, data.index + nregs))
+        # Operands are immutable after parsing (only ``control`` is
+        # rewritten by the scheduler), so the answer never changes.
+        self.__dict__["_reads_cache"] = regs
         return regs
 
     def writes_registers(self) -> list[int]:
         """Regular-register indices this instruction writes."""
+        cached = self.__dict__.get("_writes_cache")
+        if cached is not None:
+            return cached
         if self.dest is None or self.dest.is_rz:
-            return []
-        from .isa import width_of
+            regs: list[int] = []
+        else:
+            from .isa import width_of
 
-        if self.spec.is_load:
-            nregs = max(1, width_of(self.flags) // 4)
-            return list(range(self.dest.index, self.dest.index + nregs))
-        if self.name == "IMAD" and "WIDE" in self.flags:
-            return [self.dest.index, self.dest.index + 1]
-        return [self.dest.index]
+            if self.spec.is_load:
+                nregs = max(1, width_of(self.flags) // 4)
+                regs = list(range(self.dest.index, self.dest.index + nregs))
+            elif self.name == "IMAD" and "WIDE" in self.flags:
+                regs = [self.dest.index, self.dest.index + 1]
+            else:
+                regs = [self.dest.index]
+        self.__dict__["_writes_cache"] = regs
+        return regs
 
     def reads_predicates(self) -> list[int]:
+        cached = self.__dict__.get("_rpreds_cache")
+        if cached is not None:
+            return cached
         preds = []
         if not self.guard.is_pt:
             preds.append(self.guard.index)
         if self.src_pred is not None and not self.src_pred.is_pt:
             preds.append(self.src_pred.index)
+        self.__dict__["_rpreds_cache"] = preds
         return preds
 
     def writes_predicates(self) -> list[int]:
+        cached = self.__dict__.get("_wpreds_cache")
+        if cached is not None:
+            return cached
         preds = [p.index for p in self.dest_preds if not p.is_pt]
         if self.name == "R2P" and self.srcs:
             mask = self.srcs[-1]
             if isinstance(mask, Imm):
                 preds.extend(i for i in range(7) if mask.bits & (1 << i))
+        self.__dict__["_wpreds_cache"] = preds
         return preds
 
     # ------------------------------------------------------------------

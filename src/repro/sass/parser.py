@@ -18,6 +18,7 @@ set that operand slot's reuse bit in the control word.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import re
 
@@ -69,12 +70,33 @@ def _split_operands(text: str) -> list[str]:
     return parts
 
 
+# Kernel sources repeat the same statement text heavily (unrolled FFMA
+# blocks, and whole loop bodies shared across tunables that differ only
+# in layout), so successful parses are memoized by statement text.  The
+# memo holds a prototype; callers get a shallow copy, which is safe
+# because operands are frozen and every post-parse rewrite (control,
+# target) is a per-instance attribute assignment.
+_PARSE_MEMO: dict[str, Instruction] = {}
+_PARSE_MEMO_MAX = 65536
+
+
 def parse_line(line: str, lineno: int = 0) -> Instruction | None:
     """Parse one source line; returns None for blank/comment lines."""
     text = _strip_comment(line)
     if not text:
         return None
+    proto = _PARSE_MEMO.get(text)
+    if proto is None:
+        proto = _parse_statement(text, lineno)
+        if len(_PARSE_MEMO) >= _PARSE_MEMO_MAX:
+            _PARSE_MEMO.clear()
+        _PARSE_MEMO[text] = proto
+    instr = copy.copy(proto)
+    instr.line = lineno
+    return instr
 
+
+def _parse_statement(text: str, lineno: int) -> Instruction:
     control = ControlCode()
     if text.startswith("["):
         end = text.find("]")

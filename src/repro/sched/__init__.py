@@ -13,6 +13,7 @@ from .search import (
     ensure_schedule,
     evaluate_schedule,
     paper_ordering,
+    prefetch_schedules,
     successive_halving,
 )
 from .space import (
@@ -41,5 +42,6 @@ __all__ = [
     "ensure_schedule",
     "evaluate_schedule",
     "paper_ordering",
+    "prefetch_schedules",
     "successive_halving",
 ]

@@ -35,7 +35,12 @@ import threading
 from ..common.errors import ConvConfigError
 from ..gpusim.arch import DeviceSpec
 from ..kernels.cache import build_fused_kernel
-from ..kernels.runner import ensure_lint_clean, measure_main_loop
+from ..kernels.runner import (
+    ensure_lint_clean,
+    lint_family_key,
+    measure_main_loop,
+    prefetch_main_loop_sims,
+)
 from ..kernels.winograd_f22 import Tunables
 from .space import DEFAULT_SPACE, PAPER_SCHEDULE, Schedule, ScheduleSpace
 
@@ -216,6 +221,35 @@ def evaluate_schedule(
     )
 
 
+def prefetch_schedules(
+    schedules,
+    device: DeviceSpec,
+    *,
+    iters: int = 3,
+    num_blocks: int | None = None,
+    base_tunables: Tunables | None = None,
+    prob=None,
+    context=None,
+) -> int:
+    """Batch-simulate many schedules' differential runs ahead of scoring.
+
+    Routes every uncached ``(schedule, iters)`` and ``(schedule,
+    iters − 2)`` simulation through
+    :func:`~repro.gpusim.launch.simulate_batch` (one shared decode +
+    ``GlobalMemory`` image), so subsequent :func:`evaluate_schedule`
+    calls are pure cache hits.  Returns the number of simulations run.
+    """
+    prob = prob if prob is not None else _surrogate_problem()
+    return prefetch_main_loop_sims(
+        prob,
+        device,
+        [s.to_tunables(base_tunables) for s in schedules],
+        (iters, iters - 2),
+        num_blocks=num_blocks,
+        context=context,
+    )
+
+
 def lint_gate_candidate(
     schedule: Schedule,
     device: DeviceSpec,
@@ -233,11 +267,14 @@ def lint_gate_candidate(
     """
     ctx = _ctx(context)
     prob = prob if prob is not None else _surrogate_problem()
+    tunables = schedule.to_tunables(base_tunables)
     kernel = build_fused_kernel(
-        prob, schedule.to_tunables(base_tunables), device.name,
+        prob, tunables, device.name,
         main_loop_only=True, iters=iters, context=ctx,
     )
-    ensure_lint_clean(kernel, context=ctx)
+    ensure_lint_clean(
+        kernel, context=ctx, family=lint_family_key(prob, device, tunables)
+    )
 
 
 def successive_halving(
@@ -291,6 +328,14 @@ def successive_halving(
             survivors = candidates
             for rung in range(budget.max_rungs):
                 iters = budget.rung_iters(rung)
+                # Batch the rung's simulations through one shared decode
+                # + GlobalMemory image; the per-candidate scoring below
+                # then runs entirely against the simulation cache.
+                prefetch_schedules(
+                    survivors, device, iters=iters,
+                    num_blocks=budget.num_blocks,
+                    base_tunables=base_tunables, prob=prob, context=ctx,
+                )
                 scores = [
                     evaluate_schedule(
                         s, device, iters=iters, num_blocks=budget.num_blocks,

@@ -79,14 +79,22 @@ def test_independent_work_hides_memory_latency():
 
 
 def test_deadlock_detected():
-    """A BAR.SYNC some warps never reach must raise, not hang."""
+    """A warp spinning forever must raise SimDeadlock, not hang.
+
+    (Exiting before a peer's BAR.SYNC no longer deadlocks — Volta
+    arrival semantics release the barrier — so the livelock here is an
+    unconditional infinite loop in one warp.)
+    """
     import repro.gpusim.sm as sm_mod
 
     src = (
         "S2R R0, SR_TID.X;\n"
         "ISETP.LT.U32.AND P0, PT, R0, 0x20, PT;\n"
-        "@!P0 EXIT;\n"  # warp 1 exits; warp 0 waits forever
-        "BAR.SYNC;\nEXIT;\n"
+        "@!P0 EXIT;\n"  # warp 1 exits; warp 0 spins forever
+        "SPIN:\n"
+        "[B------:R-:W-:-:S02] IADD3 R1, R1, 0x1, RZ;\n"
+        "BRA SPIN;\n"
+        "EXIT;\n"
     )
     kernel = assemble(src, auto_schedule=True)
     gmem = GlobalMemory(1 << 12)

@@ -61,18 +61,66 @@ def _count_builds(monkeypatch):
 def test_second_measurement_performs_zero_new_builds(_count_builds):
     first = measure_main_loop(PROB, device=RTX2070, num_blocks=1)
     builds_after_first = len(_count_builds)
-    assert builds_after_first == 2  # the long and the short differential run
+    # One assembler pass for the long run; the short differential run is
+    # derived from it by patching the trip-count immediate.
+    assert builds_after_first == 1
 
     second = measure_main_loop(PROB, device=RTX2070, num_blocks=1)
     assert len(_count_builds) == builds_after_first  # zero new assembler passes
     assert second == first  # bit-identical measurement
 
     stats = get_kernel_cache_stats()
-    assert stats.builds == 2
+    assert stats.builds == 2  # two cache entries built (one full, one derived)
     assert stats.misses == 2
     assert stats.hits == 2
     assert stats.size == 2
     assert stats.hit_rate == 0.5
+
+
+def test_derived_build_is_bit_identical_to_fresh_assembly():
+    """An iters-sibling derived by patching the trip-count immediate
+    (plus its decode, seeded via ``derive_decode``) must match a from-
+    scratch assembly byte for byte."""
+    build_fused_kernel(
+        PROB, Tunables(), RTX2070.name, main_loop_only=True, iters=5
+    )
+    derived = build_fused_kernel(
+        PROB, Tunables(), RTX2070.name, main_loop_only=True, iters=3
+    )
+    clear_kernel_cache()
+    fresh = build_fused_kernel(
+        PROB, Tunables(), RTX2070.name, main_loop_only=True, iters=3
+    )
+    assert derived is not fresh
+    assert derived.text == fresh.text
+    assert derived.labels == fresh.labels
+    assert [i.text() for i in derived.instructions] == [
+        i.text() for i in fresh.instructions
+    ]
+
+
+def test_derived_decode_matches_fresh_decode():
+    """The decode seeded for a derived build must equal re-decoding the
+    derived program from scratch, field for field."""
+    from repro.gpusim.decode import _DECODE_CACHE, decode_program
+
+    build_fused_kernel(
+        PROB, Tunables(), RTX2070.name, main_loop_only=True, iters=5
+    )
+    derived = build_fused_kernel(
+        PROB, Tunables(), RTX2070.name, main_loop_only=True, iters=3
+    )
+    seeded = _DECODE_CACHE[id(derived.instructions)][1]
+    _DECODE_CACHE.clear()
+    fresh = decode_program(derived.instructions)
+    assert seeded.n == fresh.n
+    for field in (
+        "stall", "yield_flag", "write_bar", "read_bar", "wait_mask",
+        "pipe", "base_cycles", "base_lat", "kind", "name", "cclass",
+        "is_mem", "participating", "conflict_cleared", "reuse_map",
+        "_src_regs",
+    ):
+        assert list(getattr(seeded, field)) == list(getattr(fresh, field)), field
 
 
 def test_distinct_tunables_are_distinct_entries():
