@@ -1,0 +1,204 @@
+"""Closed-loop load test of the async serving frontend.
+
+The paper's thesis is that the batch dimension N drives Winograd
+throughput; ``repro.serving`` exploits it at the serving level by
+coalescing concurrent single-image requests into batched stacks.  This
+bench quantifies that: the same closed-loop client population is driven
+against (a) the dynamic-batching frontend and (b) a ``max_batch=1``
+control — identical runtime, zero batch formation — and both runs land
+in one artifact with throughput and p50/p99 latency:
+
+    PYTHONPATH=src python benchmarks/bench_serving.py           # full: 1000 clients
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick   # CI smoke
+
+Artifact: ``results/BENCH_serving_rtx2070.json`` (``_quick`` suffix with
+``--quick`` so a smoke run never overwrites the full measurement).
+
+The bench *fails* (non-zero exit) on any request error, any
+deadline-policy violation (a not-full batch held open past
+``max_queue_delay_s`` + slack), or a mean formed batch size <= 1; the
+full run additionally requires batched throughput to beat the control.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+
+from harness import RESULTS_DIR, emit, format_table
+
+from repro.common import ConvProblem, make_rng, random_filter
+from repro.gpusim import RTX2070
+from repro.serving import ModelSpec, ServingConfig, ServingFrontend
+from repro.serving.loadgen import run_closed_loop
+
+#: Served layer: one image's tiles cannot fill a GPU (the paper's
+#: point); small enough here that a CPU host sustains 1000 clients.
+PROBLEM = ConvProblem(n=1, c=8, h=16, w=16, k=8, name="Serve")
+
+DEVICE = RTX2070
+#: Artifact slug (DEVICE.name is the marketing string "GeForce RTX 2070").
+DEVICE_SLUG = "rtx2070"
+
+
+async def _run_load(config: ServingConfig, *, clients: int,
+                    duration_s: float, seed: int = 0) -> dict:
+    rng = make_rng(seed)
+    weights = random_filter(PROBLEM, rng)
+    images = [
+        (rng.random((PROBLEM.c, PROBLEM.h, PROBLEM.w), dtype="float32") * 2 - 1)
+        for _ in range(128)
+    ]
+    async with ServingFrontend(config, device=DEVICE) as frontend:
+        frontend.register_model("bench", ModelSpec(
+            name=PROBLEM.label(), problems=(PROBLEM,), filters=(weights,)))
+        load = await run_closed_loop(
+            frontend, "bench", PROBLEM.label(), images,
+            clients=clients, duration_s=duration_s,
+        )
+        stats = frontend.stats()
+    return {
+        "config": config.to_dict(),
+        "load": load.to_dict(),
+        "serving": stats["serving"],
+        "arena": stats["tenants"]["bench"]["arena"],
+        "dispatch": {
+            key: stats["tenants"]["bench"]["dispatch"][key]
+            for key in ("calls", "cache_hits", "cache_misses", "chosen")
+        },
+    }
+
+
+def run_bench(clients: int, duration_s: float, max_batch: int,
+              delay_ms: float, mode: str) -> dict:
+    batched_cfg = ServingConfig(
+        max_batch=max_batch, max_queue_delay_s=delay_ms / 1e3,
+        max_queue_depth=4 * clients, mode=mode,
+    )
+    control_cfg = ServingConfig(
+        max_batch=1, max_queue_delay_s=0.0,
+        max_queue_depth=4 * clients, mode=mode,
+    )
+    batched = asyncio.run(_run_load(
+        batched_cfg, clients=clients, duration_s=duration_s))
+    control = asyncio.run(_run_load(
+        control_cfg, clients=clients, duration_s=duration_s))
+    control_rps = control["load"]["throughput_rps"]
+    return {
+        "bench": "serving",
+        "device": DEVICE.name,
+        "problem": {
+            "label": PROBLEM.label(), "c": PROBLEM.c, "h": PROBLEM.h,
+            "w": PROBLEM.w, "k": PROBLEM.k,
+        },
+        "clients": clients,
+        "duration_s": duration_s,
+        "runs": {"batched": batched, "control_nobatch": control},
+        "speedup_vs_control": (
+            batched["load"]["throughput_rps"] / control_rps
+            if control_rps else float("inf")
+        ),
+    }
+
+
+def check_payload(payload: dict, *, full: bool) -> list[str]:
+    """Policy/error audit; returns human-readable violations (CI gate)."""
+    violations = []
+    for name, run in payload["runs"].items():
+        if run["load"]["failed"]:
+            violations.append(f"{name}: {run['load']['failed']} request errors")
+        if run["serving"]["requests_failed"]:
+            violations.append(
+                f"{name}: {run['serving']['requests_failed']} failed in dispatch")
+        if run["serving"]["deadline_overshoots"]:
+            violations.append(
+                f"{name}: {run['serving']['deadline_overshoots']} "
+                "deadline-policy violations")
+    batched = payload["runs"]["batched"]["serving"]
+    if batched["mean_batch_size"] <= 1.0:
+        violations.append(
+            f"batched run formed mean batch {batched['mean_batch_size']:.2f} "
+            "<= 1: dynamic batching did nothing")
+    if full and payload["speedup_vs_control"] <= 1.0:
+        violations.append(
+            f"batched throughput not above control "
+            f"(speedup {payload['speedup_vs_control']:.2f}x)")
+    return violations
+
+
+def _table(payload: dict) -> str:
+    rows = []
+    for name, run in payload["runs"].items():
+        serving, load = run["serving"], run["load"]
+        rows.append((
+            name, load["completed"], f"{load['throughput_rps']:.0f}",
+            f"{serving['mean_batch_size']:.2f}", serving["max_batch_size"],
+            f"{serving['p50_latency_s'] * 1e3:.2f}",
+            f"{serving['p99_latency_s'] * 1e3:.2f}",
+            load["rejected"], serving["deadline_overshoots"],
+        ))
+    table = format_table(
+        ["run", "completed", "req/s", "mean batch", "max batch",
+         "p50 ms", "p99 ms", "shed", "overshoot"],
+        rows, title=f"Serving load test: {payload['clients']} clients, "
+                    f"{payload['duration_s']:.1f}s each run",
+    )
+    return (f"{table}\n"
+            f"batched vs no-batching control: "
+            f"{payload['speedup_vs_control']:.2f}x throughput")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="bounded clients/duration for CI smoke runs")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="concurrent clients (default: 1000, quick: 64)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="seconds per run (default: 5, quick: 1)")
+    parser.add_argument("--max-batch", type=int, default=None,
+                        help="batching cap (default: 64, quick: 16)")
+    parser.add_argument("--delay-ms", type=float, default=2.0,
+                        help="max queue delay before flush (default: 2 ms)")
+    parser.add_argument("--mode", default="GEMM",
+                        help="session mode for batches (default: GEMM)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="artifact path (default: results/BENCH_serving_"
+                             "rtx2070[_quick].json)")
+    args = parser.parse_args(argv)
+    clients = args.clients or (64 if args.quick else 1000)
+    duration = args.duration or (1.0 if args.quick else 5.0)
+    max_batch = args.max_batch or (16 if args.quick else 64)
+
+    payload = run_bench(clients, duration, max_batch, args.delay_ms, args.mode)
+    emit(f"Serving load test ({clients} clients)", _table(payload))
+
+    suffix = "_quick" if args.quick else ""
+    path = args.json or os.path.join(
+        RESULTS_DIR, f"BENCH_serving_{DEVICE_SLUG}{suffix}.json")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    violations = check_payload(payload, full=not args.quick)
+    payload["violations"] = violations
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {path}")
+    if violations:
+        for line in violations:
+            print(f"VIOLATION: {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_serving_load_quick(benchmark):
+    payload = benchmark.pedantic(
+        lambda: run_bench(32, 0.5, 8, 2.0, "GEMM"), rounds=1, iterations=1
+    )
+    assert not check_payload(payload, full=False)
+    assert payload["runs"]["batched"]["serving"]["mean_batch_size"] > 1.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

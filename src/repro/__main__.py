@@ -6,6 +6,7 @@ Commands::
     python -m repro kernels ...    # generate the paper's kernels
     python -m repro session ...    # run an InferenceSession end to end
     python -m repro sched ...      # search the SASS schedule space
+    python -m repro serve ...      # async serving frontend demo
 
 ``python -m repro.sass`` and ``python -m repro.kernels`` keep working as
 thin aliases of the first two; ``session`` is the unified runtime's CLI
@@ -17,15 +18,16 @@ from __future__ import annotations
 
 import sys
 
-COMMANDS = ("sass", "kernels", "session", "sched")
+COMMANDS = ("sass", "kernels", "session", "sched", "serve")
 
 _USAGE = (
-    "usage: python -m repro {sass,kernels,session,sched} ...\n"
+    "usage: python -m repro {sass,kernels,session,sched,serve} ...\n"
     "\n"
     "  sass      assemble, disassemble and inspect Volta/Turing SASS\n"
     "  kernels   generate the paper's SASS kernels\n"
     "  session   plan and run a layer stack through the unified runtime\n"
     "  sched     autotune the fused kernel's SASS instruction schedule\n"
+    "  serve     demo the async serving frontend with dynamic batching\n"
 )
 
 
@@ -53,6 +55,10 @@ def main(argv: list[str] | None = None) -> int:
         from .sched.cli import main as sched_main
 
         return sched_main(rest)
+    if command == "serve":
+        from .serving.cli import main as serve_main
+
+        return serve_main(["serve", *rest])
     print(f"unknown command {command!r}\n{_USAGE}", end="", file=sys.stderr)
     return 2
 

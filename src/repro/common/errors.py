@@ -85,3 +85,25 @@ class WorkspaceError(ReproError):
 
 class WorkspaceLimitError(WorkspaceError):
     """A workspace reservation would exceed the arena's byte budget."""
+
+
+class ServingError(ReproError):
+    """Root for the async serving frontend's failures."""
+
+
+class BackpressureError(ServingError):
+    """A request was shed by admission control instead of served.
+
+    The serving layer's typed load-shedding response: raised to the
+    *caller of one request* when the per-signature queue is at its depth
+    bound, or when executing the request's batch would push the tenant's
+    :class:`~repro.runtime.arena.WorkspaceArena` past its byte budget
+    (the arena's :class:`WorkspaceLimitError` is translated into this,
+    never propagated raw).  ``reason`` is machine-readable so clients
+    can implement retry policy: ``"queue_full"`` (transient — retry
+    after a delay) or ``"workspace_limit"``.
+    """
+
+    def __init__(self, message: str, *, reason: str = "overloaded"):
+        self.reason = reason
+        super().__init__(message)

@@ -73,19 +73,38 @@ class LayerPlan:
 
 @dataclasses.dataclass
 class LayerRun:
-    """Measured execution of one layer."""
+    """Measured execution of one layer.
+
+    Two clocks, deliberately kept apart:
+
+    ``seconds`` is **worker compute time** — the wall-clock around the
+    ``conv2d`` call in whichever process executed the layer.  Pipelined
+    layers run concurrently, so these overlap and their sum can
+    legitimately exceed ``SessionResult.total_seconds``; comparing the
+    sum against the total is *not* a slowdown measurement.
+
+    ``latency_seconds`` is **parent-side queue-to-done latency** — from
+    the moment the parent handed the layer to an execution slot (which
+    is also when its workspace was reserved) until its result was back.
+    It includes pickling and pool round-trip overhead, so it is the
+    number a serving caller waits for; on the serial path the two clocks
+    measure nearly the same region and differ only by reservation and
+    dispatch bookkeeping.
+    """
 
     layer: str
     algo: str
     seconds: float
     workspace_bytes: int
     output_shape: tuple
+    latency_seconds: float = 0.0
 
     def to_dict(self) -> dict:
         return {
             "layer": self.layer,
             "algo": self.algo,
             "seconds": self.seconds,
+            "latency_seconds": self.latency_seconds,
             "workspace_bytes": self.workspace_bytes,
             "output_shape": list(self.output_shape),
         }
@@ -93,7 +112,15 @@ class LayerRun:
 
 @dataclasses.dataclass
 class SessionResult:
-    """Per-layer and end-to-end statistics of one session run."""
+    """Per-layer and end-to-end statistics of one session run.
+
+    ``total_seconds`` is parent wall-clock around the whole run.  Each
+    :class:`LayerRun` carries two per-layer clocks: ``seconds`` (worker
+    compute time — overlapping under pipelining, so the per-layer sum
+    may exceed ``total_seconds``) and ``latency_seconds`` (parent-side
+    queue-to-done latency, which is what ``total_seconds`` decomposes
+    into).  See :class:`LayerRun` for the distinction.
+    """
 
     layers: list[LayerRun]
     outputs: list[np.ndarray]
@@ -326,8 +353,10 @@ class InferenceSession:
         and one KCRS filter per layer (the paper's layers are evaluated
         independently; chain outputs yourself for a sequential network).
         With ``pipeline=True`` the (independent) layers fan out over the
-        process pool; workspaces are then reserved concurrently, so the
-        arena's peak reflects the pipelined residency.
+        process pool; a layer's workspace is reserved only while it
+        occupies a pool slot, so the arena's peak (and the enforced
+        budget) reflect the true concurrent residency at the effective
+        worker count — never more than ``workers`` workspaces at once.
         """
         inputs, filters = list(inputs), list(filters)
         if len(inputs) != len(self.problems) or len(filters) != len(self.problems):
@@ -372,37 +401,62 @@ class InferenceSession:
         outputs: list[np.ndarray] = []
         for plan, x, f in zip(plans, inputs, filters):
             label = plan.prob.label()
+            queued = time.perf_counter()
             with self.context.span("layer", label, algo=plan.algo):
                 with self.context.arena.reserve(plan.workspace_bytes, tag=label):
                     t0 = time.perf_counter()
                     y = conv2d(x, f, pad=plan.prob.pad, algo=plan.algo)
                     dt = time.perf_counter() - t0
-            runs.append(LayerRun(label, plan.algo, dt, plan.workspace_bytes, y.shape))
+            runs.append(LayerRun(
+                label, plan.algo, dt, plan.workspace_bytes, y.shape,
+                latency_seconds=time.perf_counter() - queued,
+            ))
             outputs.append(y)
         return runs, outputs
 
     def _run_pipelined(self, plans, inputs, filters):
-        from .parallel import parallel_map
+        from .parallel import default_workers, parallel_map
 
-        # Concurrent residency: every in-flight layer's workspace is
-        # reserved for the duration of the fan-out.
-        blocks = [
-            self.context.arena.reserve(plan.workspace_bytes, tag=plan.prob.label())
-            for plan in plans
-        ]
-        try:
-            results = parallel_map(
-                _pipeline_layer_worker,
-                [
-                    (plan.prob, plan.algo, x, f)
-                    for plan, x, f in zip(plans, inputs, filters)
-                ],
+        # Concurrent residency tracks *actual* concurrency: a layer's
+        # workspace is reserved in on_start — i.e. only while the layer
+        # occupies one of the pool's `workers` slots — and released in
+        # on_done.  Reserving every layer up front would charge the
+        # arena (and its enforced budget) for phantom concurrency the
+        # pool can never reach, spuriously tripping WorkspaceLimitError
+        # on sessions that fit the budget at the true pool width.
+        workers = default_workers(len(plans))
+        arena = self.context.arena
+        blocks: list = [None] * len(plans)
+        queued = [0.0] * len(plans)
+        latency = [0.0] * len(plans)
+
+        def on_start(i, _item):
+            queued[i] = time.perf_counter()
+            blocks[i] = arena.reserve(
+                plans[i].workspace_bytes, tag=plans[i].prob.label()
             )
-        finally:
-            for block in blocks:
+
+        def on_done(i):
+            latency[i] = time.perf_counter() - queued[i]
+            block = blocks[i]
+            if block is not None and not block.released:
                 block.release()
+
+        results = parallel_map(
+            _pipeline_layer_worker,
+            [
+                (plan.prob, plan.algo, x, f)
+                for plan, x, f in zip(plans, inputs, filters)
+            ],
+            workers=workers,
+            on_start=on_start,
+            on_done=on_done,
+        )
         runs = [
-            LayerRun(plan.prob.label(), plan.algo, dt, plan.workspace_bytes, y.shape)
-            for plan, (y, dt) in zip(plans, results)
+            LayerRun(
+                plan.prob.label(), plan.algo, dt, plan.workspace_bytes, y.shape,
+                latency_seconds=latency[i],
+            )
+            for i, (plan, (y, dt)) in enumerate(zip(plans, results))
         ]
         return runs, [y for y, _ in results]

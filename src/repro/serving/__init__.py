@@ -1,0 +1,26 @@
+"""Async serving frontend with dynamic batching.
+
+The layer that turns concurrent single-image (N=1) traffic into the
+batched :class:`~repro.common.problem.ConvProblem` stacks the paper's
+whole thesis is about: per-signature queues with deadline-driven flush
+(:class:`ServingConfig`), per-tenant
+:class:`~repro.runtime.context.ExecutionContext` isolation, admission
+control against the tenant's workspace budget (typed
+:class:`~repro.common.errors.BackpressureError`, never a raw
+``WorkspaceLimitError``), and serving metrics with latency percentiles
+(:class:`ServingMetrics`).  See ``docs/serving.md``.
+"""
+
+from .config import ServingConfig
+from .frontend import ModelSpec, ServingFrontend
+from .metrics import LATENCY_WINDOW, ServingMetrics, ServingSnapshot, percentile
+
+__all__ = [
+    "LATENCY_WINDOW",
+    "ModelSpec",
+    "ServingConfig",
+    "ServingFrontend",
+    "ServingMetrics",
+    "ServingSnapshot",
+    "percentile",
+]

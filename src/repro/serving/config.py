@@ -1,0 +1,87 @@
+"""Serving-policy knobs for the async batching frontend.
+
+One frozen dataclass so a deployment's batching policy is a value you
+can log, diff and put in a benchmark artifact.  The three core knobs are
+the classic dynamic-batching triple (Clipper's adaptive batching, see
+PAPERS.md): how large a batch may grow (``max_batch``), how long the
+oldest request may wait for companions (``max_queue_delay_s``), and how
+deep a signature's queue may get before admission control sheds load
+(``max_queue_depth``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..common.errors import ServingError
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingConfig:
+    """Policy for one :class:`~repro.serving.frontend.ServingFrontend`.
+
+    Attributes
+    ----------
+    max_batch: upper bound on the batch dimension N a formed batch may
+        reach (the paper's whole thesis is that N drives throughput —
+        this is how far the frontend will push it per dispatch).
+    max_queue_delay_s: deadline-driven flush — the oldest queued request
+        is never *held open* waiting for companions longer than this.
+        (Its end-to-end latency can still exceed the deadline while a
+        previous batch of the same signature is executing; that time is
+        backpressure, not batching delay.)
+    max_queue_depth: per-signature admission bound; a submit that finds
+        the queue at this depth is rejected with
+        :class:`~repro.common.errors.BackpressureError` (``queue_full``).
+    dispatch_workers: threads executing batched dispatches, i.e. how
+        many *different* signatures may be in flight at once (batches of
+        one signature always serialize so a tenant's arena accounting
+        stays honest).
+    mode: session mode compiled for formed batches — ``AUTO_HEURISTIC``
+        (default), ``AUTO``, or a concrete algorithm name.
+    workspace_limit_bytes: per-tenant arena budget (``None`` =
+        unlimited).  Batch formation is budget-aware: the effective
+        batch cap per model is the largest N whose planned workspace
+        still fits, and a dispatch that loses the race anyway surfaces
+        as typed backpressure, never a raw ``WorkspaceLimitError``.
+    deadline_slack_s: tolerance when auditing the flush deadline; a
+        not-full batch that slept past ``max_queue_delay_s`` by more
+        than this counts as a ``deadline_overshoots`` policy violation
+        in the metrics (CI fails on any).
+    """
+
+    max_batch: int = 32
+    max_queue_delay_s: float = 0.002
+    max_queue_depth: int = 1024
+    dispatch_workers: int = 1
+    mode: str = "AUTO_HEURISTIC"
+    workspace_limit_bytes: int | None = None
+    deadline_slack_s: float = 0.050
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_queue_delay_s < 0:
+            raise ServingError(
+                f"max_queue_delay_s must be >= 0, got {self.max_queue_delay_s}"
+            )
+        if self.max_queue_depth < 1:
+            raise ServingError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.dispatch_workers < 1:
+            raise ServingError(
+                f"dispatch_workers must be >= 1, got {self.dispatch_workers}"
+            )
+        if self.workspace_limit_bytes is not None and self.workspace_limit_bytes < 0:
+            raise ServingError(
+                "workspace_limit_bytes must be >= 0 or None, "
+                f"got {self.workspace_limit_bytes}"
+            )
+        if self.deadline_slack_s < 0:
+            raise ServingError(
+                f"deadline_slack_s must be >= 0, got {self.deadline_slack_s}"
+            )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)

@@ -1,0 +1,93 @@
+"""Closed-loop load generation for the serving frontend.
+
+Shared by ``python -m repro serve`` (demo) and
+``benchmarks/bench_serving.py`` (the artifact-producing load test): N
+simulated clients, each a coroutine in a closed loop — submit one
+single-image request, await its result, repeat — so offered load adapts
+to service rate the way real synchronous callers do.  Backpressure
+(:class:`~repro.common.errors.BackpressureError`) is counted and
+retried after a short backoff rather than treated as failure: shedding
+is the policy working, not the server breaking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+from ..common.errors import BackpressureError, ReproError
+from .frontend import ServingFrontend
+
+#: Backoff before a shed client retries; long enough to let a queue
+#: drain one flush, short enough that the client stays "concurrent".
+BACKPRESSURE_RETRY_S = 0.005
+
+
+@dataclasses.dataclass
+class LoadResult:
+    """Outcome of one closed-loop run (client-side view)."""
+
+    clients: int
+    elapsed_s: float
+    completed: int
+    rejected: int
+    failed: int
+    throughput_rps: float
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+async def run_closed_loop(
+    frontend: ServingFrontend,
+    tenant: str,
+    model: str,
+    images,
+    *,
+    clients: int,
+    duration_s: float | None = None,
+    requests_per_client: int | None = None,
+) -> LoadResult:
+    """Drive *clients* concurrent closed-loop callers against *frontend*.
+
+    Each client stops after *requests_per_client* completions or when
+    *duration_s* of wall-clock has elapsed (whichever is given; both =
+    whichever comes first).  *images* is a pool of pre-generated inputs
+    cycled per client, so the load loop measures serving, not RNG.
+    """
+    if duration_s is None and requests_per_client is None:
+        raise ValueError("need duration_s and/or requests_per_client")
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    completed = rejected = failed = 0
+
+    async def client(idx: int) -> None:
+        nonlocal completed, rejected, failed
+        done = 0
+        while True:
+            if duration_s is not None and loop.time() - start >= duration_s:
+                return
+            if requests_per_client is not None and done >= requests_per_client:
+                return
+            image = images[(idx + done) % len(images)]
+            try:
+                await frontend.submit(tenant, model, image)
+                completed += 1
+                done += 1
+            except BackpressureError:
+                rejected += 1
+                await asyncio.sleep(BACKPRESSURE_RETRY_S)
+            except ReproError:
+                failed += 1
+                done += 1
+
+    await asyncio.gather(*[client(i) for i in range(clients)])
+    elapsed = loop.time() - start
+    return LoadResult(
+        clients=clients,
+        elapsed_s=elapsed,
+        completed=completed,
+        rejected=rejected,
+        failed=failed,
+        throughput_rps=completed / elapsed if elapsed > 0 else 0.0,
+    )

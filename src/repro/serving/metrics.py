@@ -1,0 +1,157 @@
+"""Serving observability: request/batch counters and latency percentiles.
+
+The serving layer's analogue of :class:`repro.convolution.metrics.DispatchStats`
+— one :class:`ServingMetrics` per frontend, thread-safe (counters are
+bumped from the event loop *and* from dispatch threads), snapshot-only
+reads.  Latencies go through a bounded reservoir so a long-lived server
+keeps O(1) memory while p50/p99 stay faithful for any load test short
+enough to fit the window (the bench's runs do).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import threading
+
+#: Latency samples kept for percentile estimation (newest wins).  200k
+#: floats ≈ 1.6 MB — roomy enough that the serving bench's full run is
+#: computed over every sample, bounded enough for a resident server.
+LATENCY_WINDOW = 200_000
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 on no samples."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclasses.dataclass
+class ServingSnapshot:
+    """Point-in-time copy of a frontend's serving counters.
+
+    Attributes
+    ----------
+    requests_submitted: requests accepted into a queue.
+    requests_completed: requests whose future resolved with an output.
+    requests_rejected: shed by admission control, keyed by reason in
+        :attr:`rejected_by_reason` (``queue_full`` / ``workspace_limit``).
+    requests_failed: requests whose batch raised a non-backpressure error.
+    batches: batched dispatches executed.
+    batched_requests: total requests across all formed batches —
+        ``batched_requests / batches`` is the mean formed batch size,
+        the number that says whether dynamic batching is actually
+        exploiting the paper's batch-dimension headroom.
+    mean_batch_size / max_batch_size: formed-batch-size aggregates.
+    queue_depth: current total queued requests across signatures.
+    queue_depth_peak: high-water mark of any single signature queue.
+    deadline_overshoots: not-full batches that slept past the configured
+        flush deadline by more than the slack — policy violations.
+    p50_latency_s / p99_latency_s / mean_latency_s / max_latency_s:
+        request latency (submit to future-resolution) over the sample
+        window.
+    latency_samples: samples currently in the window.
+    """
+
+    requests_submitted: int = 0
+    requests_completed: int = 0
+    requests_rejected: int = 0
+    rejected_by_reason: dict = dataclasses.field(default_factory=dict)
+    requests_failed: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    mean_batch_size: float = 0.0
+    max_batch_size: int = 0
+    queue_depth: int = 0
+    queue_depth_peak: int = 0
+    deadline_overshoots: int = 0
+    p50_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
+    mean_latency_s: float = 0.0
+    max_latency_s: float = 0.0
+    latency_samples: int = 0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class ServingMetrics:
+    """Thread-safe accumulator behind :class:`ServingSnapshot`."""
+
+    def __init__(self, latency_window: int = LATENCY_WINDOW):
+        self._lock = threading.Lock()
+        self._snap = ServingSnapshot()
+        self._latencies: collections.deque[float] = collections.deque(
+            maxlen=latency_window
+        )
+        self._queue_depths: dict[object, int] = {}
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def request_submitted(self) -> None:
+        with self._lock:
+            self._snap.requests_submitted += 1
+
+    def request_completed(self, latency_s: float) -> None:
+        with self._lock:
+            self._snap.requests_completed += 1
+            self._latencies.append(latency_s)
+
+    def request_rejected(self, reason: str) -> None:
+        with self._lock:
+            self._snap.requests_rejected += 1
+            by = self._snap.rejected_by_reason
+            by[reason] = by.get(reason, 0) + 1
+
+    def request_failed(self) -> None:
+        with self._lock:
+            self._snap.requests_failed += 1
+
+    # ------------------------------------------------------------------
+    # Batches and queues
+    # ------------------------------------------------------------------
+    def batch_dispatched(self, size: int) -> None:
+        with self._lock:
+            self._snap.batches += 1
+            self._snap.batched_requests += size
+            self._snap.max_batch_size = max(self._snap.max_batch_size, size)
+
+    def deadline_overshoot(self) -> None:
+        with self._lock:
+            self._snap.deadline_overshoots += 1
+
+    def queue_depth_changed(self, key: object, depth: int) -> None:
+        """Gauge update for one signature queue (depth 0 forgets it)."""
+        with self._lock:
+            if depth <= 0:
+                self._queue_depths.pop(key, None)
+            else:
+                self._queue_depths[key] = depth
+                self._snap.queue_depth_peak = max(
+                    self._snap.queue_depth_peak, depth
+                )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ServingSnapshot:
+        with self._lock:
+            snap = dataclasses.replace(
+                self._snap,
+                rejected_by_reason=dict(self._snap.rejected_by_reason),
+            )
+            samples = list(self._latencies)
+            snap.queue_depth = sum(self._queue_depths.values())
+        snap.latency_samples = len(samples)
+        if samples:
+            snap.p50_latency_s = percentile(samples, 50)
+            snap.p99_latency_s = percentile(samples, 99)
+            snap.mean_latency_s = sum(samples) / len(samples)
+            snap.max_latency_s = max(samples)
+        if snap.batches:
+            snap.mean_batch_size = snap.batched_requests / snap.batches
+        return snap

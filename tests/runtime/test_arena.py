@@ -125,3 +125,56 @@ def test_reset_clears_counters_and_frees():
     assert stats.in_use_bytes == 0
     assert stats.reserves == 0
     assert stats.peak_bytes == 0
+
+
+def test_concurrent_reserve_release_counters_stay_consistent():
+    # Many threads hammer reserve/release under a hard budget: the limit
+    # must never be exceeded (threads that lose the race see
+    # WorkspaceLimitError and retry), counters must balance when the dust
+    # settles, and no two live blocks may overlap.
+    import threading
+
+    block_bytes = 4 * ALIGNMENT
+    slots = 8  # budget admits at most 8 concurrent blocks
+    arena = WorkspaceArena(limit_bytes=slots * block_bytes)
+    threads_n, iterations = 16, 200
+    granted = [0] * threads_n
+    denied = [0] * threads_n
+    overlap_errors = []
+    live_lock = threading.Lock()
+    live: dict[int, tuple[int, int]] = {}  # id(block) -> (offset, end)
+
+    def worker(tid: int) -> None:
+        for _ in range(iterations):
+            try:
+                block = arena.reserve(block_bytes, tag=f"t{tid}")
+            except WorkspaceLimitError:
+                denied[tid] += 1
+                continue
+            granted[tid] += 1
+            span = (block.offset, block.offset + block.nbytes)
+            with live_lock:
+                for other in live.values():
+                    if span[0] < other[1] and other[0] < span[1]:
+                        overlap_errors.append((span, other))
+                live[id(block)] = span
+            stats = arena.stats()
+            assert stats.in_use_bytes <= slots * block_bytes
+            with live_lock:
+                del live[id(block)]
+            block.release()
+
+    threads = [threading.Thread(target=worker, args=(t,))
+               for t in range(threads_n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not overlap_errors
+    stats = arena.stats()
+    assert stats.reserves == sum(granted)
+    assert stats.releases == sum(granted)
+    assert stats.in_use_bytes == 0
+    assert 0 < stats.peak_bytes <= slots * block_bytes
+    assert sum(granted) + sum(denied) == threads_n * iterations

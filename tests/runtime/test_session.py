@@ -176,3 +176,76 @@ def test_paper_resnet_layers_end_to_end():
     )
     for a, b in zip(result.outputs, again.outputs):
         np.testing.assert_array_equal(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Pipelined workspace accounting: reservations must track the pool's
+# *actual* width, not the layer count (regression for the phantom-
+# concurrency bug where _run_pipelined reserved every layer up front).
+# ---------------------------------------------------------------------------
+GEMM_STACK = [
+    ConvProblem(n=1, c=4, h=8, w=8, k=4, name=f"Pipe{i}") for i in range(4)
+]
+
+
+def test_pipelined_arena_peak_matches_worker_concurrency(monkeypatch):
+    # With one effective worker only one layer is ever in flight, so the
+    # arena's high-water mark must be a single layer's workspace.  The
+    # pre-fix code reserved all four up front and reported 4x.
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "1")
+    ctx = ExecutionContext()
+    session = InferenceSession(GEMM_STACK, mode="GEMM", context=ctx)
+    inputs, filters = _tensors(GEMM_STACK)
+    result = session.run(inputs, filters, pipeline=True)
+    per_layer = session.plans[0].workspace_bytes
+    assert per_layer > 0
+    assert result.arena.peak_bytes == per_layer
+    for plan, x, f, y in zip(session.plans, inputs, filters, result.outputs):
+        np.testing.assert_array_equal(y, conv2d(x, f, pad=plan.prob.pad, algo="GEMM"))
+
+
+def test_pipelined_fits_budget_sized_for_true_concurrency(monkeypatch):
+    # A budget that fits the serial (and one-worker pipelined) run must
+    # not trip WorkspaceLimitError just because pipeline=True.  Pre-fix,
+    # the up-front reservation of all layers blew this limit.
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "1")
+    per_layer = InferenceSession(
+        GEMM_STACK, mode="GEMM", context=ExecutionContext()
+    ).compile()[0].workspace_bytes
+    ctx = ExecutionContext()
+    session = InferenceSession(
+        GEMM_STACK, mode="GEMM",
+        workspace_limit_bytes=per_layer, context=ctx,
+    )
+    inputs, filters = _tensors(GEMM_STACK)
+    result = session.run(inputs, filters, pipeline=True)  # must not raise
+    assert result.arena.peak_bytes <= per_layer
+
+
+def test_pipelined_peak_bounded_by_two_workers(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "2")
+    ctx = ExecutionContext()
+    session = InferenceSession(GEMM_STACK, mode="GEMM", context=ctx)
+    inputs, filters = _tensors(GEMM_STACK)
+    result = session.run(inputs, filters, pipeline=True)
+    per_layer = session.plans[0].workspace_bytes
+    assert per_layer <= result.arena.peak_bytes <= 2 * per_layer
+
+
+def test_layer_run_records_both_clocks():
+    # seconds = worker compute time; latency_seconds = parent-side
+    # queue-to-done latency (>= compute on the pool path, ~equal serial).
+    ctx = ExecutionContext()
+    session = InferenceSession(TINY, context=ctx)
+    inputs, filters = _tensors(TINY)
+    result = session.run(inputs, filters, pipeline=True)
+    for run in result.layers:
+        assert run.seconds >= 0.0
+        assert run.latency_seconds > 0.0
+        payload = run.to_dict()
+        assert "latency_seconds" in payload and "seconds" in payload
+    # Parent-side latencies are what total_seconds decomposes into; each
+    # must fit inside the end-to-end wall-clock.
+    assert all(
+        run.latency_seconds <= result.total_seconds for run in result.layers
+    )

@@ -1,0 +1,74 @@
+"""ServingMetrics: counters, percentiles, queue-depth gauges."""
+
+import threading
+
+from repro.serving import ServingMetrics, percentile
+
+
+def test_percentile_nearest_rank():
+    samples = [float(v) for v in range(1, 101)]
+    assert percentile(samples, 0) == 1.0
+    assert percentile(samples, 50) == 51.0  # nearest-rank on 100 samples
+    assert percentile(samples, 99) == 99.0
+    assert percentile(samples, 100) == 100.0
+    assert percentile([], 50) == 0.0
+    assert percentile([3.0], 99) == 3.0
+
+
+def test_latency_window_bounds_memory():
+    metrics = ServingMetrics(latency_window=4)
+    for v in range(10):
+        metrics.request_completed(float(v))
+    snap = metrics.snapshot()
+    assert snap.requests_completed == 10
+    assert snap.latency_samples == 4  # only the newest window is kept
+    assert snap.max_latency_s == 9.0
+
+
+def test_batch_and_queue_accounting():
+    metrics = ServingMetrics()
+    metrics.batch_dispatched(4)
+    metrics.batch_dispatched(2)
+    metrics.queue_depth_changed("q1", 3)
+    metrics.queue_depth_changed("q2", 5)
+    metrics.queue_depth_changed("q2", 0)
+    metrics.request_rejected("queue_full")
+    metrics.request_rejected("queue_full")
+    metrics.request_rejected("workspace_limit")
+    snap = metrics.snapshot()
+    assert snap.batches == 2
+    assert snap.mean_batch_size == 3.0
+    assert snap.max_batch_size == 4
+    assert snap.queue_depth == 3  # q2 drained
+    assert snap.queue_depth_peak == 5
+    assert snap.requests_rejected == 3
+    assert snap.rejected_by_reason == {"queue_full": 2, "workspace_limit": 1}
+
+
+def test_snapshot_is_independent_copy():
+    metrics = ServingMetrics()
+    metrics.request_submitted()
+    snap = metrics.snapshot()
+    snap.rejected_by_reason["queue_full"] = 99
+    assert metrics.snapshot().rejected_by_reason == {}
+
+
+def test_thread_safety_of_counters():
+    metrics = ServingMetrics()
+
+    def hammer():
+        for _ in range(500):
+            metrics.request_submitted()
+            metrics.request_completed(0.001)
+            metrics.batch_dispatched(2)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    snap = metrics.snapshot()
+    assert snap.requests_submitted == 4000
+    assert snap.requests_completed == 4000
+    assert snap.batches == 4000
+    assert snap.batched_requests == 8000
