@@ -1,0 +1,142 @@
+"""Static pre-simulation pruning: how much search budget it saves.
+
+Runs the successive-halving schedule search twice on fresh contexts —
+once with ``SearchBudget.prune_margin`` enabled, once without — and
+reports what the static pruner bought: candidates dropped before any
+simulation, simulator evaluations avoided, and wall-clock saved.
+
+The run doubles as a safety gate:
+
+* the pruned search must find the **same winner** as the full search
+  (pruning may only drop losers);
+* the known-best schedule (:data:`repro.sched.PAPER_SCHEDULE`) must
+  never be pruned;
+* with the default margin the pruner must actually prune something on
+  the full space (the 1.05 margin separates the ``natural`` yield
+  candidates, all within ~1.02x of the statically cheapest, from the
+  ``nvcc8``/``cudnn7`` ablations at >= 1.07x) — if nothing is prunable
+  the run says so and still passes.
+
+Any violated invariant exits non-zero, so CI can run this as a gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_prune.py            # full space
+    PYTHONPATH=src python benchmarks/bench_prune.py --quick
+    PYTHONPATH=src python benchmarks/bench_prune.py --margin 1.02
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.gpusim import DEVICES
+from repro.runtime import ExecutionContext
+from repro.sched import (
+    DEFAULT_SPACE,
+    PAPER_SCHEDULE,
+    QUICK_SPACE,
+    SearchBudget,
+    successive_halving,
+)
+
+#: Empirical margin for DEFAULT_SPACE (see module docstring): keeps all
+#: ``natural`` candidates, prunes the yield-strategy ablations.
+DEFAULT_MARGIN = 1.05
+
+
+def _search(space, device, budget):
+    ctx = ExecutionContext(device=device)
+    start = time.perf_counter()
+    result = successive_halving(space, device, budget=budget, context=ctx)
+    return result, time.perf_counter() - start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--device", default="RTX2070", choices=sorted(DEVICES),
+                        help="simulated device (default: RTX2070)")
+    parser.add_argument("--quick", action="store_true",
+                        help="QUICK_SPACE + 2 rungs instead of the full grid")
+    parser.add_argument("--margin", type=float, default=DEFAULT_MARGIN,
+                        help=f"static prune margin (default: {DEFAULT_MARGIN})")
+    parser.add_argument("--out-dir", default=os.path.join(
+                            os.path.dirname(__file__), "results"),
+                        help="where BENCH_*.json lands (default: results/)")
+    args = parser.parse_args(argv)
+
+    device = DEVICES[args.device]
+    space = QUICK_SPACE if args.quick else DEFAULT_SPACE
+    max_rungs = 2 if args.quick else 3
+    base = SearchBudget(max_rungs=max_rungs)
+    pruning = SearchBudget(max_rungs=max_rungs, prune_margin=args.margin)
+
+    print(f"searching {len(space)} schedules on {device.name} "
+          f"with and without static pruning (margin {args.margin})...")
+    pruned_result, pruned_secs = _search(space, device, pruning)
+    full_result, full_secs = _search(space, device, base)
+
+    failures: list[str] = []
+    best_full = full_result.best.schedule.label()
+    best_pruned = pruned_result.best.schedule.label()
+    if best_full != best_pruned:
+        failures.append(
+            f"winner changed under pruning: {best_full} -> {best_pruned}"
+        )
+    known_best = PAPER_SCHEDULE.label()
+    if known_best in pruned_result.pruned:
+        failures.append(f"known-best schedule {known_best} was pruned")
+    if best_full != known_best:
+        failures.append(
+            f"full search winner {best_full} is not the known best "
+            f"{known_best} (regression upstream of the pruner)"
+        )
+
+    saved_evals = full_result.evaluations - pruned_result.evaluations
+    saved_secs = full_secs - pruned_secs
+    print(f"pruned {len(pruned_result.pruned)}/{len(space)} candidates "
+          f"before rung 0")
+    if pruned_result.pruned:
+        print("  " + ", ".join(pruned_result.pruned))
+    else:
+        print("  none prunable at this margin")
+    print(f"evaluations: {full_result.evaluations} -> "
+          f"{pruned_result.evaluations} ({saved_evals} avoided)")
+    print(f"wall-clock:  {full_secs:.1f}s -> {pruned_secs:.1f}s "
+          f"({saved_secs:+.1f}s, both cold caches)")
+    print(f"winner:      {best_pruned} (both runs)")
+
+    payload = {
+        "device": args.device,
+        "space": full_result.space_signature,
+        "margin": args.margin,
+        "winner_full": best_full,
+        "winner_pruned": best_pruned,
+        "pruned": pruned_result.pruned,
+        "evaluations_full": full_result.evaluations,
+        "evaluations_pruned": pruned_result.evaluations,
+        "seconds_full": round(full_secs, 3),
+        "seconds_pruned": round(pruned_secs, 3),
+        "failures": failures,
+    }
+    os.makedirs(args.out_dir, exist_ok=True)
+    out = os.path.join(args.out_dir, f"BENCH_prune_{args.device.lower()}.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"wrote {out}")
+
+    if failures:
+        print("\nPRUNE GATE FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("prune gate OK: pruning changed nothing but the cost")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,14 +2,17 @@
 
 Assembles the generated winograd_f22 (full kernel and main-loop
 microbenchmark variant, across the tunables the benchmarks sweep), the
-batched GEMM and the filter-transform kernels, runs the static analyzer
+batched GEMM and the filter-transform kernels, **plus the main-loop
+kernel of every candidate in the schedule-search space** (the 54-point
+``DEFAULT_SPACE`` grid the autotuner walks), runs the static analyzer
 on each, prints the text reports, writes the ``--json`` reports to a
-directory for the CI artifact, and exits non-zero if any kernel has an
-error-severity diagnostic.
+directory for the CI artifact, and exits non-zero if any kernel has a
+diagnostic at or above ``--fail-on`` severity (default: ``error``).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/lint_kernels.py [--json-dir DIR]
+    PYTHONPATH=src python benchmarks/lint_kernels.py --no-space   # faster
 """
 
 from __future__ import annotations
@@ -22,7 +25,14 @@ from repro.common.problem import ConvProblem
 from repro.kernels.ftf import FilterTransformKernel
 from repro.kernels.gemm import BatchedGemmKernel
 from repro.kernels.winograd_f22 import Tunables, WinogradF22Kernel
-from repro.sass.analysis import errors, lint_kernel, render_json, render_text
+from repro.sass.analysis import (
+    Severity,
+    lint_kernel,
+    max_severity,
+    render_json,
+    render_text,
+)
+from repro.sched import DEFAULT_SPACE
 
 PROB = ConvProblem(n=32, c=64, h=28, w=28, k=64)
 
@@ -52,10 +62,33 @@ def shipped_kernels():
     yield "ftf", FilterTransformKernel(PROB).build()
 
 
+def space_kernels():
+    """Main-loop kernels for every autotuner candidate.
+
+    The schedule search lint-gates candidates lazily on each run; this
+    sweep is the eager CI version, so a pass regression that only trips
+    on (say) ``db1`` single-buffering fails the lint job, not a user's
+    search.
+    """
+    for schedule in DEFAULT_SPACE.candidates():
+        yield (
+            f"sched[{schedule.label()}]",
+            WinogradF22Kernel(PROB, schedule.to_tunables()).build(
+                main_loop_only=True, iters=2
+            ),
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json-dir", default=None,
                         help="write one <kernel>.json report per kernel")
+    parser.add_argument("--fail-on", choices=["error", "warning"],
+                        default="error",
+                        help="lowest severity that fails the job "
+                             "(default: error)")
+    parser.add_argument("--no-space", action="store_true",
+                        help="skip the 54-candidate schedule-space sweep")
     args = parser.parse_args(argv)
 
     json_dir = None
@@ -63,23 +96,31 @@ def main(argv: list[str] | None = None) -> int:
         json_dir = pathlib.Path(args.json_dir)
         json_dir.mkdir(parents=True, exist_ok=True)
 
+    threshold = Severity(args.fail_on)
+    kernels = list(shipped_kernels())
+    if not args.no_space:
+        kernels.extend(space_kernels())
+
     failed = []
-    for name, kernel in shipped_kernels():
+    for name, kernel in kernels:
         diagnostics = lint_kernel(kernel)
         print(render_text(diagnostics, kernel_name=name))
         print()
         if json_dir is not None:
-            safe = name.replace("[", ".").replace("]", "")
+            safe = name.replace("[", ".").replace("]", "").replace("/", "_")
             (json_dir / f"{safe}.json").write_text(
                 render_json(diagnostics, kernel_name=name) + "\n"
             )
-        if errors(diagnostics):
+        worst = max_severity(diagnostics)
+        if worst is not None and worst.rank >= threshold.rank:
             failed.append(name)
 
     if failed:
-        print(f"FAIL: error-severity diagnostics in: {', '.join(failed)}")
+        print(f"FAIL: {args.fail_on}-severity diagnostics in: "
+              f"{', '.join(failed)}")
         return 1
-    print("OK: all shipped kernels lint clean of errors")
+    print(f"OK: all {len(kernels)} kernels lint clean at "
+          f"{args.fail_on} severity")
     return 0
 
 

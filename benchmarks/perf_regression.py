@@ -76,10 +76,17 @@ def collect_metrics(device_key: str, quick: bool) -> dict:
         score.schedule.label(): score.cycles_per_iter
         for score in result.rungs[0]
     }
+    # Every space candidate must land in the baseline even if a future
+    # budget turns on the static pruner (pruned candidates never reach
+    # rung 0); the gate's whole point is full-space coverage.
+    pending: dict[str, object] = {}
+    for schedule in space.candidates():
+        label = schedule.label()
+        if label not in metrics:
+            pending[label] = schedule
     # The Fig. 7-9 sweeps (plus the §3.4 double-buffer ablation): axis
     # variants around the paper schedule, measured at the same budget —
     # cached points are free, the rest complete the figure coverage.
-    pending: dict[str, object] = {}
     for field in SCHEDULE_FIELDS:
         for schedule in DEFAULT_SPACE.axis_variants(field, PAPER_SCHEDULE).values():
             label = schedule.label()

@@ -12,7 +12,8 @@ an inspector:
 ``as`` and ``lint`` also take ``-D name=value`` definitions visible to
 inline Python blocks and ``{{ }}`` splices.  ``lint`` accepts either a
 ``.sass`` source or an assembled ``.cubin`` and exits non-zero when any
-error-severity diagnostic is found (see ``docs/sass_lint.md``).
+diagnostic at or above ``--fail-on`` severity is found (default:
+``error``; see ``docs/sass_lint.md``).
 """
 
 from __future__ import annotations
@@ -20,7 +21,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .analysis import errors, lint_instructions, render_json, render_text
+from .analysis import (
+    Severity,
+    lint_instructions,
+    max_severity,
+    render_json,
+    render_text,
+)
 from .assembler import AssembledKernel, assemble
 from .cubin import LoadedCubin, read_cubin, write_cubin
 
@@ -122,7 +129,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(render_json(diagnostics, kernel_name=name))
     else:
         print(render_text(diagnostics, kernel_name=name))
-    return 1 if errors(diagnostics) else 0
+    threshold = Severity(args.fail_on)
+    worst = max_severity(diagnostics)
+    return 1 if worst is not None and worst.rank >= threshold.rank else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -167,6 +176,10 @@ def main(argv: list[str] | None = None) -> int:
     p_lint.add_argument("--warps", type=int, default=8,
                         help="warps per block for the shared-memory model "
                              "(default: 8)")
+    p_lint.add_argument("--fail-on", choices=["error", "warning"],
+                        default="error",
+                        help="lowest severity that makes the exit status "
+                             "non-zero (default: error)")
     p_lint.set_defaults(func=cmd_lint)
 
     args = parser.parse_args(argv)

@@ -1,0 +1,209 @@
+"""Barrier-divergence pass.
+
+``BAR.SYNC`` assumes every warp (and every lane of every warp) arrives.
+Under Volta's independent thread scheduling a barrier executed under a
+lane-divergent predicate — or reachable on only one arm of a
+lane-divergent branch — can deadlock the block or silently desynchronize
+the producer/consumer hand-off the paper's pipeline depends on.
+
+The pass runs a forward **uniformity taint** dataflow over the CFG: a
+register/predicate is *nonuniform* when its value may differ between
+lanes of one warp.  Sources of nonuniformity are ``S2R SR_TID.*`` and
+``SR_LANEID`` and anything loaded from memory; ``SR_CTAID.*``, warp
+ids, immediates and constant-bank reads are uniform.  ALU results taint
+from their inputs; a write under a nonuniform guard taints its
+destination (lanes where the guard is false keep the old value).  Joins
+are unions — tainted on any path means possibly divergent.
+
+Rules:
+
+* ``BD001`` (error)   — ``BAR`` guarded by a nonuniform predicate: the
+  warp's lanes disagree about arriving;
+* ``BD002`` (warning) — ``BAR`` reachable from one arm of a branch on a
+  nonuniform predicate but not the other (static reachability
+  over-approximates re-convergence, hence warning, not error).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..instruction import Instruction
+from ..isa import RZ, SPECIAL_REGISTERS
+from ..operands import Const, Imm, Reg
+from .base import AnalysisContext, AnalysisPass
+from .cfg import BasicBlock, ControlFlowGraph, get_cfg
+from .dataflow import solve_forward
+from .diagnostics import Diagnostic, Severity
+
+#: SR ids whose value differs between lanes of one warp (SR_TID.*
+#: because threads of a warp have consecutive tids, and SR_LANEID).
+_NONUNIFORM_SR_IDS = frozenset({0, 6})
+
+# State: (nonuniform_regs, nonuniform_preds) bitmasks.
+_State = tuple[int, int]
+
+
+def _input_taint(instr: Instruction, regs: int, preds: int) -> bool:
+    for src in instr.srcs:
+        if isinstance(src, Reg):
+            if src.index != RZ and regs >> src.index & 1:
+                return True
+        elif not isinstance(src, (Imm, Const)):
+            return True  # unknown operand kind: assume divergent
+    if instr.mem is not None and not instr.mem.base.is_rz:
+        if regs >> instr.mem.base.index & 1:
+            return True
+    if instr.src_pred is not None and not instr.src_pred.is_pt:
+        if preds >> instr.src_pred.index & 1:
+            return True
+    return False
+
+
+def _guard_taint(instr: Instruction, preds: int) -> bool:
+    return not instr.guard.is_pt and bool(preds >> instr.guard.index & 1)
+
+
+def _step(instr: Instruction, state: _State) -> _State:
+    regs, preds = state
+    if instr.name in ("BRA", "EXIT", "BAR", "NOP"):
+        return state
+    guarded = _guard_taint(instr, preds)
+
+    if instr.name == "S2R":
+        sr = next((f for f in instr.flags if f.startswith("SR_")), "SR_TID.X")
+        tainted = SPECIAL_REGISTERS.get(sr, 0) in _NONUNIFORM_SR_IDS or guarded
+        assert instr.dest is not None
+        return _set_regs(regs, [instr.dest.index], tainted), preds
+
+    if instr.spec.is_load:
+        # Memory contents are unknown: assume lane-divergent values.
+        return _set_regs(regs, instr.writes_registers(), True), preds
+
+    if instr.spec.is_store:
+        return state
+
+    tainted = _input_taint(instr, regs, preds) or guarded
+    if guarded:
+        # A partial write mixes old and new lanes: only ever *adds*
+        # taint, never clears it.
+        if not tainted:
+            return state
+    new_regs = _set_regs(regs, instr.writes_registers(), tainted)
+    new_preds = preds
+    for p in instr.writes_predicates():
+        if tainted:
+            new_preds |= 1 << p
+        else:
+            new_preds &= ~(1 << p)
+    return new_regs, new_preds
+
+
+def _set_regs(mask: int, targets: Sequence[int], tainted: bool) -> int:
+    for reg in targets:
+        if reg == RZ:
+            continue
+        if tainted:
+            mask |= 1 << reg
+        else:
+            mask &= ~(1 << reg)
+    return mask
+
+
+class BarrierDivergencePass(AnalysisPass):
+    name = "barrier-divergence"
+    rules = ("BD001", "BD002")
+
+    def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
+        if not ctx.instructions:
+            return []
+        cfg = get_cfg(ctx)
+        instructions = ctx.instructions
+
+        def transfer(block: BasicBlock, state: _State) -> _State:
+            for pos in block.positions():
+                state = _step(instructions[pos], state)
+            return state
+
+        def join(states: Sequence[_State]) -> _State:
+            regs, preds = states[0]
+            for other in states[1:]:
+                regs |= other[0]
+                preds |= other[1]
+            return regs, preds
+
+        in_states, out_states = solve_forward(cfg, (0, 0), transfer, join)
+
+        diags: list[Diagnostic] = []
+
+        # BD001: a BAR whose own guard is nonuniform at that point.
+        for block in cfg.blocks:
+            state = in_states[block.id]
+            if state is None:
+                continue
+            for pos in block.positions():
+                instr = instructions[pos]
+                if instr.name == "BAR" and _guard_taint(instr, state[1]):
+                    diags.append(Diagnostic(
+                        rule="BD001",
+                        severity=Severity.ERROR,
+                        pos=pos,
+                        instruction=instr.name,
+                        message=(
+                            f"BAR.SYNC guarded by P{instr.guard.index}, "
+                            "whose value may differ between lanes of one "
+                            "warp"
+                        ),
+                        hint="barriers must be executed uniformly; "
+                             "compute the guard from uniform inputs or "
+                             "drop it",
+                    ))
+                state = _step(instr, state)
+
+        # BD002: a BAR on only one arm of a nonuniform conditional branch.
+        flagged: set[int] = set()
+        for block in cfg.blocks:
+            state = out_states[block.id]
+            if state is None:
+                continue
+            last_pos = block.end - 1
+            last = instructions[last_pos]
+            if last.name != "BRA" or (last.guard.is_pt and not last.guard.negated):
+                continue
+            if not state[1] >> last.guard.index & 1:
+                continue
+            arms: dict[str, set[int]] = {"taken": set(), "fall": set()}
+            for edge in cfg.successors[block.id]:
+                if edge.kind in arms:
+                    arms[edge.kind] |= cfg.reachable_from(edge.dst)
+            for bar_pos in self._bars_in(
+                cfg, arms["taken"] ^ arms["fall"]
+            ):
+                if bar_pos in flagged:
+                    continue
+                flagged.add(bar_pos)
+                diags.append(Diagnostic(
+                    rule="BD002",
+                    severity=Severity.WARNING,
+                    pos=bar_pos,
+                    instruction="BAR",
+                    message=(
+                        "BAR.SYNC is reachable from one arm of the "
+                        f"branch at instruction {last_pos} (on "
+                        f"P{last.guard.index}, which may be "
+                        "lane-divergent) but not the other"
+                    ),
+                    hint="hoist the barrier above the divergent branch "
+                         "or make the branch condition warp-uniform",
+                ))
+        return diags
+
+    @staticmethod
+    def _bars_in(cfg: ControlFlowGraph, block_ids: set[int]) -> list[int]:
+        positions: list[int] = []
+        for block_id in sorted(block_ids):
+            block = cfg.blocks[block_id]
+            for pos in block.positions():
+                if cfg.instructions[pos].name == "BAR":
+                    positions.append(pos)
+        return positions

@@ -48,6 +48,9 @@ class AnalysisPass(abc.ABC):
     #: Stable machine name (used in ``--json`` output and docs).
     name: str = "pass"
 
+    #: Every rule code the pass can emit (the docs-sync test walks this).
+    rules: tuple[str, ...] = ()
+
     @abc.abstractmethod
     def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
         """Analyze ``ctx.instructions`` and return findings."""
@@ -56,9 +59,27 @@ class AnalysisPass(abc.ABC):
 def run_passes(
     ctx: AnalysisContext, passes: Sequence[AnalysisPass]
 ) -> list[Diagnostic]:
-    """Run ``passes`` in order; merge and sort findings by position."""
+    """Run ``passes`` in order; merge and sort findings by position.
+
+    Each finding is annotated with the emitting pass's name, the CFG
+    basic-block id that contains its anchor instruction and that
+    instruction's source line, so renderers (``--json`` in particular)
+    need no further context to localize a diagnostic.
+    """
+    from .cfg import get_cfg  # deferred: cfg imports this module
+
+    cfg = get_cfg(ctx) if ctx.instructions else None
     merged: list[Diagnostic] = []
     for pass_ in passes:
-        merged.extend(pass_.run(ctx))
+        for diag in pass_.run(ctx):
+            block = -1
+            line = diag.line
+            if 0 <= diag.pos < len(ctx.instructions):
+                if cfg is not None:
+                    block = cfg.block_of[diag.pos]
+                line = ctx.instructions[diag.pos].line
+            merged.append(dataclasses.replace(
+                diag, pass_name=pass_.name, block=block, line=line
+            ))
     merged.sort(key=lambda d: (d.pos, d.rule))
     return merged

@@ -1,16 +1,32 @@
-"""Control-code hazard pass (§5.1.4) — the old ``validate_control``.
+"""Path-sensitive control-code hazard pass (§5.1.4).
 
 On Volta/Turing the hardware does not interlock: fixed-latency results
 must be covered by the issuing warp's stall counts, variable-latency
 results (memory, MUFU, S2R) by one of the six scoreboard barriers that
 some later instruction waits on.  This pass proves an instruction stream
-hazard-free under the same linear-scan latency model ``schedule`` uses.
+hazard-free under the same latency model ``schedule`` uses — but over
+the **control-flow graph**, not a straight line: the hazard state is
+propagated along every CFG path with a worklist fixpoint
+(:func:`~repro.sass.analysis.dataflow.solve_forward`), joining
+pessimistically at merge points, so a wait barrier missing on only one
+arm of a branch — or a latency carried around a loop back edge — is
+found exactly like a straight-line hazard.
+
+The state per program point:
+
+* remaining cycles until each fixed-latency result is ready (the
+  linear scan's ``ready[reg] = t + latency`` recast as a relative
+  countdown so it can be joined across paths — joins take the max);
+* which registers/predicates each armed scoreboard barrier guards
+  (joins take the union);
+* variable-latency results that carry **no** barrier (joins keep the
+  earliest producer, so messages are deterministic).
 
 Unlike the original checker this pass tracks **predicates** alongside
 registers: a variable-latency producer can write predicates (e.g. a
 load with a predicate destination), and a consumer reading that
 predicate without a barrier wait is just as much a hazard as a register
-read — the original ``guarded`` map silently dropped them.
+read.
 
 Rules (all errors — a hazard means wrong results on hardware):
 
@@ -19,42 +35,236 @@ Rules (all errors — a hazard means wrong results on hardware):
 * ``CTRL002`` — touching the result of a variable-latency producer that
   carries no barrier at all (nothing *can* wait for it);
 * ``CTRL003`` — consuming a fixed-latency result before the producer's
-  latency has elapsed (insufficient stall cycles).
+  latency has elapsed (insufficient stall cycles) on at least one path.
 
 ``repro.sass.hazards.validate_control`` remains as a thin wrapper that
-renders these diagnostics in its historical string format.
+renders these diagnostics in its historical string format; for programs
+without branches the output is identical to the old linear scan.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from typing import Callable, Sequence
 
 from ..control import NO_BARRIER
+from ..instruction import Instruction
 from ..isa import NUM_WAIT_BARRIERS
 from .base import AnalysisContext, AnalysisPass
+from .cfg import BasicBlock, get_cfg
+from .dataflow import solve_forward
 from .diagnostics import Diagnostic, Severity
+
+_Emit = Callable[[str, int, str, str, str], None]
+
+_GuardedMap = dict[tuple[int, str], tuple[frozenset[int], frozenset[int]]]
 
 
 @dataclasses.dataclass
-class _Guarded:
-    kind: str  # "write" or "read"
-    regs: set[int]
-    preds: set[int]
+class _State:
+    """Hazard facts at one program point (see module docstring)."""
+
+    rem_reg: dict[int, int] = dataclasses.field(default_factory=dict)
+    rem_pred: dict[int, int] = dataclasses.field(default_factory=dict)
+    guarded: _GuardedMap = dataclasses.field(default_factory=dict)
+    unguarded_reg: dict[int, int] = dataclasses.field(default_factory=dict)
+    unguarded_pred: dict[int, int] = dataclasses.field(default_factory=dict)
+
+    def copy(self) -> "_State":
+        return _State(
+            rem_reg=dict(self.rem_reg),
+            rem_pred=dict(self.rem_pred),
+            guarded=dict(self.guarded),
+            unguarded_reg=dict(self.unguarded_reg),
+            unguarded_pred=dict(self.unguarded_pred),
+        )
+
+
+def _join(states: Sequence[_State]) -> _State:
+    """Pessimistic merge: a hazard on any incoming path is a hazard."""
+    merged = states[0].copy()
+    for state in states[1:]:
+        for rem, other in (
+            (merged.rem_reg, state.rem_reg),
+            (merged.rem_pred, state.rem_pred),
+        ):
+            for key, value in other.items():
+                if value > rem.get(key, 0):
+                    rem[key] = value
+        for key, (regs, preds) in state.guarded.items():
+            have = merged.guarded.get(key)
+            if have is None:
+                merged.guarded[key] = (regs, preds)
+            else:
+                merged.guarded[key] = (have[0] | regs, have[1] | preds)
+        for ung, other_ung in (
+            (merged.unguarded_reg, state.unguarded_reg),
+            (merged.unguarded_pred, state.unguarded_pred),
+        ):
+            for key, pos in other_ung.items():
+                if key not in ung or pos < ung[key]:
+                    ung[key] = pos
+    return merged
+
+
+def _step(
+    state: _State, pos: int, instr: Instruction, emit: _Emit | None
+) -> None:
+    """Advance ``state`` over one instruction, reporting via ``emit``.
+
+    The check/publish order replicates the original linear scan exactly,
+    so single-block programs produce byte-identical diagnostics.
+    """
+    spec = instr.spec
+    reads = set(instr.reads_registers())
+    writes = set(instr.writes_registers())
+    pred_reads = set(instr.reads_predicates())
+    pred_writes = set(instr.writes_predicates())
+
+    # ---- waits retire barriers (and the unguarded flags they cover) ----
+    for idx in range(NUM_WAIT_BARRIERS):
+        if not instr.control.waits_on(idx):
+            continue
+        for kind in ("write", "read"):
+            pending = state.guarded.pop((idx, kind), None)
+            if pending is None:
+                continue
+            for reg in pending[0]:
+                state.unguarded_reg.pop(reg, None)
+            for p in pending[1]:
+                state.unguarded_pred.pop(p, None)
+
+    # ---- CTRL001: touching guarded results without waiting --------------
+    if emit is not None:
+        for (idx, kind), (regs, preds) in sorted(state.guarded.items()):
+            if kind == "write":
+                reg_hazard = regs & (reads | writes)
+                pred_hazard = preds & (pred_reads | pred_writes)
+            else:
+                reg_hazard = regs & writes
+                pred_hazard = preds & pred_writes
+            if reg_hazard:
+                reg = sorted(reg_hazard)[0]
+                emit(
+                    "CTRL001", pos, instr.name,
+                    f"touches R{reg} guarded by barrier {idx} without "
+                    "waiting on it",
+                    f"add barrier {idx} to this instruction's wait mask",
+                )
+            if pred_hazard:
+                p = sorted(pred_hazard)[0]
+                emit(
+                    "CTRL001", pos, instr.name,
+                    f"touches P{p} guarded by barrier {idx} without "
+                    "waiting on it",
+                    f"add barrier {idx} to this instruction's wait mask",
+                )
+
+        # ---- CTRL002/CTRL003: unawaited and too-early results -----------
+        for reg in sorted(reads | writes):
+            if reg in state.unguarded_reg:
+                emit(
+                    "CTRL002", pos, instr.name,
+                    f"touches R{reg} whose variable-latency producer at "
+                    f"{state.unguarded_reg[reg]} was not awaited",
+                    "give the producer a write barrier and wait on it "
+                    "here",
+                )
+            if state.rem_reg.get(reg, 0) > 0:
+                emit(
+                    "CTRL003", pos, instr.name,
+                    f"reads/writes R{reg} {state.rem_reg[reg]} cycles "
+                    "too early",
+                    "raise the producer's stall count to cover its "
+                    "latency",
+                )
+        for p in sorted(pred_reads | pred_writes):
+            if p in state.unguarded_pred:
+                emit(
+                    "CTRL002", pos, instr.name,
+                    f"touches P{p} whose variable-latency producer at "
+                    f"{state.unguarded_pred[p]} was not awaited",
+                    "give the producer a write barrier and wait on it "
+                    "here",
+                )
+        for p in sorted(pred_reads):
+            if state.rem_pred.get(p, 0) > 0:
+                emit(
+                    "CTRL003", pos, instr.name,
+                    f"reads P{p} {state.rem_pred[p]} cycles too early",
+                    "raise the producer's stall count to cover its "
+                    "latency",
+                )
+
+    # ---- publish this instruction's results -----------------------------
+    if spec.latency is not None:
+        for reg in writes:
+            state.rem_reg[reg] = spec.latency
+        for p in pred_writes:
+            state.rem_pred[p] = spec.latency
+    elif instr.name not in ("BRA", "EXIT", "BAR", "NOP"):
+        bar = (
+            instr.control.read_bar
+            if spec.is_store
+            else instr.control.write_bar
+        )
+        tracked_regs = reads if spec.is_store else writes
+        tracked_preds: set[int] = set() if spec.is_store else pred_writes
+        if bar == NO_BARRIER:
+            if not spec.is_store:
+                for reg in tracked_regs:
+                    state.unguarded_reg[reg] = pos
+                for p in tracked_preds:
+                    state.unguarded_pred[p] = pos
+        else:
+            kind = "read" if spec.is_store else "write"
+            # Re-arming a barrier with the opposite kind replaces it (the
+            # linear scan's behavior); the same kind accumulates.
+            state.guarded.pop((bar, "read" if kind == "write" else "write"),
+                              None)
+            have = state.guarded.get((bar, kind))
+            if have is not None:
+                state.guarded[(bar, kind)] = (
+                    have[0] | tracked_regs, have[1] | tracked_preds
+                )
+            else:
+                state.guarded[(bar, kind)] = (
+                    frozenset(tracked_regs), frozenset(tracked_preds)
+                )
+
+    # ---- time advances: countdowns shrink by this instruction's stall ---
+    elapsed = max(instr.control.stall, 1)
+    for rem in (state.rem_reg, state.rem_pred):
+        for key in list(rem):
+            left = rem[key] - elapsed
+            if left > 0:
+                rem[key] = left
+            else:
+                del rem[key]
 
 
 class ControlCodePass(AnalysisPass):
     name = "control-codes"
+    rules = ("CTRL001", "CTRL002", "CTRL003")
 
     def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
-        diags: list[Diagnostic] = []
-        ready_reg: dict[int, int] = {}
-        ready_pred: dict[int, int] = {}
-        guarded: dict[int, _Guarded] = {}
-        unguarded_reg: dict[int, int] = {}  # reg -> producer pos
-        unguarded_pred: dict[int, int] = {}  # pred -> producer pos
-        t = 0
+        if not ctx.instructions:
+            return []
+        cfg = get_cfg(ctx)
+        instructions = ctx.instructions
 
-        def emit(rule: str, pos: int, name: str, message: str, hint: str) -> None:
+        def transfer(block: BasicBlock, state: _State) -> _State:
+            state = state.copy()
+            for pos in block.positions():
+                _step(state, pos, instructions[pos], None)
+            return state
+
+        in_states, _ = solve_forward(cfg, _State(), transfer, _join)
+
+        diags: list[Diagnostic] = []
+
+        def emit(rule: str, pos: int, name: str, message: str,
+                 hint: str) -> None:
             diags.append(Diagnostic(
                 rule=rule,
                 severity=Severity.ERROR,
@@ -64,109 +274,14 @@ class ControlCodePass(AnalysisPass):
                 hint=hint,
             ))
 
-        for pos, instr in enumerate(ctx.instructions):
-            spec = instr.spec
-            reads = set(instr.reads_registers())
-            writes = set(instr.writes_registers())
-            pred_reads = set(instr.reads_predicates())
-            pred_writes = set(instr.writes_predicates())
-
-            for idx in range(NUM_WAIT_BARRIERS):
-                if instr.control.waits_on(idx) and idx in guarded:
-                    pending = guarded.pop(idx)
-                    for reg in pending.regs:
-                        unguarded_reg.pop(reg, None)
-                    for p in pending.preds:
-                        unguarded_pred.pop(p, None)
-
-            for idx, pending in guarded.items():
-                if pending.kind == "write":
-                    reg_hazard = pending.regs & (reads | writes)
-                    pred_hazard = pending.preds & (pred_reads | pred_writes)
-                else:
-                    reg_hazard = pending.regs & writes
-                    pred_hazard = pending.preds & pred_writes
-                if reg_hazard:
-                    reg = sorted(reg_hazard)[0]
-                    emit(
-                        "CTRL001", pos, instr.name,
-                        f"touches R{reg} guarded by barrier {idx} without "
-                        "waiting on it",
-                        f"add barrier {idx} to this instruction's wait mask",
-                    )
-                if pred_hazard:
-                    p = sorted(pred_hazard)[0]
-                    emit(
-                        "CTRL001", pos, instr.name,
-                        f"touches P{p} guarded by barrier {idx} without "
-                        "waiting on it",
-                        f"add barrier {idx} to this instruction's wait mask",
-                    )
-
-            for reg in sorted(reads | writes):
-                if reg in unguarded_reg:
-                    emit(
-                        "CTRL002", pos, instr.name,
-                        f"touches R{reg} whose variable-latency producer at "
-                        f"{unguarded_reg[reg]} was not awaited",
-                        "give the producer a write barrier and wait on it "
-                        "here",
-                    )
-                if ready_reg.get(reg, 0) > t:
-                    emit(
-                        "CTRL003", pos, instr.name,
-                        f"reads/writes R{reg} {ready_reg[reg] - t} cycles "
-                        "too early",
-                        "raise the producer's stall count to cover its "
-                        "latency",
-                    )
-            for p in sorted(pred_reads | pred_writes):
-                if p in unguarded_pred:
-                    emit(
-                        "CTRL002", pos, instr.name,
-                        f"touches P{p} whose variable-latency producer at "
-                        f"{unguarded_pred[p]} was not awaited",
-                        "give the producer a write barrier and wait on it "
-                        "here",
-                    )
-            for p in sorted(pred_reads):
-                if ready_pred.get(p, 0) > t:
-                    emit(
-                        "CTRL003", pos, instr.name,
-                        f"reads P{p} {ready_pred[p] - t} cycles too early",
-                        "raise the producer's stall count to cover its "
-                        "latency",
-                    )
-
-            if spec.latency is not None:
-                for reg in writes:
-                    ready_reg[reg] = t + spec.latency
-                for p in pred_writes:
-                    ready_pred[p] = t + spec.latency
-            elif instr.name not in ("BRA", "EXIT", "BAR", "NOP"):
-                bar = (
-                    instr.control.read_bar
-                    if spec.is_store
-                    else instr.control.write_bar
-                )
-                tracked_regs = reads if spec.is_store else writes
-                tracked_preds = set() if spec.is_store else pred_writes
-                if bar == NO_BARRIER:
-                    if not spec.is_store:
-                        for reg in tracked_regs:
-                            unguarded_reg[reg] = pos
-                        for p in tracked_preds:
-                            unguarded_pred[p] = pos
-                else:
-                    kind = "read" if spec.is_store else "write"
-                    pending = guarded.get(bar)
-                    if pending is not None and pending.kind == kind:
-                        pending.regs |= tracked_regs
-                        pending.preds |= tracked_preds
-                    else:
-                        guarded[bar] = _Guarded(
-                            kind, set(tracked_regs), set(tracked_preds)
-                        )
-
-            t += max(instr.control.stall, 1)
+        # Reporting sweep: replay each reachable block from its fixpoint
+        # in-state.  Unreachable blocks carry no state (CFG001 flags
+        # them); they cannot hazard because they never execute.
+        for block in cfg.blocks:
+            state = in_states[block.id]
+            if state is None:
+                continue
+            state = state.copy()
+            for pos in block.positions():
+                _step(state, pos, instructions[pos], emit)
         return diags

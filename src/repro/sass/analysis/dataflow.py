@@ -1,0 +1,176 @@
+"""Generic worklist dataflow solver over :mod:`repro.sass.analysis.cfg`.
+
+Forward and backward solvers share one shape: per-block transfer
+functions are iterated to a fixpoint with *optimistic* initialization —
+a block's output is ``None`` ("not yet computed") until its transfer has
+run, and joins see only the already-computed inputs.  That convention
+makes must-analyses (AND-style joins, e.g. "defined on every path")
+converge to the precise greatest fixpoint instead of being destroyed by
+an all-empty initial value, and may-analyses (OR-style joins) are
+unaffected.
+
+The solver knows nothing about the state type ``S`` beyond the three
+callbacks:
+
+* ``transfer(block, state) -> state`` — must not mutate its input;
+* ``join(states) -> state`` — called with ≥1 computed predecessor
+  state (plus the boundary state at the entry block);
+* ``edge_transfer(edge, state) -> state`` — optional per-edge filter
+  (predicate-aware kills use the edge's :class:`EdgeCondition`).
+
+States are compared with ``==`` (override with ``equal``) to detect the
+fixpoint; all analyses in this package use finite-height lattices, so
+the iteration cap is a defensive backstop, not a tuning knob.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from .cfg import BasicBlock, ControlFlowGraph, Edge
+
+S = TypeVar("S")
+
+#: Defensive cap on worklist pops per solve.  Every analysis here has a
+#: finite-height lattice, so hitting this means a broken transfer/join.
+_MAX_VISITS_PER_BLOCK = 256
+
+
+class DataflowDiverged(RuntimeError):
+    """A solve exceeded the visit cap: transfer/join is not monotone."""
+
+
+def solve_forward(
+    cfg: ControlFlowGraph,
+    entry_state: S,
+    transfer: Callable[[BasicBlock, S], S],
+    join: Callable[[Sequence[S]], S],
+    edge_transfer: Callable[[Edge, S], S] | None = None,
+    equal: Callable[[S, S], bool] | None = None,
+) -> tuple[list[S | None], list[S | None]]:
+    """Forward fixpoint from the entry block.
+
+    Returns ``(in_states, out_states)`` indexed by block id; entries are
+    ``None`` for blocks unreachable from the entry (their transfer never
+    runs) and for reachable blocks only transiently during iteration.
+    """
+    n = len(cfg.blocks)
+    in_states: list[S | None] = [None] * n
+    out_states: list[S | None] = [None] * n
+    if n == 0:
+        return in_states, out_states
+
+    order = cfg.rpo()
+    position = {block_id: i for i, block_id in enumerate(order)}
+    eq = equal if equal is not None else lambda a, b: a == b
+
+    worklist = list(order)
+    queued = set(order)
+    visits = 0
+    cap = _MAX_VISITS_PER_BLOCK * n
+    while worklist:
+        # Pop the earliest block in RPO: loop bodies stabilize before
+        # their exits are revisited, minimizing re-evaluation.
+        worklist.sort(key=position.__getitem__)
+        block_id = worklist.pop(0)
+        queued.discard(block_id)
+        visits += 1
+        if visits > cap:
+            raise DataflowDiverged(
+                f"forward dataflow did not converge in {cap} visits"
+            )
+
+        inputs: list[S] = []
+        if block_id == 0:
+            inputs.append(entry_state)
+        for edge in cfg.predecessors[block_id]:
+            pred_out = out_states[edge.src]
+            if pred_out is None:
+                continue
+            if edge_transfer is not None:
+                pred_out = edge_transfer(edge, pred_out)
+            inputs.append(pred_out)
+        if not inputs:
+            continue  # no computed input yet; a predecessor will requeue us
+        state_in = join(inputs)
+        in_states[block_id] = state_in
+        state_out = transfer(cfg.blocks[block_id], state_in)
+        old = out_states[block_id]
+        if old is not None and eq(old, state_out):
+            continue
+        out_states[block_id] = state_out
+        for edge in cfg.successors[block_id]:
+            if edge.dst not in queued:
+                queued.add(edge.dst)
+                worklist.append(edge.dst)
+    return in_states, out_states
+
+
+def solve_backward(
+    cfg: ControlFlowGraph,
+    exit_state: S,
+    transfer: Callable[[BasicBlock, S], S],
+    join: Callable[[Sequence[S]], S],
+    edge_transfer: Callable[[Edge, S], S] | None = None,
+    equal: Callable[[S, S], bool] | None = None,
+) -> tuple[list[S | None], list[S | None]]:
+    """Backward fixpoint; ``exit_state`` seeds blocks with no successors.
+
+    Returns ``(in_states, out_states)``: ``in_states[b]`` is the state
+    at the *top* of block ``b`` (the transfer's result), ``out_states[b]``
+    the join over its successors' tops.  Blocks unreachable from the
+    entry are skipped, mirroring :func:`solve_forward`.
+    """
+    n = len(cfg.blocks)
+    in_states: list[S | None] = [None] * n
+    out_states: list[S | None] = [None] * n
+    if n == 0:
+        return in_states, out_states
+
+    order = cfg.rpo()
+    # Post-order seeding: process sinks first so predecessors see them.
+    position = {block_id: i for i, block_id in enumerate(reversed(order))}
+    eq = equal if equal is not None else lambda a, b: a == b
+
+    worklist = list(reversed(order))
+    queued = set(worklist)
+    visits = 0
+    cap = _MAX_VISITS_PER_BLOCK * n
+    while worklist:
+        worklist.sort(key=position.__getitem__)
+        block_id = worklist.pop(0)
+        queued.discard(block_id)
+        visits += 1
+        if visits > cap:
+            raise DataflowDiverged(
+                f"backward dataflow did not converge in {cap} visits"
+            )
+
+        inputs: list[S] = []
+        succs = cfg.successors[block_id]
+        if not succs:
+            inputs.append(exit_state)
+        for edge in succs:
+            succ_in = in_states[edge.dst]
+            if succ_in is None:
+                continue
+            if edge_transfer is not None:
+                succ_in = edge_transfer(edge, succ_in)
+            inputs.append(succ_in)
+        if not inputs:
+            # All successors uncomputed (e.g. a block that only jumps
+            # into a loop not yet visited): seed with the exit state so
+            # cyclic regions bootstrap.
+            inputs.append(exit_state)
+        state_out = join(inputs)
+        out_states[block_id] = state_out
+        state_in = transfer(cfg.blocks[block_id], state_out)
+        old = in_states[block_id]
+        if old is not None and eq(old, state_in):
+            continue
+        in_states[block_id] = state_in
+        for edge in cfg.predecessors[block_id]:
+            if edge.src not in queued:
+                queued.add(edge.src)
+                worklist.append(edge.src)
+    return in_states, out_states

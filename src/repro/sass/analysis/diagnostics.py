@@ -50,6 +50,14 @@ class Diagnostic:
     program-level findings such as the liveness summary); ``instruction``
     is the mnemonic at that position, kept separate from the message so
     renderers can choose their own framing.
+
+    ``pass_name``, ``block`` and ``line`` are annotated by
+    :func:`~repro.sass.analysis.base.run_passes` after the pass returns:
+    the emitting pass's stable name, the CFG basic-block id containing
+    ``pos`` (-1 for program-level findings) and the source line of the
+    instruction (0 when the program was built in memory).  Passes never
+    set them; a :class:`Diagnostic` constructed by hand reports
+    "unknown" defaults.
     """
 
     rule: str
@@ -58,6 +66,9 @@ class Diagnostic:
     instruction: str
     message: str
     hint: str = ""
+    pass_name: str = ""
+    block: int = -1
+    line: int = 0
 
     def text(self) -> str:
         """One-line rendering: ``instr 12 (FFMA): error RB002: ...``."""
@@ -75,6 +86,9 @@ class Diagnostic:
             "instruction": self.instruction,
             "message": self.message,
             "hint": self.hint,
+            "pass": self.pass_name,
+            "block": self.block,
+            "line": self.line,
         }
 
 

@@ -79,6 +79,7 @@ def compute_live_in(instructions: list[Instruction]) -> list[int]:
 
 class LivenessPass(AnalysisPass):
     name = "liveness"
+    rules = ("LV001", "LV002", "LV003")
 
     def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
         if not ctx.instructions:

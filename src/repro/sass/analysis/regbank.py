@@ -59,6 +59,7 @@ class _CacheEntry:
 
 class RegisterBankPass(AnalysisPass):
     name = "register-bank"
+    rules = ("RB001", "RB002", "RB003", "RB004")
 
     def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
         diags: list[Diagnostic] = []

@@ -422,6 +422,62 @@ class _WarpEval:
 
 
 # ---------------------------------------------------------------------------
+# Shared access table — one symbolic walk, shared by every consumer
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class SharedAccess:
+    """One shared-memory access with statically resolved lane addresses.
+
+    ``addrs``/``active`` are ``(num_warps, 32)`` arrays (byte address
+    and participation mask per lane), or None when the evaluator could
+    not resolve the address — consumers must count those as unaudited.
+    """
+
+    pos: int
+    instr: Instruction
+    is_store: bool
+    width: int
+    addrs: np.ndarray | None
+    active: np.ndarray | None
+
+    @property
+    def resolved(self) -> bool:
+        return self.addrs is not None
+
+
+def shared_access_table(ctx: AnalysisContext) -> list[SharedAccess]:
+    """Every shared-memory access in program order, addresses resolved.
+
+    Both :class:`SharedMemoryPass` (bank conflicts, alignment, bounds)
+    and the cross-warp race detector consume this; the symbolic warp
+    evaluation runs once per context and is memoized on it.
+    """
+    cached = ctx.__dict__.get("_shared_access_cache")
+    if cached is not None:
+        return cached
+
+    table: list[SharedAccess] = []
+    state = _WarpEval(ctx.num_warps)
+    for pos, instr in enumerate(ctx.instructions):
+        if instr.spec.mem_space == "shared":
+            resolved = state.shared_addrs(instr)
+            addrs, active = resolved if resolved is not None else (None, None)
+            table.append(SharedAccess(
+                pos=pos,
+                instr=instr,
+                is_store=instr.spec.is_store,
+                width=width_of(instr.flags),
+                addrs=addrs,
+                active=active,
+            ))
+        state.step(instr)
+    ctx.__dict__["_shared_access_cache"] = table
+    return table
+
+
+# ---------------------------------------------------------------------------
 # The pass
 # ---------------------------------------------------------------------------
 
@@ -436,27 +492,23 @@ class _Finding:
 
 class SharedMemoryPass(AnalysisPass):
     name = "smem-bank"
+    rules = ("SM001", "SM002", "SM003", "SM004")
 
     def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
         findings: dict[tuple[int, str], _Finding] = {}
         unknown_positions: set[int] = set()
         smem_bytes = ctx.smem_bytes
 
-        state = _WarpEval(ctx.num_warps)
-        for pos, instr in enumerate(ctx.instructions):
-            if instr.spec.mem_space == "shared":
-                resolved = state.shared_addrs(instr)
-                if resolved is None:
-                    unknown_positions.add(pos)
-                else:
-                    addrs, mask = resolved
-                    for warp_id in range(ctx.num_warps):
-                        self._check_access(
-                            pos, instr, warp_id, addrs[warp_id],
-                            mask[warp_id],
-                            smem_bytes=smem_bytes, findings=findings,
-                        )
-            state.step(instr)
+        for access in shared_access_table(ctx):
+            if access.addrs is None or access.active is None:
+                unknown_positions.add(access.pos)
+                continue
+            for warp_id in range(ctx.num_warps):
+                self._check_access(
+                    access.pos, access.instr, warp_id,
+                    access.addrs[warp_id], access.active[warp_id],
+                    smem_bytes=smem_bytes, findings=findings,
+                )
 
         diags = [
             Diagnostic(

@@ -1,0 +1,150 @@
+"""Uninitialized-register-read pass (reaching definitions).
+
+Registers and predicates have no defined value at kernel entry; the
+prologue must write them (``S2R``, constant loads, ``ISETP``) before
+anything reads them.  A straight-line checker cannot see a definition
+that exists on only one arm of a branch — this pass runs a forward
+reaching-definitions dataflow over the CFG and distinguishes:
+
+* ``UR001`` (error)   — a read with **no** definition on *any* path
+  from the entry: the value is garbage whenever this executes;
+* ``UR002`` (warning) — a read defined on *some* paths but not all:
+  correct only if the undefined paths are dynamically impossible,
+  which the analysis cannot prove.
+
+Definitions are tracked as bitmasks.  The may-defined set joins with
+union; the must-defined set joins with intersection (the solver's
+optimistic initialization makes that precise around loops).
+
+A **predicated write counts as a full definition** on both sets.  The
+paper's kernels zero a prefetch register and then conditionally
+overwrite it with ``@Py LDG`` — the zero already defines it — but the
+idiom of defining a register *only* under a predicate and reading it
+under the same predicate (e.g. ``@P0 MOV R5,…; @P0 FADD …,R5``) is
+common and correct, and path-splitting on predicate values is beyond a
+bitmask analysis.  The cost is that a genuinely one-sided predicated
+definition read unconditionally goes unreported here; the CTRL pass
+still vets its latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import AnalysisContext, AnalysisPass
+from .cfg import BasicBlock, get_cfg
+from .dataflow import solve_forward
+from .diagnostics import Diagnostic, Severity
+
+# State: (may_regs, must_regs, may_preds, must_preds) bitmasks.
+_State = tuple[int, int, int, int]
+
+
+class UninitRegisterPass(AnalysisPass):
+    name = "uninit"
+    rules = ("UR001", "UR002")
+
+    def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
+        if not ctx.instructions:
+            return []
+        cfg = get_cfg(ctx)
+        instructions = ctx.instructions
+
+        def defs_of(pos: int) -> tuple[int, int]:
+            instr = instructions[pos]
+            reg_mask = 0
+            for reg in instr.writes_registers():
+                reg_mask |= 1 << reg
+            pred_mask = 0
+            for p in instr.writes_predicates():
+                pred_mask |= 1 << p
+            return reg_mask, pred_mask
+
+        def transfer(block: BasicBlock, state: _State) -> _State:
+            may_r, must_r, may_p, must_p = state
+            for pos in block.positions():
+                reg_mask, pred_mask = defs_of(pos)
+                may_r |= reg_mask
+                must_r |= reg_mask
+                may_p |= pred_mask
+                must_p |= pred_mask
+            return may_r, must_r, may_p, must_p
+
+        def join(states: Sequence[_State]) -> _State:
+            may_r, must_r, may_p, must_p = states[0]
+            for other in states[1:]:
+                may_r |= other[0]
+                must_r &= other[1]
+                may_p |= other[2]
+                must_p &= other[3]
+            return may_r, must_r, may_p, must_p
+
+        in_states, _ = solve_forward(cfg, (0, 0, 0, 0), transfer, join)
+
+        diags: list[Diagnostic] = []
+        seen: set[tuple[int, str, str]] = set()
+
+        def emit(rule: str, severity: Severity, pos: int,
+                 what: str, detail: str, hint: str) -> None:
+            key = (pos, rule, what)
+            if key in seen:
+                return
+            seen.add(key)
+            diags.append(Diagnostic(
+                rule=rule,
+                severity=severity,
+                pos=pos,
+                instruction=instructions[pos].name,
+                message=f"reads {what} {detail}",
+                hint=hint,
+            ))
+
+        for block in cfg.blocks:
+            state = in_states[block.id]
+            if state is None:
+                continue  # unreachable: CFG001 already flags it
+            may_r, must_r, may_p, must_p = state
+            for pos in block.positions():
+                instr = instructions[pos]
+                for reg in instr.reads_registers():
+                    bit = 1 << reg
+                    if not may_r & bit:
+                        emit(
+                            "UR001", Severity.ERROR, pos, f"R{reg}",
+                            "which no path from the kernel entry defines",
+                            "initialize the register before this read",
+                        )
+                    elif not must_r & bit:
+                        emit(
+                            "UR002", Severity.WARNING, pos, f"R{reg}",
+                            "which is defined on some paths from the "
+                            "entry but not all",
+                            "define the register on every path (or hoist "
+                            "the definition above the branch)",
+                        )
+                for p in instr.reads_predicates():
+                    bit = 1 << p
+                    if not may_p & bit:
+                        emit(
+                            "UR001", Severity.ERROR, pos, f"P{p}",
+                            "which no path from the kernel entry defines",
+                            "initialize the predicate before this read",
+                        )
+                    elif not must_p & bit:
+                        emit(
+                            "UR002", Severity.WARNING, pos, f"P{p}",
+                            "which is defined on some paths from the "
+                            "entry but not all",
+                            "define the predicate on every path (or "
+                            "hoist the definition above the branch)",
+                        )
+                reg_mask, pred_mask = (0, 0)
+                for reg in instr.writes_registers():
+                    reg_mask |= 1 << reg
+                for p in instr.writes_predicates():
+                    pred_mask |= 1 << p
+                may_r |= reg_mask
+                must_r |= reg_mask
+                may_p |= pred_mask
+                must_p |= pred_mask
+        return diags

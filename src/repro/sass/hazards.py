@@ -12,10 +12,13 @@ barriers.  The paper's kernels set these by hand; this module provides
   generated kernels (including the hand-scheduled Winograd main loop)
   are hazard-free under the latency model.
 
-The pass is linear over the instruction list.  A backward branch is
-handled by running a second pass with the first pass's end-state as the
-loop-carried state, which reaches the fixed point for the single-loop
-kernels this library generates.
+The scheduling pass is linear over the instruction list; a backward
+branch is handled by re-running the pass over the loop body with the
+body's own end-state as the loop-carried input until the control codes
+stop changing (a fixpoint: stalls only rise and waits only accumulate,
+so it terminates).  Validation is fully path-sensitive — it runs the
+analyzer's CFG-based :class:`ControlCodePass` fixpoint, see
+:mod:`repro.sass.analysis.ctrlcodes`.
 """
 
 from __future__ import annotations
@@ -40,18 +43,47 @@ class _PendingBarrier:
     space: str = ""  # memory space of the producing op ("shared", "global", ...)
 
 
+#: Backstop on the loop-carried scheduling fixpoint.  Stalls are capped
+#: at 15 and waits only accumulate, so each reg can force at most a few
+#: rounds; real kernels converge in 2.
+_MAX_SCHEDULE_ROUNDS = 16
+
+
 def schedule(instructions: list[Instruction], loop_start: int | None = None) -> None:
     """Fill stall counts and scoreboard barriers in place.
 
     Only instructions whose control is still the default get modified;
     hand-written control codes are preserved (and later validated).
+    When ``loop_start`` is None, a single-loop body is discovered from
+    the program's backward branches; pass it explicitly to override.
     """
     _schedule_pass(instructions, {}, {})
+    if loop_start is None:
+        loop_start = _find_loop_start(instructions)
     if loop_start is not None:
-        # Re-run with loop-carried latencies: state at the end of the body
-        # feeds its beginning.
-        ready_reg, ready_pred = _collect_end_state(instructions, loop_start)
-        _schedule_pass(instructions[loop_start:], ready_reg, ready_pred)
+        # Iterate with loop-carried latencies — the state at the end of
+        # the body feeds its beginning — until the control codes reach a
+        # fixed point.  Raising a stall shifts every later issue time,
+        # which can surface a new deficit, hence the loop.
+        for _ in range(_MAX_SCHEDULE_ROUNDS):
+            ready_reg, ready_pred = _collect_end_state(instructions, loop_start)
+            changed = _schedule_pass(
+                instructions[loop_start:], ready_reg, ready_pred
+            )
+            if not changed:
+                break
+
+
+def _find_loop_start(instructions: list[Instruction]) -> int | None:
+    """Earliest backward-branch target: the loop head, if the program
+    has one (the generated kernels are straight-line or single-loop)."""
+    loop_start: int | None = None
+    for pos, instr in enumerate(instructions):
+        if instr.name == "BRA" and isinstance(instr.target, int):
+            target = pos + 1 + instr.target
+            if 0 <= target <= pos and (loop_start is None or target < loop_start):
+                loop_start = target
+    return loop_start
 
 
 def _collect_end_state(
@@ -79,12 +111,14 @@ def _schedule_pass(
     instructions: list[Instruction],
     ready_reg: dict[int, int],
     ready_pred: dict[int, int],
-) -> None:
+) -> bool:
+    """One linear scheduling sweep; returns True if any control changed."""
     ready_reg = dict(ready_reg)
     ready_pred = dict(ready_pred)
     barriers: dict[int, _PendingBarrier] = {}
     t = 0
     prev: Instruction | None = None
+    changed = False
 
     for instr in instructions:
         spec = instr.spec
@@ -110,6 +144,7 @@ def _schedule_pass(
             instr.control = dataclasses.replace(
                 instr.control, wait_mask=instr.control.wait_mask | need_wait
             )
+            changed = True
         for idx in list(barriers):
             if instr.control.waits_on(idx):
                 del barriers[idx]
@@ -125,8 +160,10 @@ def _schedule_pass(
         if deficit > 0 and prev is not None:
             extra = deficit
             new_stall = min(15, prev.control.stall + extra)
-            t += new_stall - prev.control.stall
-            prev.control = prev.control.with_stall(new_stall)
+            if new_stall != prev.control.stall:
+                t += new_stall - prev.control.stall
+                prev.control = prev.control.with_stall(new_stall)
+                changed = True
 
         # ---- allocate barriers for variable-latency results ---------------
         if spec.latency is None and instr.name not in ("BRA", "EXIT", "BAR", "NOP"):
@@ -134,6 +171,7 @@ def _schedule_pass(
                 if instr.control.read_bar == NO_BARRIER:
                     idx = _free_barrier(barriers, instr)
                     instr.control = dataclasses.replace(instr.control, read_bar=idx)
+                    changed = True
                 _merge_barrier(
                     barriers, instr.control.read_bar, "read", reads, set(),
                     spec.mem_space,
@@ -142,6 +180,7 @@ def _schedule_pass(
                 if instr.control.write_bar == NO_BARRIER:
                     idx = _free_barrier(barriers, instr)
                     instr.control = dataclasses.replace(instr.control, write_bar=idx)
+                    changed = True
                 _merge_barrier(
                     barriers, instr.control.write_bar, "write", writes, pred_writes,
                     spec.mem_space,
@@ -156,6 +195,7 @@ def _schedule_pass(
 
         t += max(instr.control.stall, 1)
         prev = instr
+    return changed
 
 
 def _merge_barrier(
@@ -190,10 +230,11 @@ def validate_control(instructions: list[Instruction]) -> list[str]:
     """Return a list of hazard violations (empty = provably hazard-free).
 
     Thin wrapper over the analyzer's
-    :class:`~repro.sass.analysis.ctrlcodes.ControlCodePass` (linear-scan
-    model: fixed-latency results must be covered by accumulated stalls,
-    variable-latency results — registers *and* predicates — by a
-    scoreboard barrier some instruction waits on before consuming),
+    :class:`~repro.sass.analysis.ctrlcodes.ControlCodePass` — a CFG
+    fixpoint: fixed-latency results must be covered by accumulated
+    stalls and variable-latency results (registers *and* predicates) by
+    a scoreboard barrier some instruction waits on before consuming,
+    joined over every control-flow path including loop back edges —
     rendered in this function's historical string format.
     """
     from .analysis.base import AnalysisContext

@@ -14,6 +14,8 @@ from .search import (
     evaluate_schedule,
     paper_ordering,
     prefetch_schedules,
+    prune_candidates,
+    static_cost_candidate,
     successive_halving,
 )
 from .space import (
@@ -43,5 +45,7 @@ __all__ = [
     "evaluate_schedule",
     "paper_ordering",
     "prefetch_schedules",
+    "prune_candidates",
+    "static_cost_candidate",
     "successive_halving",
 ]

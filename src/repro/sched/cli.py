@@ -18,25 +18,30 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import TYPE_CHECKING, Any
 
 from ..common.errors import ReproError
-from ..gpusim.arch import DEVICES
+from ..gpusim.arch import DEVICES, DeviceSpec
 from .search import (
     ScheduleSearchConfig,
     SearchBudget,
+    SearchResult,
     ensure_schedule,
     paper_ordering,
 )
-from .space import DEFAULT_SPACE, QUICK_SPACE
+from .space import DEFAULT_SPACE, QUICK_SPACE, ScheduleSpace
+
+if TYPE_CHECKING:
+    from ..runtime import ExecutionContext
 
 TABLE1_LAYERS = ("Conv2", "Conv3", "Conv4", "Conv5")
 
 
-def _space(args: argparse.Namespace):
+def _space(args: argparse.Namespace) -> ScheduleSpace:
     return QUICK_SPACE if args.quick else DEFAULT_SPACE
 
 
-def _print_result(result, ordering) -> None:
+def _print_result(result: SearchResult, ordering: dict) -> None:
     from ..common.tables import format_table
 
     rows = [
@@ -54,6 +59,11 @@ def _print_result(result, ordering) -> None:
         f"{result.evaluations} evaluations over {len(result.rungs)} rungs, "
         f"{result.lint_gated} candidates lint-gated"
     )
+    if result.pruned:
+        print(
+            f"statically pruned before rung 0 ({len(result.pruned)}): "
+            + ", ".join(result.pruned)
+        )
     ratios = {k: v for k, v in ordering.items() if k != "anchor"}
     if ratios:
         print(f"paper ordering (vs {ordering['anchor']}, rung-0 cycles):")
@@ -61,7 +71,9 @@ def _print_result(result, ordering) -> None:
             print(f"  {name:22s} {ratio:.4f}x")
 
 
-def _plan_layers(args: argparse.Namespace, ctx, device) -> list[dict]:
+def _plan_layers(
+    args: argparse.Namespace, ctx: ExecutionContext, device: DeviceSpec
+) -> list[dict]:
     from ..common.rng import make_rng, random_activation, random_filter
     from ..convolution import conv2d
     from ..models import resnet_layer
@@ -108,6 +120,7 @@ def cmd_search(args: argparse.Namespace) -> int:
     budget = SearchBudget(
         base_iters=args.base_iters, iters_step=args.iters_step,
         eta=args.eta, max_rungs=args.rungs,
+        prune_margin=args.prune_margin,
     )
     config = ScheduleSearchConfig(space=space, budget=budget)
     ctx = ExecutionContext(device=device, schedule_search=config)
@@ -124,7 +137,7 @@ def cmd_search(args: argparse.Namespace) -> int:
     ordering = paper_ordering(result)
     _print_result(result, ordering)
 
-    layers = []
+    layers: list[dict] = []
     if not args.no_layers:
         try:
             layers = _plan_layers(args, ctx, device)
@@ -167,7 +180,7 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="the 12-point CI subset instead of the full 54-point grid")
 
 
-def add_sched_parsers(sub) -> None:
+def add_sched_parsers(sub: Any) -> None:
     """Register ``search`` and ``space`` on an argparse subparsers obj."""
     p = sub.add_parser(
         "search",
@@ -186,6 +199,12 @@ def add_sched_parsers(sub) -> None:
                    help="rung-0 main-loop iterations (default: 3)")
     p.add_argument("--iters-step", type=int, default=2,
                    help="extra iterations per rung (default: 2)")
+    p.add_argument("--prune-margin", type=float, default=None,
+                   metavar="RATIO",
+                   help="statically prune candidates whose serialized "
+                        "issue-cycle cost exceeds RATIO x the cheapest "
+                        "candidate's before any simulation (e.g. 1.05; "
+                        "default: no pruning)")
     p.add_argument("--layers", default=",".join(TABLE1_LAYERS),
                    help="Table-1 layers to plan with the winner "
                         "(default: Conv2,Conv3,Conv4,Conv5)")

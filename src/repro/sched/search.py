@@ -31,6 +31,8 @@ from __future__ import annotations
 import dataclasses
 import math
 import threading
+from collections.abc import Iterable
+from typing import TYPE_CHECKING, Any
 
 from ..common.errors import ConvConfigError
 from ..gpusim.arch import DeviceSpec
@@ -44,8 +46,13 @@ from ..kernels.runner import (
 from ..kernels.winograd_f22 import Tunables
 from .space import DEFAULT_SPACE, PAPER_SCHEDULE, Schedule, ScheduleSpace
 
+if TYPE_CHECKING:
+    from ..common.problem import ConvProblem
+    from ..runtime import ExecutionContext
+    from ..sass.analysis import StaticReport
 
-def _ctx(context=None):
+
+def _ctx(context: ExecutionContext | None = None) -> ExecutionContext:
     if context is not None:
         return context
     from ..runtime import current_context
@@ -53,7 +60,7 @@ def _ctx(context=None):
     return current_context()
 
 
-def _surrogate_problem():
+def _surrogate_problem() -> ConvProblem:
     # The main loop's per-iteration cost is layer-independent at fixed
     # tunables (§4: same block shape); the layer model's mid-size
     # surrogate keeps each simulation small.
@@ -71,6 +78,16 @@ class SearchBudget:
     ``iters_step`` iterations.  Each rung keeps ``ceil(n / eta)``
     survivors, stopping after ``max_rungs`` rungs or when a single
     candidate remains.
+
+    ``prune_margin`` opts into the static pre-simulation pruner: before
+    rung 0, every candidate's lint-gated kernel build is also statically
+    costed (:func:`repro.sass.analysis.static_report`'s serialized issue
+    cycles), and candidates costing more than ``prune_margin`` times the
+    cheapest candidate are dropped without ever being simulated.  The
+    statically cheapest candidate always survives.  ``None`` (the
+    default) disables pruning, so every candidate is measured — the
+    perf-regression gate and the figure benchmarks rely on that full
+    rung-0 coverage.
     """
 
     base_iters: int = 3
@@ -78,6 +95,7 @@ class SearchBudget:
     eta: int = 3
     max_rungs: int = 3
     num_blocks: int | None = None
+    prune_margin: float | None = None
 
     def __post_init__(self) -> None:
         if self.base_iters < 3:
@@ -94,6 +112,11 @@ class SearchBudget:
         if self.num_blocks is not None and self.num_blocks < 1:
             raise ConvConfigError(
                 f"num_blocks must be >= 1 or None, got {self.num_blocks}"
+            )
+        if self.prune_margin is not None and self.prune_margin < 1.0:
+            raise ConvConfigError(
+                "prune_margin is a ratio to the cheapest candidate's "
+                f"static cost and must be >= 1.0, got {self.prune_margin}"
             )
 
     def rung_iters(self, rung: int) -> int:
@@ -144,6 +167,9 @@ class SearchResult:
     best: CandidateScore
     evaluations: int
     lint_gated: int  # candidates statically vetted before scoring
+    #: Labels of candidates the static pruner dropped before rung 0
+    #: (empty unless ``SearchBudget.prune_margin`` opted in).
+    pruned: list[str] = dataclasses.field(default_factory=list)
 
     @property
     def schedule(self) -> Schedule:
@@ -179,6 +205,7 @@ class SearchResult:
             "best": self.best.to_dict(),
             "evaluations": self.evaluations,
             "lint_gated": self.lint_gated,
+            "pruned": list(self.pruned),
             "rungs": [[s.to_dict() for s in rung] for rung in self.rungs],
         }
 
@@ -190,8 +217,8 @@ def evaluate_schedule(
     iters: int = 3,
     num_blocks: int | None = None,
     base_tunables: Tunables | None = None,
-    prob=None,
-    context=None,
+    prob: ConvProblem | None = None,
+    context: ExecutionContext | None = None,
 ) -> CandidateScore:
     """Score one schedule with the simulator in the loop.
 
@@ -222,14 +249,14 @@ def evaluate_schedule(
 
 
 def prefetch_schedules(
-    schedules,
+    schedules: Iterable[Schedule],
     device: DeviceSpec,
     *,
     iters: int = 3,
     num_blocks: int | None = None,
     base_tunables: Tunables | None = None,
-    prob=None,
-    context=None,
+    prob: ConvProblem | None = None,
+    context: ExecutionContext | None = None,
 ) -> int:
     """Batch-simulate many schedules' differential runs ahead of scoring.
 
@@ -256,8 +283,8 @@ def lint_gate_candidate(
     *,
     iters: int = 3,
     base_tunables: Tunables | None = None,
-    prob=None,
-    context=None,
+    prob: ConvProblem | None = None,
+    context: ExecutionContext | None = None,
 ) -> None:
     """Statically vet one candidate's generated SASS (sasslint).
 
@@ -277,15 +304,85 @@ def lint_gate_candidate(
     )
 
 
+def static_cost_candidate(
+    schedule: Schedule,
+    device: DeviceSpec,
+    *,
+    iters: int = 3,
+    base_tunables: Tunables | None = None,
+    prob: ConvProblem | None = None,
+    context: ExecutionContext | None = None,
+) -> StaticReport:
+    """The static issue-cost report of one candidate's main-loop kernel.
+
+    Returns :class:`repro.sass.analysis.StaticReport`.  Builds through
+    the kernel-build cache, so on the search path (after
+    :func:`lint_gate_candidate`) this re-costs an already-assembled
+    kernel — no extra assembly.  ``static_issue_cycles`` is the
+    serialized per-warp issue cost the simulator will charge: candidates
+    with identical instruction streams but different control codes
+    (yield strategies, interleaves, buffering depths) differ statically
+    in exactly that quantity, which is what makes pre-simulation pruning
+    sound for *this* space.
+    """
+    from ..sass.analysis import AnalysisContext, static_report
+
+    ctx = _ctx(context)
+    prob = prob if prob is not None else _surrogate_problem()
+    tunables = schedule.to_tunables(base_tunables)
+    kernel = build_fused_kernel(
+        prob, tunables, device.name,
+        main_loop_only=True, iters=iters, context=ctx,
+    )
+    return static_report(
+        AnalysisContext(instructions=kernel.instructions, meta=kernel.meta)
+    )
+
+
+def prune_candidates(
+    candidates: list[Schedule],
+    device: DeviceSpec,
+    margin: float,
+    *,
+    iters: int = 3,
+    base_tunables: Tunables | None = None,
+    prob: ConvProblem | None = None,
+    context: ExecutionContext | None = None,
+) -> tuple[list[Schedule], list[str]]:
+    """Split *candidates* into (survivors, pruned labels) by static cost.
+
+    A candidate is pruned when its ``static_issue_cycles`` exceeds
+    ``margin`` times the cheapest candidate's — it cannot plausibly win
+    rung 0, so simulating it would be wasted budget.  The cheapest
+    candidate always survives, so the result is never empty.
+    """
+    costs = {
+        schedule.label(): static_cost_candidate(
+            schedule, device, iters=iters,
+            base_tunables=base_tunables, prob=prob, context=context,
+        ).static_issue_cycles
+        for schedule in candidates
+    }
+    floor = min(costs.values())
+    survivors: list[Schedule] = []
+    pruned: list[str] = []
+    for schedule in candidates:
+        if costs[schedule.label()] > margin * floor:
+            pruned.append(schedule.label())
+        else:
+            survivors.append(schedule)
+    return survivors, pruned
+
+
 def successive_halving(
     space: ScheduleSpace | None = None,
     device: DeviceSpec | None = None,
     *,
     budget: SearchBudget | None = None,
     base_tunables: Tunables | None = None,
-    prob=None,
+    prob: ConvProblem | None = None,
     candidates: list[Schedule] | None = None,
-    context=None,
+    context: ExecutionContext | None = None,
 ) -> SearchResult:
     """Prune *space* down to one winning :class:`Schedule`.
 
@@ -325,6 +422,15 @@ def successive_halving(
                 )
             lint_gated = len(candidates)
 
+            pruned: list[str] = []
+            if budget.prune_margin is not None and len(candidates) > 1:
+                candidates, pruned = prune_candidates(
+                    candidates, device, budget.prune_margin,
+                    iters=budget.rung_iters(0),
+                    base_tunables=base_tunables, prob=prob, context=ctx,
+                )
+                span["pruned"] = len(pruned)
+
             survivors = candidates
             for rung in range(budget.max_rungs):
                 iters = budget.rung_iters(rung)
@@ -363,6 +469,7 @@ def successive_halving(
         best=rungs[-1][0],
         evaluations=evaluations,
         lint_gated=lint_gated,
+        pruned=pruned,
     )
 
 
@@ -384,7 +491,7 @@ class ScheduleBook:
         return (device_name, config.space.signature(), config.budget, config.base_tunables)
 
     def get_or_search(self, device: DeviceSpec, config: ScheduleSearchConfig,
-                      context=None) -> SearchResult:
+                      context: ExecutionContext | None = None) -> SearchResult:
         key = self._key(device.name, config)
         with self._lock:
             result = self._entries.get(key)
@@ -421,7 +528,7 @@ class ScheduleBook:
 def ensure_schedule(
     device: DeviceSpec | None = None,
     config: ScheduleSearchConfig | None = None,
-    context=None,
+    context: ExecutionContext | None = None,
 ) -> SearchResult:
     """The context's memoized search result for *device* (searching once).
 
@@ -449,7 +556,7 @@ def paper_ordering(result: SearchResult) -> dict:
     simulated main-loop *throughput* advantage of the paper's setting.
     """
 
-    def cycles(**kwargs) -> float | None:
+    def cycles(**kwargs: Any) -> float | None:
         score = result.rung0_score_for(dataclasses.replace(PAPER_SCHEDULE, **kwargs))
         return score.cycles_per_iter if score else None
 

@@ -53,10 +53,11 @@ def test_winograd_main_loop_zero_errors(label, tunables):
 
 def test_winograd_default_config_has_zero_warnings():
     """The paper's configuration is *fully* conflict-free: no register- or
-    shared-memory-bank warnings either, only the liveness info line."""
+    shared-memory-bank warnings either, only the occupancy/liveness info
+    lines."""
     diags = lint_kernel(WinogradF22Kernel(PROB).build())
-    assert [d.rule for d in diags] == ["LV001"]
-    assert diags[0].severity is Severity.INFO
+    assert [d.rule for d in diags] == ["OCC001", "OCC002", "LV001"]
+    assert all(d.severity is Severity.INFO for d in diags)
 
 
 def test_winograd_tile_major_ablation_warns_but_runs():
@@ -71,7 +72,7 @@ def test_winograd_tile_major_ablation_warns_but_runs():
 
 def test_gemm_lints_clean():
     diags = lint_kernel(BatchedGemmKernel(16, 64, 32, 16).build())
-    assert [d.rule for d in diags] == ["LV001"]
+    assert [d.rule for d in diags] == ["OCC001", "OCC002", "LV001"]
 
 
 def test_ftf_lints_clean():

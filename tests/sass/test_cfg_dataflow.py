@@ -1,0 +1,341 @@
+"""CFG construction and the generic dataflow solver.
+
+Unit tests pin the block decomposition and edge conditions on crafted
+programs; hypothesis generates random (branchy) instruction streams and
+checks the structural invariants every downstream pass relies on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sass import parse_program
+from repro.sass.analysis import (
+    CfgPass,
+    build_cfg,
+    lint_instructions,
+    solve_backward,
+    solve_forward,
+)
+from repro.sass.analysis.dataflow import DataflowDiverged
+
+
+def _prog(src):
+    return parse_program(src).instructions
+
+
+def _branchy(src):
+    """Parse and resolve label branch targets to relative offsets."""
+    parsed = parse_program(src)
+    instrs = parsed.instructions
+    for pos, instr in enumerate(instrs):
+        if instr.name == "BRA" and isinstance(instr.target, str):
+            instrs[pos].target = parsed.labels[instr.target] - (pos + 1)
+    return instrs
+
+
+# ---------------------------------------------------------------------------
+# CFG construction
+# ---------------------------------------------------------------------------
+
+
+def test_linear_program_is_one_block():
+    cfg = build_cfg(_prog("MOV R0, 0x1;\nMOV R1, 0x2;\nEXIT;\n"))
+    assert len(cfg.blocks) == 1
+    assert (cfg.blocks[0].start, cfg.blocks[0].end) == (0, 3)
+    assert cfg.edges == []
+    assert cfg.reachable == {0}
+
+
+def test_bar_terminates_block_with_seq_edge():
+    cfg = build_cfg(_prog("MOV R0, 0x1;\nBAR.SYNC;\nMOV R1, 0x2;\nEXIT;\n"))
+    assert [(b.start, b.end) for b in cfg.blocks] == [(0, 2), (2, 4)]
+    (edge,) = cfg.edges
+    assert (edge.src, edge.dst, edge.kind, edge.cond) == (0, 1, "seq", None)
+
+
+def test_conditional_branch_edges_carry_conditions():
+    instrs = _branchy(
+        "ISETP.EQ.AND P3, PT, R0, RZ, PT;\n"
+        "@P3 BRA skip;\n"
+        "MOV R1, 0x1;\n"
+        "skip:\n"
+        "MOV R2, 0x2;\n"
+        "EXIT;\n"
+    )
+    cfg = build_cfg(instrs)
+    assert len(cfg.blocks) == 3
+    kinds = {(e.src, e.dst): e for e in cfg.edges}
+    taken = kinds[(0, 2)]
+    fall = kinds[(0, 1)]
+    assert taken.kind == "taken"
+    assert (taken.cond.pred, taken.cond.value) == (3, True)
+    assert fall.kind == "fall"
+    assert (fall.cond.pred, fall.cond.value) == (3, False)
+    assert taken.cond.text() == "P3" and fall.cond.text() == "!P3"
+
+
+def test_negated_guard_inverts_conditions():
+    instrs = _branchy(
+        "@!P1 BRA out;\nMOV R1, 0x1;\nout:\nEXIT;\n"
+    )
+    cfg = build_cfg(instrs)
+    taken = next(e for e in cfg.edges if e.kind == "taken")
+    assert (taken.cond.pred, taken.cond.value) == (1, False)
+
+
+def test_backward_branch_makes_loop():
+    instrs = _branchy(
+        "MOV R0, 0x1;\n"
+        "loop:\n"
+        "IADD3 R0, R0, 0x1, RZ;\n"
+        "@P0 BRA loop;\n"
+        "EXIT;\n"
+    )
+    cfg = build_cfg(instrs)
+    loop_block = cfg.block_of[1]
+    back = [e for e in cfg.successors[loop_block] if e.dst == loop_block]
+    assert back and back[0].kind == "taken"
+    assert cfg.rpo()[0] == 0
+
+
+def test_unconditional_branch_has_no_fall_edge():
+    instrs = _branchy(
+        "BRA over;\nMOV R1, 0x1;\nover:\nEXIT;\n"
+    )
+    cfg = build_cfg(instrs)
+    entry_succs = cfg.successors[0]
+    assert [e.kind for e in entry_succs] == ["taken"]
+    assert entry_succs[0].cond is None
+
+
+def test_cfg001_unreachable_block_warns():
+    instrs = _branchy("BRA over;\nMOV R1, 0x1;\nover:\nEXIT;\n")
+    diags = lint_instructions(instrs, passes=[CfgPass()])
+    assert [d.rule for d in diags] == ["CFG001"]
+    assert diags[0].pos == 1
+
+
+def test_cfg002_out_of_range_target_errors():
+    instrs = _prog("BRA target;\nEXIT;\n")
+    instrs[0].target = 100  # resolved but far outside the program
+    diags = lint_instructions(instrs, passes=[CfgPass()])
+    assert "CFG002" in [d.rule for d in diags]
+    # The bad branch degrades to a fall-through, keeping block 1 live.
+    cfg = build_cfg(instrs)
+    assert cfg.reachable == {0, 1}
+
+
+def test_unresolved_label_falls_through():
+    instrs = _prog("@P0 BRA somewhere;\nMOV R1, 0x1;\nEXIT;\n")
+    cfg = build_cfg(instrs)
+    assert [e.kind for e in cfg.successors[0]] == ["fall"]
+    assert lint_instructions(instrs, passes=[CfgPass()]) == []
+
+
+def test_predicated_exit_falls_through():
+    cfg = build_cfg(_prog("@P2 EXIT;\nMOV R0, 0x1;\nEXIT;\n"))
+    (edge,) = cfg.successors[0]
+    assert edge.kind == "fall"
+    assert (edge.cond.pred, edge.cond.value) == (2, False)
+
+
+def test_empty_program():
+    cfg = build_cfg([])
+    assert cfg.blocks == [] and cfg.edges == [] and cfg.rpo() == []
+
+
+# ---------------------------------------------------------------------------
+# Property tests: random branchy programs
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_programs(draw):
+    n = draw(st.integers(min_value=1, max_value=24))
+    kinds = draw(st.lists(
+        st.sampled_from(["mov", "bra", "bar", "exit"]),
+        min_size=n, max_size=n,
+    ))
+    targets = draw(st.lists(
+        st.integers(min_value=0, max_value=n - 1), min_size=n, max_size=n,
+    ))
+    guards = draw(st.lists(
+        st.sampled_from(["", "@P0 ", "@!P1 "]), min_size=n, max_size=n,
+    ))
+    lines = []
+    for i, kind in enumerate(kinds):
+        lines.append(f"L{i}:")
+        if kind == "mov":
+            lines.append(f"MOV R{i % 8}, 0x1;")
+        elif kind == "bar":
+            lines.append("BAR.SYNC;")
+        elif kind == "exit":
+            lines.append(f"{guards[i]}EXIT;")
+        else:
+            lines.append(f"{guards[i]}BRA L{targets[i]};")
+    return _branchy("\n".join(lines) + "\n")
+
+
+@settings(max_examples=200, deadline=None)
+@given(instrs=random_programs())
+def test_every_instruction_in_exactly_one_block(instrs):
+    cfg = build_cfg(instrs)
+    covered = []
+    for block in cfg.blocks:
+        assert block.start < block.end  # no empty blocks
+        covered.extend(block.positions())
+        for pos in block.positions():
+            assert cfg.block_of[pos] == block.id
+    assert covered == list(range(len(instrs)))
+
+
+@settings(max_examples=200, deadline=None)
+@given(instrs=random_programs())
+def test_edges_land_on_block_boundaries(instrs):
+    cfg = build_cfg(instrs)
+    starts = {b.start: b.id for b in cfg.blocks}
+    for edge in cfg.edges:
+        assert 0 <= edge.src < len(cfg.blocks)
+        assert 0 <= edge.dst < len(cfg.blocks)
+        # Every edge target is a leader.
+        assert cfg.blocks[edge.dst].start in starts
+        src_block = cfg.blocks[edge.src]
+        if edge.kind == "taken":
+            last = instrs[src_block.end - 1]
+            target = src_block.end - 1 + 1 + last.target
+            assert cfg.blocks[edge.dst].start == target
+        elif edge.kind in ("fall", "seq"):
+            assert cfg.blocks[edge.dst].start == src_block.end
+    # Successor/predecessor tables mirror the edge list.
+    assert sum(len(s) for s in cfg.successors) == len(cfg.edges)
+    assert sum(len(p) for p in cfg.predecessors) == len(cfg.edges)
+
+
+@settings(max_examples=100, deadline=None)
+@given(instrs=random_programs())
+def test_rpo_covers_exactly_the_reachable_blocks(instrs):
+    cfg = build_cfg(instrs)
+    order = cfg.rpo()
+    assert len(order) == len(set(order))
+    assert set(order) == cfg.reachable
+    assert order[0] == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=30),
+)
+def test_linear_programs_are_single_block(n):
+    src = "".join(f"MOV R{i % 8}, 0x1;\n" for i in range(n))
+    cfg = build_cfg(_prog(src))
+    assert len(cfg.blocks) == 1
+    assert cfg.blocks[0].positions() == range(0, n)
+
+
+# ---------------------------------------------------------------------------
+# Worklist solver
+# ---------------------------------------------------------------------------
+
+
+def _diamond():
+    return _branchy(
+        "ISETP.EQ.AND P0, PT, R0, RZ, PT;\n"  # b0
+        "@P0 BRA right;\n"
+        "MOV R1, 0x1;\n"                       # b1 (left)
+        "BRA join;\n"
+        "right:\n"
+        "MOV R2, 0x2;\n"                       # b2 (right)
+        "join:\n"
+        "EXIT;\n"                              # b3
+    )
+
+
+def test_forward_counts_paths_through_diamond():
+    cfg = build_cfg(_diamond())
+
+    def transfer(block, state):
+        return state + len(list(block.positions()))
+
+    in_states, out_states = solve_forward(cfg, 0, transfer, max)
+    join_block = cfg.block_of[len(cfg.instructions) - 1]
+    # Longest path to the join: entry(2) + left arm(2) = 4 instructions.
+    assert in_states[join_block] == 4
+    assert out_states[join_block] == 5
+
+
+def test_forward_reaches_fixpoint_on_loop():
+    cfg = build_cfg(_branchy(
+        "MOV R0, 0x1;\nloop:\nIADD3 R0, R0, 0x1, RZ;\n"
+        "@P0 BRA loop;\nEXIT;\n"
+    ))
+
+    # Union-of-visited-blocks saturates after one trip around the loop.
+    def transfer(block, state):
+        return state | {block.id}
+
+    def join(states):
+        merged = set()
+        for s in states:
+            merged |= s
+        return frozenset(merged)
+
+    in_states, out_states = solve_forward(
+        cfg, frozenset(), transfer, join,
+        equal=lambda a, b: a == b,
+    )
+    loop_block = cfg.block_of[1]
+    assert loop_block in out_states[loop_block]  # loop-carried fact
+
+
+def test_forward_edge_transfer_filters_by_condition():
+    cfg = build_cfg(_diamond())
+
+    def transfer(block, state):
+        return state
+
+    def join(states):
+        merged = set()
+        for s in states:
+            merged |= s
+        return frozenset(merged)
+
+    def edge_transfer(edge, state):
+        if edge.cond is None:
+            return state
+        return state | {edge.cond.text()}
+
+    in_states, _ = solve_forward(
+        cfg, frozenset(), transfer, join, edge_transfer=edge_transfer
+    )
+    join_block = cfg.block_of[len(cfg.instructions) - 1]
+    assert in_states[join_block] == {"P0", "!P0"}
+
+
+def test_backward_solver_propagates_from_exit():
+    cfg = build_cfg(_diamond())
+
+    def transfer(block, state):
+        return state + 1
+
+    in_states, out_states = solve_backward(cfg, 0, transfer, max)
+    # The entry block sees the deepest chain below it.
+    assert in_states[0] == 3
+
+
+def test_solver_divergence_is_detected():
+    cfg = build_cfg(_branchy(
+        "MOV R0, 0x1;\nloop:\nIADD3 R0, R0, 0x1, RZ;\n"
+        "@P0 BRA loop;\nEXIT;\n"
+    ))
+
+    # A transfer that never stabilizes (strictly increasing counter).
+    def transfer(block, state):
+        return state + 1
+
+    with pytest.raises(DataflowDiverged):
+        solve_forward(cfg, 0, transfer, max)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
