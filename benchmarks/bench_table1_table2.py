@@ -8,11 +8,14 @@ structure (per-layer utilization, Conv5 collapse) recreates the row
 pattern.
 """
 
-from harness import DEVICES, cudnn_layer_time, emit, paper_vs_measured_table
+import json
+import os
 
-from repro.common import format_table
+from harness import DEVICES, RESULTS_DIR, cudnn_layer_time, emit, paper_vs_measured_table
+
+from repro.common import ConvProblem, format_table
 from repro.models import RESNET_LAYER_SHAPES, paper_layers
-from repro.perfmodel import PAPER_TABLE2_V100
+from repro.perfmodel import PAPER_TABLE2_V100, predicted_time, rank_algorithms
 
 
 def table1_text() -> str:
@@ -38,6 +41,73 @@ def table2_rows():
 def test_table1(benchmark):
     benchmark.pedantic(table1_text, rounds=1, iterations=1)
     emit("table1", table1_text())
+
+
+# ---------------------------------------------------------------------------
+# Per-layer tile-family comparison (the §8.1 variant study)
+# ---------------------------------------------------------------------------
+#: dispatcher algorithm → tile-variant column name
+TILE_VARIANTS = (
+    ("WINOGRAD", "f22"),
+    ("WINOGRAD_F44", "f44"),
+    ("WINOGRAD_DWM", "dwm"),
+)
+
+#: a Table-1-style layer the tile kernels cannot run natively: DWM must
+#: decompose it (5×5 stride-2, the classic detection-backbone stem)
+DWM_SHOWCASE = ConvProblem(
+    n=32, c=64, h=56, w=56, k=64, r=5, s=5, pad=2, stride=2,
+    name="Stem5x5s2N32",
+)
+
+
+def tile_variant_rows(device_key="V100"):
+    """Predicted ms for each tile variant per layer, plus the winner.
+
+    The winner is what AUTO_HEURISTIC would pick *among the tile
+    families* (the full dispatcher additionally ranks the cuDNN-style
+    baselines); ``None`` marks a variant that cannot run the shape.
+    """
+    device = DEVICES[device_key]
+    algos = tuple(a for a, _ in TILE_VARIANTS)
+    rows = []
+    for prob in list(paper_layers()) + [DWM_SHOWCASE]:
+        ranked, _ = rank_algorithms(prob, device, candidates=algos)
+        times = {}
+        for algo, variant in TILE_VARIANTS:
+            times[variant] = (
+                predicted_time(prob, device, algo) * 1e3
+                if algo in ranked else None
+            )
+        chosen = dict(TILE_VARIANTS)[ranked[0]] if ranked else "-"
+        rows.append({"layer": prob.name, **times, "chosen": chosen})
+    return rows
+
+
+def test_tile_variants(benchmark):
+    rows = benchmark.pedantic(tile_variant_rows, rounds=1, iterations=1)
+    fmt = lambda v: f"{v:.3f}" if v is not None else "-"
+    text = format_table(
+        ["layer", "f22 (ms)", "f44 (ms)", "dwm (ms)", "chosen"],
+        [(r["layer"], fmt(r["f22"]), fmt(r["f44"]), fmt(r["dwm"]),
+          r["chosen"]) for r in rows],
+        title="Tile variants: predicted time per family, V100",
+    )
+    emit("tiles_v100", text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_tiles_v100.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"device": "V100", "layers": rows}, fh, indent=2)
+    by_name = {r["layer"]: r for r in rows}
+    # the 3×3 layers split between the fused families; the strided 5×5
+    # layer is only reachable by decomposition
+    assert {r["chosen"] for r in rows} >= {"f44", "dwm"}
+    assert by_name["Stem5x5s2N32"]["chosen"] == "dwm"
+    assert by_name["Stem5x5s2N32"]["f22"] is None
+    assert all(
+        r["f22"] is not None and r["f44"] is not None
+        for r in rows if r["layer"] != "Stem5x5s2N32"
+    )
 
 
 def test_table2(benchmark):

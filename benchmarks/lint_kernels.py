@@ -1,10 +1,11 @@
 """CI driver for the `sass-lint` job: lint every shipped kernel.
 
-Assembles the generated winograd_f22 (full kernel and main-loop
-microbenchmark variant, across the tunables the benchmarks sweep), the
-batched GEMM and the filter-transform kernels, **plus the main-loop
-kernel of every candidate in the schedule-search space** (the 54-point
-``DEFAULT_SPACE`` grid the autotuner walks), runs the static analyzer
+Assembles the generated winograd_f22 and winograd_f44 kernels (full
+kernel and main-loop microbenchmark variant; f22 across the tunables
+the benchmarks sweep), the batched GEMM and the filter-transform
+kernels, **plus the main-loop kernel of every candidate in both
+schedule-search spaces** (the 54-point ``DEFAULT_SPACE`` grid and the
+27-point ``F44_SPACE`` the autotuner walks per family), runs the static analyzer
 on each, prints the text reports, writes the ``--json`` reports to a
 directory for the CI artifact, and exits non-zero if any kernel has a
 diagnostic at or above ``--fail-on`` severity (default: ``error``).
@@ -25,6 +26,7 @@ from repro.common.problem import ConvProblem
 from repro.kernels.ftf import FilterTransformKernel
 from repro.kernels.gemm import BatchedGemmKernel
 from repro.kernels.winograd_f22 import Tunables, WinogradF22Kernel
+from repro.kernels.winograd_fused import WinogradF44Kernel, default_tunables
 from repro.sass.analysis import (
     Severity,
     lint_kernel,
@@ -32,7 +34,7 @@ from repro.sass.analysis import (
     render_json,
     render_text,
 )
-from repro.sched import DEFAULT_SPACE
+from repro.sched import DEFAULT_SPACE, F44_SPACE
 
 PROB = ConvProblem(n=32, c=64, h=28, w=28, k=64)
 
@@ -58,6 +60,12 @@ def shipped_kernels():
                 main_loop_only=True, iters=2
             ),
         )
+    f44 = default_tunables("f44")
+    yield "winograd_f44[default]", WinogradF44Kernel(PROB, f44).build()
+    yield (
+        "winograd_f44_main_loop[default]",
+        WinogradF44Kernel(PROB, f44).build(main_loop_only=True, iters=2),
+    )
     yield "batched_gemm", BatchedGemmKernel(16, 64, 32, 16).build()
     yield "ftf", FilterTransformKernel(PROB).build()
 
@@ -74,6 +82,14 @@ def space_kernels():
         yield (
             f"sched[{schedule.label()}]",
             WinogradF22Kernel(PROB, schedule.to_tunables()).build(
+                main_loop_only=True, iters=2
+            ),
+        )
+    # the F(4×4,3×3) family searches its own (smaller) space
+    for schedule in F44_SPACE.candidates():
+        yield (
+            f"sched_f44[{schedule.label()}]",
+            WinogradF44Kernel(PROB, schedule.to_tunables(tile="f44")).build(
                 main_loop_only=True, iters=2
             ),
         )

@@ -9,7 +9,10 @@ checked-in ``benchmarks/baselines/sched_<device>.json``:
 * a metric more than ``--tolerance`` *faster* is reported as an
   improvement — rerun with ``--update-baselines`` to lock it in;
 * a changed search winner fails the gate (the simulator is
-  deterministic, so the winner only moves when the code does).
+  deterministic, so the winner only moves when the code does);
+* both tile families (f22 and f44) are measured, and a baseline with no
+  metrics for a measured family fails loudly — a shipped kernel family
+  must never run un-gated.
 
 The fresh measurements are always written to
 ``<out-dir>/BENCH_sched_regression_<device>.json`` so CI can upload
@@ -38,6 +41,7 @@ from repro.gpusim import DEVICES
 from repro.runtime import ExecutionContext
 from repro.sched import (
     DEFAULT_SPACE,
+    F44_SPACE,
     PAPER_SCHEDULE,
     QUICK_SPACE,
     SCHEDULE_FIELDS,
@@ -49,6 +53,10 @@ from repro.sched import (
 
 BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
 
+#: Both shipped tile families are gated; a baseline that predates one of
+#: them fails loudly instead of silently skipping the new kernels.
+GATED_FAMILIES = ("f22", "f44")
+
 
 def _slug(device_key: str) -> str:
     return device_key.lower()
@@ -58,20 +66,11 @@ def baseline_path(device_key: str) -> str:
     return os.path.join(BASELINE_DIR, f"sched_{_slug(device_key)}.json")
 
 
-def collect_metrics(device_key: str, quick: bool) -> dict:
-    """Measure every gated metric fresh; returns the payload dict.
-
-    Metrics are the rung-0 scores of the schedule search (every
-    candidate at the same budget) plus the Fig. 7-9 axis variants, all
-    simulated cycles per main-loop iteration — deterministic, so any
-    drift is a code change, not noise.
-    """
-    device = DEVICES[device_key]
-    space = QUICK_SPACE if quick else DEFAULT_SPACE
-    budget = SearchBudget(max_rungs=2 if quick else 3)
-    ctx = ExecutionContext(device=device)
-
-    result = successive_halving(space, device, budget=budget, context=ctx)
+def _collect_family(device, tile: str, space, budget, ctx,
+                    axis_sweeps: bool) -> dict:
+    """One tile family's gated metrics: rung-0 search scores (+ sweeps)."""
+    result = successive_halving(space, device, budget=budget, context=ctx,
+                                tile=tile)
     metrics: dict[str, float] = {
         score.schedule.label(): score.cycles_per_iter
         for score in result.rungs[0]
@@ -87,24 +86,79 @@ def collect_metrics(device_key: str, quick: bool) -> dict:
     # The Fig. 7-9 sweeps (plus the §3.4 double-buffer ablation): axis
     # variants around the paper schedule, measured at the same budget —
     # cached points are free, the rest complete the figure coverage.
-    for field in SCHEDULE_FIELDS:
-        for schedule in DEFAULT_SPACE.axis_variants(field, PAPER_SCHEDULE).values():
-            label = schedule.label()
-            if label not in metrics and label not in pending:
-                pending[label] = schedule
+    # They are f22 figures (the db1 ablation cannot even assemble on the
+    # f44 fragments), so the f44 gate covers its space only.
+    if axis_sweeps:
+        for field in SCHEDULE_FIELDS:
+            for schedule in DEFAULT_SPACE.axis_variants(
+                    field, PAPER_SCHEDULE).values():
+                label = schedule.label()
+                if label not in metrics and label not in pending:
+                    pending[label] = schedule
     prefetch_schedules(
         list(pending.values()), device, iters=budget.base_iters, context=ctx,
+        tile=tile,
     )
     for label, schedule in pending.items():
         metrics[label] = evaluate_schedule(
-            schedule, device, iters=budget.base_iters, context=ctx,
+            schedule, device, iters=budget.base_iters, context=ctx, tile=tile,
         ).cycles_per_iter
     return {
-        "device": device_key,
         "space": result.space_signature,
-        "iters": budget.base_iters,
         "winner": result.best.schedule.label(),
         "metrics": metrics,
+    }
+
+
+def collect_metrics(device_key: str, quick: bool) -> dict:
+    """Measure every gated metric fresh; returns the payload dict.
+
+    Metrics are the rung-0 scores of the schedule search (every
+    candidate at the same budget) plus the Fig. 7-9 axis variants, all
+    simulated cycles per main-loop iteration — deterministic, so any
+    drift is a code change, not noise.  Both tile families are measured:
+    ``f22`` walks its full space + sweeps, ``f44`` its own space.
+    """
+    device = DEVICES[device_key]
+    budget = SearchBudget(max_rungs=2 if quick else 3)
+    ctx = ExecutionContext(device=device)
+    # QUICK_SPACE pins double_buffer=2, so it is a valid f44 subset too.
+    spaces = {
+        "f22": QUICK_SPACE if quick else DEFAULT_SPACE,
+        "f44": QUICK_SPACE if quick else F44_SPACE,
+    }
+    families = {
+        tile: _collect_family(device, tile, spaces[tile], budget, ctx,
+                              axis_sweeps=(tile == "f22"))
+        for tile in GATED_FAMILIES
+    }
+    return {
+        "device": device_key,
+        "iters": budget.base_iters,
+        "families": families,
+    }
+
+
+def migrate_baseline(baseline: dict) -> dict:
+    """Lift a pre-tile-family (flat) baseline into the families schema.
+
+    Old baselines carried a single implicit f22 metric set; they migrate
+    to ``{"families": {"f22": ...}}`` so the family-coverage check below
+    reports the *actual* problem (no f44 baseline) instead of a schema
+    crash.
+    """
+    if "families" in baseline:
+        return baseline
+    return {
+        "device": baseline.get("device"),
+        "iters": baseline.get("iters"),
+        "families": {
+            "f22": {
+                "space": baseline.get("space"),
+                "winner": baseline.get("winner"),
+                "metrics": baseline.get("metrics", {}),
+            }
+        },
     }
 
 
@@ -112,35 +166,50 @@ def compare(fresh: dict, baseline: dict, tolerance: float) -> tuple[list, list]:
     """(regressions, notes) from comparing *fresh* against *baseline*.
 
     Regressions are gate failures: slower-than-tolerance metrics,
-    metrics that disappeared, or a changed search winner.  Notes are
+    metrics that disappeared, a changed search winner, or a whole tile
+    family the baseline never measured (a silently un-gated kernel is
+    exactly the regression this script exists to prevent).  Notes are
     informational: improvements beyond tolerance and brand-new metrics.
     """
     regressions: list[str] = []
     notes: list[str] = []
-    if fresh["winner"] != baseline["winner"]:
-        regressions.append(
-            f"search winner changed: {baseline['winner']} -> {fresh['winner']}"
-        )
-    for label, base_cycles in baseline["metrics"].items():
-        cycles = fresh["metrics"].get(label)
-        if cycles is None:
-            regressions.append(f"metric disappeared: {label}")
-            continue
-        ratio = cycles / base_cycles
-        if ratio > 1.0 + tolerance:
+    for family, fresh_fam in fresh["families"].items():
+        base_fam = baseline["families"].get(family)
+        if base_fam is None:
             regressions.append(
-                f"{label}: {cycles:.0f} cycles vs baseline "
-                f"{base_cycles:.0f} ({(ratio - 1) * 100:+.1f}%)"
+                f"baseline has no metrics for measured tile family "
+                f"'{family}' — its kernels are running un-gated; rerun "
+                "with --update-baselines to cover it"
             )
-        elif ratio < 1.0 - tolerance:
-            notes.append(
-                f"improvement {label}: {cycles:.0f} cycles vs baseline "
-                f"{base_cycles:.0f} ({(ratio - 1) * 100:+.1f}%) — "
-                "rerun with --update-baselines to lock it in"
+            continue
+        if fresh_fam["winner"] != base_fam["winner"]:
+            regressions.append(
+                f"[{family}] search winner changed: "
+                f"{base_fam['winner']} -> {fresh_fam['winner']}"
             )
-    for label in fresh["metrics"]:
-        if label not in baseline["metrics"]:
-            notes.append(f"new metric (no baseline yet): {label}")
+        for label, base_cycles in base_fam["metrics"].items():
+            cycles = fresh_fam["metrics"].get(label)
+            if cycles is None:
+                regressions.append(f"[{family}] metric disappeared: {label}")
+                continue
+            ratio = cycles / base_cycles
+            if ratio > 1.0 + tolerance:
+                regressions.append(
+                    f"[{family}] {label}: {cycles:.0f} cycles vs baseline "
+                    f"{base_cycles:.0f} ({(ratio - 1) * 100:+.1f}%)"
+                )
+            elif ratio < 1.0 - tolerance:
+                notes.append(
+                    f"improvement [{family}] {label}: {cycles:.0f} cycles "
+                    f"vs baseline {base_cycles:.0f} "
+                    f"({(ratio - 1) * 100:+.1f}%) — "
+                    "rerun with --update-baselines to lock it in"
+                )
+        for label in fresh_fam["metrics"]:
+            if label not in base_fam["metrics"]:
+                notes.append(
+                    f"new metric (no baseline yet): [{family}] {label}"
+                )
     return regressions, notes
 
 
@@ -167,9 +236,11 @@ def main(argv: list[str] | None = None) -> int:
     fresh = collect_metrics(args.device, args.quick)
     if args.inject_regression is not None:
         factor = 1.0 + args.inject_regression / 100.0
-        fresh["metrics"] = {
-            label: cycles * factor for label, cycles in fresh["metrics"].items()
-        }
+        for fam in fresh["families"].values():
+            fam["metrics"] = {
+                label: cycles * factor
+                for label, cycles in fam["metrics"].items()
+            }
         fresh["injected_regression_pct"] = args.inject_regression
         print(f"injected a synthetic {args.inject_regression:+.1f}% on every metric")
 
@@ -179,8 +250,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     with open(bench_path, "w", encoding="utf-8") as fh:
         json.dump(fresh, fh, indent=2, sort_keys=True)
-    print(f"wrote {bench_path} ({len(fresh['metrics'])} metrics, "
-          f"winner {fresh['winner']})")
+    summary = ", ".join(
+        f"{family}: {len(fam['metrics'])} metrics, winner {fam['winner']}"
+        for family, fam in fresh["families"].items()
+    )
+    print(f"wrote {bench_path} ({summary})")
 
     if args.update_baselines:
         os.makedirs(BASELINE_DIR, exist_ok=True)
@@ -195,13 +269,19 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
     with open(path, encoding="utf-8") as fh:
-        baseline = json.load(fh)
-    if baseline.get("space") != fresh["space"] or baseline.get("iters") != fresh["iters"]:
-        print(f"error: baseline {path} was generated for a different "
-              f"space/budget ({baseline.get('space')} @ {baseline.get('iters')} "
-              f"iters vs {fresh['space']} @ {fresh['iters']}); regenerate it "
-              "with --update-baselines", file=sys.stderr)
+        baseline = migrate_baseline(json.load(fh))
+    if baseline.get("iters") != fresh["iters"]:
+        print(f"error: baseline {path} was generated at a different budget "
+              f"({baseline.get('iters')} iters vs {fresh['iters']}); "
+              "regenerate it with --update-baselines", file=sys.stderr)
         return 2
+    for family, fam in fresh["families"].items():
+        base_fam = baseline["families"].get(family)
+        if base_fam is not None and base_fam.get("space") != fam["space"]:
+            print(f"error: baseline {path} covers a different {family} "
+                  f"space ({base_fam.get('space')} vs {fam['space']}); "
+                  "regenerate it with --update-baselines", file=sys.stderr)
+            return 2
 
     regressions, notes = compare(fresh, baseline, args.tolerance)
     for note in notes:
@@ -212,7 +292,9 @@ def main(argv: list[str] | None = None) -> int:
         for line in regressions:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print(f"perf gate OK: {len(baseline['metrics'])} metrics within "
+    gated = sum(len(f["metrics"]) for f in baseline["families"].values())
+    print(f"perf gate OK: {gated} metrics across "
+          f"{len(baseline['families'])} tile families within "
           f"{args.tolerance * 100:.0f}% of baseline")
     return 0
 

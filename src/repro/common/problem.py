@@ -53,21 +53,27 @@ class ConvProblem:
                 raise ConvConfigError(f"{field} must be a positive int, got {value!r}")
         if self.pad < 0:
             raise ConvConfigError(f"pad must be >= 0, got {self.pad}")
-        if self.stride != 1:
-            raise ConvConfigError("only stride 1 is supported (as in the paper)")
+        if self.stride not in (1, 2):
+            # The paper's kernels are stride-1; stride 2 is admitted for
+            # the DWM decomposition path, which lowers it to stride-1
+            # polyphase sub-problems (see ``repro.convolution.dwm``).
+            raise ConvConfigError(
+                f"only stride 1 (paper) and stride 2 (DWM decomposition) "
+                f"are supported, got {self.stride}"
+            )
 
     # ------------------------------------------------------------------
     # Output geometry
     # ------------------------------------------------------------------
     @property
     def out_h(self) -> int:
-        """Output height (stride 1)."""
-        return self.h + 2 * self.pad - self.r + 1
+        """Output height: ⌊(H + 2·pad − R) / stride⌋ + 1."""
+        return (self.h + 2 * self.pad - self.r) // self.stride + 1
 
     @property
     def out_w(self) -> int:
-        """Output width (stride 1)."""
-        return self.w + 2 * self.pad - self.s + 1
+        """Output width: ⌊(W + 2·pad − S) / stride⌋ + 1."""
+        return (self.w + 2 * self.pad - self.s) // self.stride + 1
 
     # ------------------------------------------------------------------
     # Winograd F(m×m, r×r) tiling

@@ -11,6 +11,7 @@ from .autotune import (
     set_plan_cache_limit,
 )
 from .direct import direct_conv2d, direct_conv2d_naive
+from .dwm import DWMPart, DWMPlan, dwm_conv2d, dwm_conv2d_with_plan, dwm_plan
 from .fft import FftRunStats, fft_conv2d, fft_tiling_conv2d
 from .im2col import GemmRunStats, gemm_conv2d, im2col, implicit_gemm_conv2d
 from .metrics import (
@@ -26,6 +27,8 @@ __all__ = [
     "AUTO_MODES",
     "ConvPlan",
     "DispatchStats",
+    "DWMPart",
+    "DWMPlan",
     "FftRunStats",
     "GemmRunStats",
     "META_ALGORITHMS",
@@ -37,6 +40,9 @@ __all__ = [
     "conv2d",
     "direct_conv2d",
     "direct_conv2d_naive",
+    "dwm_conv2d",
+    "dwm_conv2d_with_plan",
+    "dwm_plan",
     "fft_conv2d",
     "fft_tiling_conv2d",
     "gemm_conv2d",

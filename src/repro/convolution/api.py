@@ -27,7 +27,9 @@ from ..common.layouts import kcrs_to_crsk, khwn_to_nkhw, nchw_to_chwn
 from ..winograd.fused import FusedWinogradConv
 from ..winograd.nonfused import NonFusedWinogradConv
 from ..winograd.reference import winograd_conv2d_nchw
+from ..winograd.tilespec import TILE_F44
 from .direct import direct_conv2d
+from .dwm import dwm_conv2d_with_plan
 from .fft import fft_conv2d, fft_tiling_conv2d
 from .im2col import gemm_conv2d, implicit_gemm_conv2d
 
@@ -38,9 +40,11 @@ ALGORITHMS = (
     "IMPLICIT_PRECOMP_GEMM",
     "FFT",
     "FFT_TILING",
-    "WINOGRAD",            # this library's fused F(2×2, 3×3) kernel
-    "WINOGRAD_NONFUSED",   # F(4×4, 3×3) with global workspace
-    "WINOGRAD_REFERENCE",  # plain oracle implementation
+    "WINOGRAD",            # this library's fused F(2×2, 3×3) kernel (4×4 tiles)
+    "WINOGRAD_F44",        # fused F(4×4, 3×3) kernel (6×6 transformed tiles)
+    "WINOGRAD_DWM",        # decomposed: large/strided filters via F(m, 3) parts
+    "WINOGRAD_NONFUSED",   # non-fused F(4×4, 3×3) with global workspace
+    "WINOGRAD_REFERENCE",  # plain oracle implementation (any F(m×m, r×r))
 )
 
 # Automatic selection modes layered on top of the concrete ALGORITHMS.
@@ -50,7 +54,9 @@ META_ALGORITHMS = (
 )
 
 
-def _validate_conv_inputs(x: np.ndarray, f: np.ndarray, pad: int) -> None:
+def _validate_conv_inputs(
+    x: np.ndarray, f: np.ndarray, pad: int, stride: int = 1
+) -> None:
     """Reject malformed problems up front, at the call site.
 
     Without this, a channel mismatch or a 3-D activation surfaces as a
@@ -76,23 +82,43 @@ def _validate_conv_inputs(x: np.ndarray, f: np.ndarray, pad: int) -> None:
         raise ConvConfigError(f"pad must be a non-negative int, got {pad!r}")
     if pad < 0:
         raise ConvConfigError(f"pad must be >= 0, got {pad}")
+    if isinstance(stride, bool) or not isinstance(stride, (int, np.integer)):
+        raise ConvConfigError(f"stride must be 1 or 2, got {stride!r}")
+    if stride not in (1, 2):
+        raise ConvConfigError(f"stride must be 1 or 2, got {stride}")
     n, c, h, w = x.shape
     k, _, r, s = f.shape
     if min(n, c, h, w, k, r, s) < 1:
         raise ConvConfigError(
             f"empty tensor dimension: x={x.shape}, f={f.shape}"
         )
-    if h + 2 * pad - r + 1 < 1 or w + 2 * pad - s + 1 < 1:
+    if (h + 2 * pad - r) // stride + 1 < 1 or (w + 2 * pad - s) // stride + 1 < 1:
         raise ConvConfigError(
-            f"filter {r}x{s} with pad={pad} does not fit the {h}x{w} input "
-            "(output would be empty)"
+            f"filter {r}x{s} with pad={pad} stride={stride} does not fit "
+            f"the {h}x{w} input (output would be empty)"
         )
 
 
-def _run_concrete(algo: str, x: np.ndarray, f: np.ndarray, pad: int) -> np.ndarray:
+def _run_concrete(
+    algo: str, x: np.ndarray, f: np.ndarray, pad: int, stride: int = 1
+) -> np.ndarray:
     """Execute one concrete algorithm (no AUTO handling, no validation)."""
+    if stride != 1 and algo not in ("DIRECT", "WINOGRAD_DWM"):
+        raise ConvConfigError(
+            f"{algo} implements stride-1 convolution; use WINOGRAD_DWM "
+            "(polyphase decomposition) or DIRECT for stride 2"
+        )
     if algo == "DIRECT":
-        return direct_conv2d(x, f, pad)
+        return direct_conv2d(x, f, pad, stride)
+    if algo == "WINOGRAD_DWM":
+        from ..runtime import current_context
+
+        ctx = current_context()
+        with ctx.span("dwm", f"{f.shape[2]}x{f.shape[3]}/s{stride}") as span:
+            y, plan = dwm_conv2d_with_plan(x, f, pad=pad, stride=stride)
+            span["plan"] = plan.label()
+            span["parts"] = plan.num_parts
+        return y
     if algo == "GEMM":
         return gemm_conv2d(x, f, pad)[0]
     if algo == "IMPLICIT_GEMM":
@@ -108,13 +134,16 @@ def _run_concrete(algo: str, x: np.ndarray, f: np.ndarray, pad: int) -> np.ndarr
 
     if pad != 1 or f.shape[2:] != (3, 3):
         raise ConvConfigError(
-            f"{algo} implements the paper's 3×3/pad-1 case; "
-            "use WINOGRAD_REFERENCE or DIRECT for other shapes"
+            f"{algo} implements the paper's 3×3/pad-1 case; use WINOGRAD_DWM "
+            "to decompose larger (or strided) filters, or "
+            "WINOGRAD_REFERENCE/DIRECT"
         )
     x_chwn = nchw_to_chwn(x)
     f_crsk = kcrs_to_crsk(f)
     if algo == "WINOGRAD":
         y_khwn = FusedWinogradConv()(x_chwn, f_crsk)
+    elif algo == "WINOGRAD_F44":
+        y_khwn = FusedWinogradConv(tile=TILE_F44)(x_chwn, f_crsk)
     else:  # WINOGRAD_NONFUSED
         y_khwn = NonFusedWinogradConv(m=4)(x_chwn, f_crsk)
     return khwn_to_nkhw(y_khwn)
@@ -126,6 +155,7 @@ def conv2d(
     pad: int = 1,
     algo: str = "WINOGRAD",
     *,
+    stride: int = 1,
     workspace_limit_bytes: int | None = None,
     device=None,
     context=None,
@@ -140,6 +170,9 @@ def conv2d(
     pad: symmetric zero padding (1 for the paper's layers).
     algo: one of :data:`ALGORITHMS`, or a :data:`META_ALGORITHMS` mode
         (``"AUTO"`` / ``"AUTO_HEURISTIC"``) that selects among them.
+    stride: 1 (the paper's layers) or 2; stride 2 runs only through
+        ``WINOGRAD_DWM`` (polyphase decomposition into stride-1 parts),
+        ``DIRECT``, or the AUTO modes which route between those.
     workspace_limit_bytes: AUTO modes only — exclude candidates whose
         global workspace (``perfmodel.dispatch_workspace_bytes``)
         exceeds this budget; ``None`` means unlimited.
@@ -162,12 +195,12 @@ def conv2d(
             f"unknown algorithm {algo!r}; choose from "
             f"{ALGORITHMS + META_ALGORITHMS}"
         )
-    _validate_conv_inputs(x, f, pad)
+    _validate_conv_inputs(x, f, pad, stride)
     if algo in META_ALGORITHMS:
         from .autotune import autotune_conv2d
 
         return autotune_conv2d(
-            x, f, pad, mode=algo,
+            x, f, pad, mode=algo, stride=stride,
             workspace_limit_bytes=workspace_limit_bytes, device=device,
             context=context, tune_schedule=tune_schedule,
         )
@@ -181,8 +214,8 @@ def conv2d(
         from ..runtime import activate
 
         with activate(context):
-            return _run_concrete(algo, x, f, pad)
-    return _run_concrete(algo, x, f, pad)
+            return _run_concrete(algo, x, f, pad, stride)
+    return _run_concrete(algo, x, f, pad, stride)
 
 
 def get_algorithm(algo: str) -> Callable[..., np.ndarray]:

@@ -56,6 +56,7 @@ class PlanKey:
     r: int
     s: int
     pad: int
+    stride: int
     dtype: str
     workspace_limit: int | None
     device: str
@@ -72,7 +73,7 @@ class PlanKey:
     ) -> "PlanKey":
         return cls(
             n=prob.n, c=prob.c, h=prob.h, w=prob.w, k=prob.k,
-            r=prob.r, s=prob.s, pad=prob.pad,
+            r=prob.r, s=prob.s, pad=prob.pad, stride=prob.stride,
             dtype=np.dtype(dtype).name,
             workspace_limit=workspace_limit,
             device=device_name,
@@ -197,11 +198,13 @@ def set_plan_cache_limit(max_entries: int) -> None:
     _current_plans().set_limit(max_entries)
 
 
-def _execute(algo: str, x: np.ndarray, f: np.ndarray, pad: int) -> np.ndarray:
+def _execute(
+    algo: str, x: np.ndarray, f: np.ndarray, pad: int, stride: int = 1
+) -> np.ndarray:
     # Late import: api.py imports this module for the AUTO branch.
     from .api import _run_concrete
 
-    return _run_concrete(algo, x, f, pad)
+    return _run_concrete(algo, x, f, pad, stride)
 
 
 def _select_candidates(prob, device, workspace_limit):
@@ -215,18 +218,25 @@ def _select_candidates(prob, device, workspace_limit):
     return ranked, excluded, predictions
 
 
-def _tune_plan_schedule(plan: ConvPlan, device, ctx) -> None:
-    """Attach the schedule-search winner to a WINOGRAD plan (in place).
+#: Fused-SASS algorithms whose plans carry a tuned schedule, and the
+#: kernel family each one's search targets.
+TUNED_TILE_FOR_ALGO = {"WINOGRAD": "f22", "WINOGRAD_F44": "f44"}
 
-    The search itself is memoized on the context's
+
+def _tune_plan_schedule(plan: ConvPlan, device, ctx) -> None:
+    """Attach the schedule-search winner to a fused-kernel plan (in place).
+
+    The search runs over the winning algorithm's tile family (f22 for
+    WINOGRAD, f44 for WINOGRAD_F44) and is memoized on the context's
     :class:`repro.sched.ScheduleBook`, so only the first plan per
-    (device, space, budget) pays for it — everything after is a lookup.
-    Runs strictly behind the plan cache: cached plans that already carry
-    a schedule never re-enter here.
+    (device, tile, space, budget) pays for it — everything after is a
+    lookup.  Runs strictly behind the plan cache: cached plans that
+    already carry a schedule never re-enter here.
     """
     from ..sched import ScheduleSearchConfig, ensure_schedule
 
     config = ctx.schedule_search or ScheduleSearchConfig()
+    config = config.with_tile(TUNED_TILE_FOR_ALGO[plan.algo])
     result = ensure_schedule(device=device, config=config, context=ctx)
     plan.schedule = result.best.schedule
 
@@ -236,6 +246,7 @@ def autotune_conv2d(
     f: np.ndarray,
     pad: int,
     mode: str,
+    stride: int = 1,
     workspace_limit_bytes: int | None = None,
     device=None,
     context=None,
@@ -270,7 +281,7 @@ def autotune_conv2d(
 
         n, c, h, w = x.shape
         k, _, r, s = f.shape
-        prob = ConvProblem(n=n, c=c, h=h, w=w, k=k, r=r, s=s, pad=pad)
+        prob = ConvProblem(n=n, c=c, h=h, w=w, k=k, r=r, s=s, pad=pad, stride=stride)
         key = PlanKey.from_problem(
             prob, np.result_type(x, f), workspace_limit_bytes, device.name, mode
         )
@@ -279,11 +290,15 @@ def autotune_conv2d(
         if plan is not None:
             stats.cache_hits += 1
             plan.hits += 1
-            if tune_schedule and plan.schedule is None and plan.algo == "WINOGRAD":
+            if (
+                tune_schedule
+                and plan.schedule is None
+                and plan.algo in TUNED_TILE_FOR_ALGO
+            ):
                 # A plan cached before tuning was enabled: attach the
                 # (memoized) winner so later snapshots see it too.
                 _tune_plan_schedule(plan, device, ctx)
-            return _run_plan(plan, x, f, pad, stats, ctx.plans)
+            return _run_plan(plan, x, f, pad, stride, stats, ctx.plans)
 
         stats.cache_misses += 1
         with ctx.span("plan", prob.label(), mode=mode, device=device.name) as span:
@@ -301,22 +316,23 @@ def autotune_conv2d(
 
             if mode == "AUTO":
                 plan, y = _measure_plan(
-                    key, ranked, excluded, predictions, x, f, pad, stats
+                    key, ranked, excluded, predictions, x, f, pad, stride, stats
                 )
             else:
                 plan, y = _heuristic_plan(
-                    key, ranked, excluded, predictions, x, f, pad, stats
+                    key, ranked, excluded, predictions, x, f, pad, stride, stats
                 )
             span["algo"] = plan.algo
-            if tune_schedule and plan.algo == "WINOGRAD":
+            if tune_schedule and plan.algo in TUNED_TILE_FOR_ALGO:
                 _tune_plan_schedule(plan, device, ctx)
                 span["schedule"] = plan.schedule.label()
+                span["tile"] = TUNED_TILE_FOR_ALGO[plan.algo]
         ctx.plans.store(key, plan)
         stats.record_choice(plan.algo)
         return y
 
 
-def _measure_plan(key, ranked, excluded, predictions, x, f, pad, stats):
+def _measure_plan(key, ranked, excluded, predictions, x, f, pad, stride, stats):
     """AUTO: timed trials of every surviving candidate; keep the winner."""
     trial_times: dict[str, float] = {}
     best_algo = None
@@ -324,7 +340,7 @@ def _measure_plan(key, ranked, excluded, predictions, x, f, pad, stats):
     for algo in ranked:
         t0 = time.perf_counter()
         try:
-            y = _execute(algo, x, f, pad)
+            y = _execute(algo, x, f, pad, stride)
         except ReproError as exc:
             excluded[algo] = f"raised during trial: {exc}"
             stats.record_error(algo)
@@ -353,11 +369,11 @@ def _measure_plan(key, ranked, excluded, predictions, x, f, pad, stats):
     return plan, best_y
 
 
-def _heuristic_plan(key, ranked, excluded, predictions, x, f, pad, stats):
+def _heuristic_plan(key, ranked, excluded, predictions, x, f, pad, stride, stats):
     """AUTO_HEURISTIC: run the model's pick, falling through on failure."""
     for i, algo in enumerate(ranked):
         try:
-            y = _execute(algo, x, f, pad)
+            y = _execute(algo, x, f, pad, stride)
         except ReproError as exc:
             excluded[algo] = f"raised during dispatch: {exc}"
             stats.record_error(algo)
@@ -378,7 +394,9 @@ def _heuristic_plan(key, ranked, excluded, predictions, x, f, pad, stats):
     )
 
 
-def _run_plan(plan: ConvPlan, x, f, pad, stats, plans: PlanCache) -> np.ndarray:
+def _run_plan(
+    plan: ConvPlan, x, f, pad, stride, stats, plans: PlanCache
+) -> np.ndarray:
     """Execute a cached plan, self-healing if its chosen algorithm raises.
 
     Healing never mutates the cached ``ConvPlan``: new exclusions are
@@ -390,7 +408,7 @@ def _run_plan(plan: ConvPlan, x, f, pad, stats, plans: PlanCache) -> np.ndarray:
     new_exclusions: dict[str, str] = {}
     while True:
         try:
-            y = _execute(algo, x, f, pad)
+            y = _execute(algo, x, f, pad, stride)
         except ReproError as exc:
             stats.record_error(algo)
             stats.fallbacks += 1
@@ -423,8 +441,9 @@ def _publish_healed(
         predicted_times=dict(plan.predicted_times),
         excluded=dict(plan.excluded, **new_exclusions),
         hits=plan.hits,
-        # The schedule belongs to the fused kernel; a heal that demoted
-        # WINOGRAD must not carry its schedule onto another algorithm.
-        schedule=plan.schedule if algo == "WINOGRAD" else None,
+        # The schedule was tuned for the demoted algorithm's tile family;
+        # a heal never carries it onto the promoted algorithm (a cache
+        # hit with tuning enabled re-attaches the right family's winner).
+        schedule=None,
     )
     plans.store(plan.key, healed)

@@ -26,13 +26,15 @@ def _check(x: np.ndarray, f: np.ndarray) -> None:
         )
 
 
-def direct_conv2d_naive(x: np.ndarray, f: np.ndarray, pad: int = 1) -> np.ndarray:
-    """O[k,h,w,n] = Σ_{r,s,c} I[c,h+r,w+s,n]·F[c,r,s,k] — NCHW in/out."""
+def direct_conv2d_naive(
+    x: np.ndarray, f: np.ndarray, pad: int = 1, stride: int = 1
+) -> np.ndarray:
+    """O[k,h,w,n] = Σ_{r,s,c} I[c,σh+r,σw+s,n]·F[c,r,s,k] — NCHW in/out."""
     _check(x, f)
     n, c, h, w = x.shape
     k, _, r, s = f.shape
-    out_h = h + 2 * pad - r + 1
-    out_w = w + 2 * pad - s + 1
+    out_h = (h + 2 * pad - r) // stride + 1
+    out_w = (w + 2 * pad - s) // stride + 1
     xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
     y = np.zeros((n, k, out_h, out_w), dtype=np.result_type(x, f))
     for nn in range(n):
@@ -43,23 +45,33 @@ def direct_conv2d_naive(x: np.ndarray, f: np.ndarray, pad: int = 1) -> np.ndarra
                     for cc in range(c):
                         for rr in range(r):
                             for ss in range(s):
-                                acc += xp[nn, cc, hh + rr, ww + ss] * f[kk, cc, rr, ss]
+                                acc += (
+                                    xp[nn, cc, hh * stride + rr, ww * stride + ss]
+                                    * f[kk, cc, rr, ss]
+                                )
                     y[nn, kk, hh, ww] = acc
     return y
 
 
-def direct_conv2d(x: np.ndarray, f: np.ndarray, pad: int = 1) -> np.ndarray:
+def direct_conv2d(
+    x: np.ndarray, f: np.ndarray, pad: int = 1, stride: int = 1
+) -> np.ndarray:
     """Vectorized direct convolution: one shifted GEMM per filter tap."""
     _check(x, f)
     n, c, h, w = x.shape
     k, _, r, s = f.shape
-    out_h = h + 2 * pad - r + 1
-    out_w = w + 2 * pad - s + 1
+    out_h = (h + 2 * pad - r) // stride + 1
+    out_w = (w + 2 * pad - s) // stride + 1
     xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
     acc = np.zeros((n, k, out_h, out_w), dtype=np.float64)
     for rr in range(r):
         for ss in range(s):
-            window = xp[:, :, rr : rr + out_h, ss : ss + out_w]
+            window = xp[
+                :,
+                :,
+                rr : rr + (out_h - 1) * stride + 1 : stride,
+                ss : ss + (out_w - 1) * stride + 1 : stride,
+            ]
             # (N, C, H', W') × (K, C) accumulated in fp64 for a tight oracle.
             acc += np.einsum(
                 "nchw,kc->nkhw", window, f[:, :, rr, ss], optimize=True

@@ -49,7 +49,8 @@ from ..common.problem import ConvProblem
 from ..sass.assembler import AssembledKernel
 from ..sass.encoder import INSTRUCTION_BYTES, encode_instruction
 from ..sass.operands import Imm
-from .winograd_f22 import Tunables, WinogradF22Kernel
+from ..winograd.tilespec import get_tile
+from .winograd_fused import Tunables, default_tunables, kernel_for_tile
 
 _SCHEMA_VERSION = 1  # bump to invalidate every persisted payload
 
@@ -64,6 +65,7 @@ _FINGERPRINT_FILES = (
     "kernels/runner.py",
     "kernels/schedules.py",
     "kernels/winograd_f22.py",
+    "kernels/winograd_fused.py",
     "perfmodel/layer_model.py",
 )
 
@@ -111,6 +113,7 @@ class BuildKey:
     device: str
     main_loop_only: bool = False
     iters: int | None = None
+    tile: str = "f22"
 
 
 @dataclasses.dataclass
@@ -179,6 +182,7 @@ class KernelBuildCache:
                     and k.tunables == key.tunables
                     and k.device == key.device
                     and k.main_loop_only == key.main_loop_only
+                    and k.tile == key.tile
                 ):
                     return k.iters, self._entries[k]
         return None
@@ -279,12 +283,16 @@ def build_fused_kernel(
     main_loop_only: bool = False,
     iters: int | None = None,
     *,
+    tile: str | None = None,
     context=None,
 ):
     """Assemble (or fetch) the fused Winograd kernel for one problem.
 
     The single entry point the runner, layer model and benchmarks use.
-    The build cache lives on the :class:`~repro.runtime.ExecutionContext`
+    *tile* selects the kernel family (``"f22"`` default, ``"f44"`` for
+    the F(4x4,3x3) generator); tunables default per family via
+    :func:`~repro.kernels.winograd_fused.default_tunables`.  The build
+    cache lives on the :class:`~repro.runtime.ExecutionContext`
     (*context*, default: the current one); ``REPRO_KERNEL_CACHE=0``
     bypasses it and rebuilds every call (the uncached baseline path).
     Every actual assembler pass records a ``"build"`` trace span.  When a
@@ -293,25 +301,28 @@ def build_fused_kernel(
     assembling from scratch (see :func:`_reiterate_kernel`).
     """
     ctx = _ctx(context)
-    tunables = tunables or Tunables()
+    spec = get_tile(tile)
+    tunables = tunables or default_tunables(spec)
 
     def _full_build():
         with ctx.span(
             "build", prob.label(), device=device_name,
-            main_loop_only=main_loop_only,
+            main_loop_only=main_loop_only, tile=spec.name,
         ):
-            return WinogradF22Kernel(prob, tunables).build(main_loop_only, iters)
+            return kernel_for_tile(prob, spec, tunables).build(
+                main_loop_only, iters
+            )
 
     if not _env_enabled("REPRO_KERNEL_CACHE"):
         return _full_build()
-    key = BuildKey(prob, tunables, device_name, main_loop_only, iters)
+    key = BuildKey(prob, tunables, device_name, main_loop_only, iters, spec.name)
 
     def _build():
         if iters is not None:
             found = ctx.kernel_cache.find_family_member(key)
             if found is not None:
                 sib_iters, sib = found
-                iter_reg = WinogradF22Kernel(prob, tunables).ITER
+                iter_reg = kernel_for_tile(prob, spec, tunables).ITER
                 derived = _reiterate_kernel(sib, iter_reg, sib_iters, iters)
                 if derived is not None:
                     return derived

@@ -17,7 +17,7 @@ import dataclasses
 
 import numpy as np
 
-from ..common.errors import LintError
+from ..common.errors import ConvConfigError, LintError
 from ..common.layouts import kcrs_to_crsk, khwn_to_nkhw, nchw_to_chwn
 from ..common.problem import ConvProblem
 from ..gpusim.arch import DeviceSpec, V100
@@ -33,8 +33,9 @@ from ..sass.analysis import errors as lint_errors
 from ..sass.analysis import lint_kernel
 from ..sass.assembler import AssembledKernel
 from ..winograd.fused import FusedWinogradConv
+from ..winograd.tilespec import get_tile
 from .cache import build_fused_kernel, sim_cache_key, simulation_cache
-from .winograd_f22 import Tunables, WinogradF22Kernel
+from .winograd_fused import Tunables, default_tunables, kernel_for_tile
 
 class LintGate:
     """Launch gate: refuse kernels with error-severity lint findings.
@@ -101,15 +102,16 @@ def ensure_lint_clean(kernel: AssembledKernel, context=None, family=None) -> Non
     _ctx(context).lint_gate.ensure(kernel, family=family)
 
 
-def lint_family_key(prob, device, tunables, main_loop_only=True):
+def lint_family_key(prob, device, tunables, main_loop_only=True, tile=None):
     """Family key for :meth:`LintGate.ensure`: everything but ``iters``.
 
-    Builds of the same (problem, tunables, device, build mode) differ
-    only in how many times the identical bc-iteration body runs, so one
-    clean lint covers every iteration count.
+    Builds of the same (problem, tile family, tunables, device, build
+    mode) differ only in how many times the identical bc-iteration body
+    runs, so one clean lint covers every iteration count.
     """
     return (
         "main_loop" if main_loop_only else "full",
+        get_tile(tile).name,
         dataclasses.astuple(prob),
         device.name,
         dataclasses.astuple(tunables),
@@ -123,36 +125,50 @@ def run_fused_sass_conv(
     tunables: Tunables | None = None,
     prob: ConvProblem | None = None,
     ftf_on_device: bool = False,
+    tile=None,
     context=None,
 ):
     """Run the generated Winograd kernel end to end; returns (y_nchw, counters).
 
+    *tile* picks the kernel family (``"f22"`` default or ``"f44"``); the
+    generator, filter-transform shape and buffer sizing all follow it.
     With ``ftf_on_device=True`` the filter transform also runs as a SASS
-    kernel on the simulator (the paper's separate FTF kernel, §4.1);
-    otherwise it is computed host-side (the default, since the FTF is a
-    negligible, memory-bound prelude).  The build cache and lint gate
-    come from *context* (default: the current execution context, whose
-    device — V100 unless configured otherwise — also fills in a ``None``
-    *device*).
+    kernel on the simulator (the paper's separate FTF kernel, §4.1;
+    implemented for the f22 family only) — otherwise it is computed
+    host-side (the default, since the FTF is a negligible, memory-bound
+    prelude).  The build cache and lint gate come from *context*
+    (default: the current execution context, whose device — V100 unless
+    configured otherwise — also fills in a ``None`` *device*).
     """
     from ..runtime import activate
 
     ctx = _ctx(context)
+    spec = get_tile(tile)
     with activate(ctx):
         device = device or ctx.device
-        tunables = tunables or Tunables()
+        tunables = tunables or default_tunables(spec)
         n, c, h, w = x_nchw.shape
         k = f_kcrs.shape[0]
         prob = prob or ConvProblem(n=n, c=c, h=h, w=w, k=k)
-        gen = WinogradF22Kernel(prob, tunables)
-        kernel = build_fused_kernel(prob, tunables, device.name)
+        gen = kernel_for_tile(prob, spec, tunables)
+        kernel = build_fused_kernel(prob, tunables, device.name, tile=spec)
 
         x_chwn = nchw_to_chwn(x_nchw.astype(np.float32))
         f_crsk = kcrs_to_crsk(f_kcrs.astype(np.float32))
         gmem = GlobalMemory(
-            size=max(64 << 20, 4 * x_chwn.nbytes + 64 * prob.c * prob.k + (8 << 20))
+            size=max(
+                64 << 20,
+                4 * x_chwn.nbytes
+                + 4 * spec.elements * prob.c * prob.k
+                + (8 << 20),
+            )
         )
         if ftf_on_device:
+            if spec.name != "f22":
+                raise ConvConfigError(
+                    "ftf_on_device is only implemented for the f22 family; "
+                    f"got {spec.label()}"
+                )
             from .ftf import FilterTransformKernel
 
             ftf = FilterTransformKernel(prob)
@@ -166,7 +182,7 @@ def run_fused_sass_conv(
             )
             f_t = gmem.read_array(ft_ptr, (prob.c, 4, 4, prob.k))
         else:
-            f_t = FusedWinogradConv().transform_filters(f_crsk)
+            f_t = FusedWinogradConv(tile=spec).transform_filters(f_crsk)
         params, out_ptr = gen.alloc_buffers(gmem, x_chwn, f_t)
         ensure_lint_clean(kernel)
         result = run_grid(
@@ -190,21 +206,22 @@ _ARENAS: dict = {}  # prob signature -> (GlobalMemory, params)
 _MAX_ARENAS = 8
 
 
-def _main_loop_arena(prob) -> tuple[GlobalMemory, dict[str, int]]:
+def _main_loop_arena(prob, tile=None) -> tuple[GlobalMemory, dict[str, int]]:
     """The shared synthetic buffer image for main-loop sims of *prob*.
 
     Buffer contents never affect timing — only layout, size and L2
-    residency do, and those are a pure function of the problem — so one
-    :class:`GlobalMemory` image serves every candidate schedule and
-    iteration count (the batched measurement path hands it to
-    :func:`~repro.gpusim.launch.simulate_batch`).
+    residency do, and those are a pure function of the problem and the
+    tile family — so one :class:`GlobalMemory` image serves every
+    candidate schedule and iteration count (the batched measurement path
+    hands it to :func:`~repro.gpusim.launch.simulate_batch`).
     """
-    key = dataclasses.astuple(prob)
+    spec = get_tile(tile)
+    key = (spec.name, dataclasses.astuple(prob))
     arena = _ARENAS.get(key)
     if arena is None:
         gmem = GlobalMemory(size=128 << 20)
         in_elems = (prob.c + 8) * prob.h * prob.w * prob.n
-        fil_elems = (prob.c + 8) * 16 * prob.k
+        fil_elems = (prob.c + 8) * spec.elements * prob.k
         in_ptr = gmem.alloc(4 * in_elems)
         fil_ptr = gmem.alloc(4 * fil_elems, l2_resident=True)
         out_ptr = gmem.alloc(4 * prob.k * prob.out_h * prob.out_w * prob.n)
@@ -215,7 +232,7 @@ def _main_loop_arena(prob) -> tuple[GlobalMemory, dict[str, int]]:
     return arena
 
 
-def _main_loop_key(prob, device, tunables, iters, num_blocks) -> str:
+def _main_loop_key(prob, device, tunables, iters, num_blocks, tile=None) -> str:
     return sim_cache_key(
         "main_loop",
         prob=prob,
@@ -223,10 +240,13 @@ def _main_loop_key(prob, device, tunables, iters, num_blocks) -> str:
         tunables=tunables,
         iters=iters,
         num_blocks=num_blocks,
+        tile=get_tile(tile).name,
     )
 
 
-def _simulate_main_loop(prob, device, tunables, iters, num_blocks, context=None):
+def _simulate_main_loop(
+    prob, device, tunables, iters, num_blocks, context=None, tile=None
+):
     """One main-loop-only resident-blocks simulation, memoized.
 
     The simulation is a pure function of its signature (synthetic buffer
@@ -234,16 +254,19 @@ def _simulate_main_loop(prob, device, tunables, iters, num_blocks, context=None)
     determines), so the result is served from the context's (or disk)
     simulation cache when available and is bit-identical either way.
     """
+    spec = get_tile(tile)
     cache = simulation_cache(context)
-    key = _main_loop_key(prob, device, tunables, iters, num_blocks)
+    key = _main_loop_key(prob, device, tunables, iters, num_blocks, spec)
     payload = cache.get(key)
     if payload is not None:
         return LaunchResult.from_payload(payload)
     kernel = build_fused_kernel(
-        prob, tunables, device.name, main_loop_only=True, iters=iters
+        prob, tunables, device.name, main_loop_only=True, iters=iters, tile=spec
     )
-    ensure_lint_clean(kernel, family=lint_family_key(prob, device, tunables))
-    gmem, params = _main_loop_arena(prob)
+    ensure_lint_clean(
+        kernel, family=lint_family_key(prob, device, tunables, tile=spec)
+    )
+    gmem, params = _main_loop_arena(prob, spec)
     result = simulate_resident_blocks(
         kernel, device, params=params, gmem=gmem, threads_per_block=256,
         num_blocks=num_blocks,
@@ -259,6 +282,7 @@ def prefetch_main_loop_sims(
     iters_list,
     num_blocks=None,
     context=None,
+    tile=None,
 ) -> int:
     """Batch-simulate every (tunables × iters) pair not already cached.
 
@@ -270,22 +294,23 @@ def prefetch_main_loop_sims(
     keep their per-candidate scoring unchanged.  Returns the number of
     simulations actually run.
     """
+    spec = get_tile(tile)
     cache = simulation_cache(context)
-    gmem, params = _main_loop_arena(prob)
+    gmem, params = _main_loop_arena(prob, spec)
     jobs = []
     keys = []
     for tunables in tunables_list:
         for iters in iters_list:
-            key = _main_loop_key(prob, device, tunables, iters, num_blocks)
+            key = _main_loop_key(prob, device, tunables, iters, num_blocks, spec)
             if cache.get(key) is not None or key in keys:
                 continue
             kernel = build_fused_kernel(
                 prob, tunables, device.name, main_loop_only=True, iters=iters,
-                context=context,
+                tile=spec, context=context,
             )
             ensure_lint_clean(
                 kernel, context=context,
-                family=lint_family_key(prob, device, tunables),
+                family=lint_family_key(prob, device, tunables, tile=spec),
             )
             keys.append(key)
             jobs.append((kernel, params, num_blocks))
@@ -304,6 +329,7 @@ def measure_main_loop(
     iters: int = 3,
     num_blocks: int | None = None,
     context=None,
+    tile=None,
 ) -> MainLoopMeasurement:
     """Measure steady-state main-loop throughput on one SM.
 
@@ -315,14 +341,17 @@ def measure_main_loop(
     """
     from ..runtime import activate
 
-    tunables = tunables or Tunables()
+    spec = get_tile(tile)
+    tunables = tunables or default_tunables(spec)
     if iters < 3:
         raise ValueError("need at least 3 iterations for a differential measure")
     ctx = _ctx(context)
     with activate(ctx):
-        long_run = _simulate_main_loop(prob, device, tunables, iters, num_blocks, ctx)
+        long_run = _simulate_main_loop(
+            prob, device, tunables, iters, num_blocks, ctx, spec
+        )
         short_run = _simulate_main_loop(
-            prob, device, tunables, iters - 2, num_blocks, ctx
+            prob, device, tunables, iters - 2, num_blocks, ctx, spec
         )
     c_long, c_short = long_run.counters, short_run.counters
     d_cycles = c_long.cycles - c_short.cycles

@@ -30,6 +30,8 @@ from .selection import (
     DISPATCH_CANDIDATES,
     algorithm_supports,
     direct_time,
+    dwm_winograd_time,
+    fused_winograd_f44_time,
     fused_winograd_time,
     predicted_time,
     rank_algorithms,
@@ -64,8 +66,10 @@ __all__ = [
     "direct_conv_intensity",
     "direct_time",
     "dispatch_workspace_bytes",
+    "dwm_winograd_time",
     "faster_variant",
     "fused_time",
+    "fused_winograd_f44_time",
     "fused_winograd_time",
     "gemm_step_intensity",
     "nonfused_time",

@@ -99,7 +99,10 @@ def best_feasible() -> F44Blocking | None:
     feasible = [b for b in enumerate_blockings() if b.feasible]
     if not feasible:
         return None
-    return max(feasible, key=lambda b: b.arithmetic_intensity)
+    # Intensity is bc-independent (it cancels), so break ties toward the
+    # deeper channel step: fewer main-loop iterations, barriers and
+    # prologue overheads per accumulated channel.
+    return max(feasible, key=lambda b: (b.arithmetic_intensity, b.bc))
 
 
 def f22_reference_blocking_infeasible() -> F44Blocking:

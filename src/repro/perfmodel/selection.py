@@ -41,6 +41,8 @@ from .workspace import dispatch_workspace_bytes
 # fallback chain.
 DISPATCH_CANDIDATES = (
     "WINOGRAD",
+    "WINOGRAD_F44",
+    "WINOGRAD_DWM",
     "WINOGRAD_NONFUSED",
     "IMPLICIT_PRECOMP_GEMM",
     "IMPLICIT_GEMM",
@@ -66,6 +68,42 @@ def fused_winograd_time(prob: ConvProblem, device: DeviceSpec) -> float:
     return max(fused_time(prob, device), _io_time(prob, device))
 
 
+def fused_winograd_f44_time(prob: ConvProblem, device: DeviceSpec) -> float:
+    """The fused F(4×4,3×3) kernel at its best feasible blocking (§8.1).
+
+    Uses the ``f44_study`` projection: 4× multiplication reduction with
+    6×6-tile overcompute, capped by the blocking's attainable
+    (memory-limited) SOL — the model that predicts F(4×4) only beats
+    F(2×2) on deep, high-K layers.
+    """
+    from .f44_study import projected_fused_f44_time
+
+    return max(projected_fused_f44_time(prob, device), _io_time(prob, device))
+
+
+# DWM launches one fused kernel per part plus the polyphase gather /
+# partial-sum traffic; a flat per-part tax keeps the trivial one-part
+# plan ranked (slightly) behind the native fused kernel it wraps.
+DWM_PART_OVERHEAD = 1.15
+
+
+def dwm_winograd_time(prob: ConvProblem, device: DeviceSpec) -> float:
+    """DWM decomposition: fused F(2×2) parts over the decomposed problem.
+
+    Each part is a VALID 3×3 stride-1 convolution producing the full
+    output extent, so the per-part cost is the fused model on the
+    equivalent (out + 2)² pad-0 problem; parts run sequentially.
+    """
+    from ..convolution.dwm import dwm_plan
+
+    plan = dwm_plan(prob.r, prob.s, prob.pad, prob.stride)
+    part = ConvProblem(
+        n=prob.n, c=prob.c, h=prob.out_h + 2, w=prob.out_w + 2, k=prob.k, pad=0
+    )
+    per_part = max(fused_time(part, device), _io_time(part, device))
+    return plan.num_parts * per_part * DWM_PART_OVERHEAD
+
+
 _TIME_MODELS = {
     "DIRECT": direct_time,
     "GEMM": gemm_time,
@@ -74,6 +112,8 @@ _TIME_MODELS = {
     "FFT": fft_time,
     "FFT_TILING": fft_tiling_time,
     "WINOGRAD": fused_winograd_time,
+    "WINOGRAD_F44": fused_winograd_f44_time,
+    "WINOGRAD_DWM": dwm_winograd_time,
     "WINOGRAD_NONFUSED": winograd_nonfused_time,
 }
 
@@ -93,11 +133,18 @@ def predicted_time(prob: ConvProblem, device: DeviceSpec, algo: str) -> float:
 def algorithm_supports(algo: str, prob: ConvProblem) -> bool:
     """Structural eligibility: can *algo* run this problem shape at all?
 
-    The two Winograd pipelines implement the paper's 3×3/pad-1 case only
-    (``conv2d`` raises ``ConvConfigError`` outside it); everything else
-    handles arbitrary R×S and padding.
+    The tile-family Winograd pipelines (F(2×2) and F(4×4)) implement the
+    paper's 3×3/pad-1/stride-1 case only (``conv2d`` raises
+    ``ConvConfigError`` outside it).  ``WINOGRAD_DWM`` decomposes any
+    square filter at stride 1 or 2 into such sub-problems.  Only DWM and
+    DIRECT run strided problems; everything else additionally handles
+    arbitrary R×S and padding at stride 1.
     """
-    if algo in ("WINOGRAD", "WINOGRAD_NONFUSED"):
+    if algo == "WINOGRAD_DWM":
+        return prob.r == prob.s and prob.stride in (1, 2)
+    if prob.stride != 1:
+        return algo == "DIRECT"
+    if algo in ("WINOGRAD", "WINOGRAD_F44", "WINOGRAD_NONFUSED"):
         return (prob.r, prob.s) == (3, 3) and prob.pad == 1
     return algo in _TIME_MODELS
 
@@ -122,8 +169,9 @@ def rank_algorithms(
     for algo in candidates:
         if not algorithm_supports(algo, prob):
             excluded[algo] = (
-                f"unsupported shape: {prob.r}x{prob.s}/pad={prob.pad} "
-                "(paper kernels implement 3x3/pad-1 only)"
+                f"unsupported shape: {prob.r}x{prob.s}/pad={prob.pad}"
+                f"/stride={prob.stride} (tile kernels run 3x3/pad-1/"
+                "stride-1; WINOGRAD_DWM decomposes larger or strided)"
             )
             continue
         if workspace_limit_bytes is not None:

@@ -74,6 +74,19 @@ def winograd_fused_workspace_bytes(prob: ConvProblem) -> int:
     return 16 * prob.k * prob.c * 4
 
 
+def winograd_fused_f44_workspace_bytes(prob: ConvProblem) -> int:
+    """Fused F(4×4,3×3): the 36·K·C transformed filter (6×6 tiles)."""
+    return 36 * prob.k * prob.c * 4
+
+
+def winograd_dwm_workspace_bytes(prob: ConvProblem) -> int:
+    """DWM decomposition: explicitly padded input copy plus one part's
+    16·K·C transformed sub-filter (parts run sequentially, so the filter
+    workspace is reused, not multiplied by the part count)."""
+    padded = 4 * prob.n * prob.c * (prob.h + 2 * prob.pad) * (prob.w + 2 * prob.pad)
+    return padded + 16 * prob.k * prob.c * 4
+
+
 def direct_workspace_bytes(prob: ConvProblem) -> int:
     """Shift-and-accumulate direct convolution allocates nothing."""
     return 0
@@ -101,6 +114,8 @@ DISPATCH_WORKSPACE = {
     "FFT": fft_workspace_bytes,
     "FFT_TILING": fft_tiling_workspace_bytes,
     "WINOGRAD": winograd_fused_workspace_bytes,
+    "WINOGRAD_F44": winograd_fused_f44_workspace_bytes,
+    "WINOGRAD_DWM": winograd_dwm_workspace_bytes,
     "WINOGRAD_NONFUSED": winograd_nonfused_workspace_bytes,
 }
 

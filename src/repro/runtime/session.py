@@ -41,14 +41,25 @@ from .context import ExecutionContext, activate, current_context
 #: concrete algorithm name from ``repro.convolution.ALGORITHMS``.
 SESSION_MODES = ("AUTO", "AUTO_HEURISTIC")
 
+#: Winograd tile family each algorithm executes on (``None`` for
+#: non-Winograd algorithms).  DWM decomposes onto f22-family parts.
+TILE_FOR_ALGO = {
+    "WINOGRAD": "f22",
+    "WINOGRAD_NONFUSED": "f22",
+    "WINOGRAD_DWM": "f22",
+    "WINOGRAD_F44": "f44",
+}
+
 
 @dataclasses.dataclass(frozen=True)
 class LayerPlan:
     """One layer's compiled execution decision.
 
+    ``tile`` is the Winograd tile family the chosen algorithm executes
+    on ("f22" / "f44"; ``None`` for non-Winograd algorithms).
     ``schedule`` is the SASS schedule the ``repro.sched`` search chose
-    for a WINOGRAD layer compiled with ``tune_schedule``; ``None`` when
-    tuning was off or another algorithm won.
+    for a fused-kernel layer compiled with ``tune_schedule``; ``None``
+    when tuning was off or another algorithm won.
     """
 
     prob: ConvProblem
@@ -58,11 +69,13 @@ class LayerPlan:
     fallbacks: tuple[str, ...] = ()
     excluded: dict = dataclasses.field(default_factory=dict)
     schedule: object | None = None  # repro.sched.Schedule when tuned
+    tile: str | None = None
 
     def to_dict(self) -> dict:
         return {
             "layer": self.prob.label(),
             "algo": self.algo,
+            "tile": self.tile,
             "workspace_bytes": self.workspace_bytes,
             "predicted_seconds": self.predicted_seconds,
             "fallbacks": list(self.fallbacks),
@@ -166,7 +179,7 @@ def _pipeline_layer_worker(args):
     from ..convolution import conv2d
 
     t0 = time.perf_counter()
-    y = conv2d(x, f, pad=prob.pad, algo=algo)
+    y = conv2d(x, f, pad=prob.pad, stride=prob.stride, algo=algo)
     return y, time.perf_counter() - t0
 
 
@@ -257,6 +270,8 @@ class InferenceSession:
                         calibration[1][i] if calibration else None,
                     )
                     span["algo"] = plan.algo
+                    if plan.tile is not None:
+                        span["tile"] = plan.tile
                     if plan.schedule is not None:
                         span["schedule"] = plan.schedule.label()
                 plans.append(plan)
@@ -282,7 +297,7 @@ class InferenceSession:
             from ..convolution.autotune import PlanKey
 
             conv2d(
-                x, f, pad=prob.pad, algo="AUTO",
+                x, f, pad=prob.pad, stride=prob.stride, algo="AUTO",
                 workspace_limit_bytes=self.workspace_limit_bytes,
                 device=self.device, context=self.context,
                 tune_schedule=self.tune_schedule,
@@ -301,6 +316,7 @@ class InferenceSession:
                 fallbacks=plan.fallbacks,
                 excluded=dict(plan.excluded),
                 schedule=plan.schedule,
+                tile=TILE_FOR_ALGO.get(plan.algo),
             )
 
         ranked, excluded = rank_algorithms(
@@ -321,12 +337,13 @@ class InferenceSession:
                     f"{excluded[algo]}"
                 )
         schedule = None
-        if self.tune_schedule and algo == "WINOGRAD":
+        if self.tune_schedule and algo in ("WINOGRAD", "WINOGRAD_F44"):
             from ..sched import ScheduleSearchConfig, ensure_schedule
 
             config = self.context.schedule_search or ScheduleSearchConfig()
             schedule = ensure_schedule(
-                device=self.device, config=config, context=self.context
+                device=self.device, config=config, context=self.context,
+                tile=TILE_FOR_ALGO[algo],
             ).best.schedule
         return LayerPlan(
             prob=prob,
@@ -336,6 +353,7 @@ class InferenceSession:
             fallbacks=fallbacks,
             excluded=excluded,
             schedule=schedule,
+            tile=TILE_FOR_ALGO.get(algo),
         )
 
     @property
@@ -405,7 +423,10 @@ class InferenceSession:
             with self.context.span("layer", label, algo=plan.algo):
                 with self.context.arena.reserve(plan.workspace_bytes, tag=label):
                     t0 = time.perf_counter()
-                    y = conv2d(x, f, pad=plan.prob.pad, algo=plan.algo)
+                    y = conv2d(
+                        x, f, pad=plan.prob.pad, stride=plan.prob.stride,
+                        algo=plan.algo,
+                    )
                     dt = time.perf_counter() - t0
             runs.append(LayerRun(
                 label, plan.algo, dt, plan.workspace_bytes, y.shape,

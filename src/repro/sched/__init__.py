@@ -21,17 +21,20 @@ from .search import (
 from .space import (
     CUDNN_SCHEDULE,
     DEFAULT_SPACE,
+    F44_SPACE,
     PAPER_SCHEDULE,
     QUICK_SPACE,
     SCHEDULE_FIELDS,
     Schedule,
     ScheduleSpace,
+    space_for_tile,
 )
 
 __all__ = [
     "CUDNN_SCHEDULE",
     "CandidateScore",
     "DEFAULT_SPACE",
+    "F44_SPACE",
     "PAPER_SCHEDULE",
     "QUICK_SPACE",
     "SCHEDULE_FIELDS",
@@ -46,6 +49,7 @@ __all__ = [
     "paper_ordering",
     "prefetch_schedules",
     "prune_candidates",
+    "space_for_tile",
     "static_cost_candidate",
     "successive_halving",
 ]

@@ -92,6 +92,8 @@ def _plan_layers(
             context=ctx, tune_schedule=True,
         )
         rows.append(prob)
+    from ..convolution.autotune import TUNED_TILE_FOR_ALGO
+
     plans = ctx.plans.snapshot()
     report = []
     for prob in rows:
@@ -101,6 +103,7 @@ def _plan_layers(
                 report.append({
                     "layer": prob.label(),
                     "algo": plan.algo,
+                    "tile": TUNED_TILE_FOR_ALGO.get(plan.algo),
                     "schedule": (
                         plan.schedule.to_dict() if plan.schedule else None
                     ),
@@ -147,8 +150,9 @@ def cmd_search(args: argparse.Namespace) -> int:
         from ..common.tables import format_table
 
         print(format_table(
-            ["layer", "algo", "schedule"],
-            [(r["layer"], r["algo"], r["schedule_label"]) for r in layers],
+            ["layer", "algo", "tile", "schedule"],
+            [(r["layer"], r["algo"], r["tile"] or "-", r["schedule_label"])
+             for r in layers],
             title=f"plans (mode={args.mode}, batch={args.batch})",
         ))
 

@@ -43,8 +43,15 @@ from ..kernels.runner import (
     measure_main_loop,
     prefetch_main_loop_sims,
 )
-from ..kernels.winograd_f22 import Tunables
-from .space import DEFAULT_SPACE, PAPER_SCHEDULE, Schedule, ScheduleSpace
+from ..kernels.winograd_fused import Tunables
+from ..winograd.tilespec import get_tile
+from .space import (
+    DEFAULT_SPACE,
+    PAPER_SCHEDULE,
+    Schedule,
+    ScheduleSpace,
+    space_for_tile,
+)
 
 if TYPE_CHECKING:
     from ..common.problem import ConvProblem
@@ -128,11 +135,42 @@ class SearchBudget:
 
 @dataclasses.dataclass(frozen=True)
 class ScheduleSearchConfig:
-    """What a context-level opt-in to schedule search runs."""
+    """What a context-level opt-in to schedule search runs.
+
+    ``tile`` names the kernel family the search targets ("f22" default);
+    each family gets its own :class:`~repro.sched.ScheduleBook` entry,
+    so a session dispatching both f22 and f44 layers pays for (at most)
+    one search per family per device.
+    """
 
     space: ScheduleSpace = DEFAULT_SPACE
     budget: SearchBudget = SearchBudget()
     base_tunables: Tunables | None = None
+    tile: str = "f22"
+
+    @classmethod
+    def for_tile(cls, tile, budget: SearchBudget | None = None) -> "ScheduleSearchConfig":
+        """A family-targeted config over that family's searchable grid."""
+        spec = get_tile(tile)
+        return cls(
+            space=space_for_tile(spec),
+            budget=budget or SearchBudget(),
+            tile=spec.name,
+        )
+
+    def with_tile(self, tile) -> "ScheduleSearchConfig":
+        """This config retargeted at another family.
+
+        Same budget; the space and structural base are re-derived from
+        the new family (a space or ``base_tunables`` chosen for one
+        generator does not transfer to another's invariants).
+        """
+        spec = get_tile(tile)
+        if spec.name == self.tile:
+            return self
+        return ScheduleSearchConfig(
+            space=space_for_tile(spec), budget=self.budget, tile=spec.name
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -219,23 +257,27 @@ def evaluate_schedule(
     base_tunables: Tunables | None = None,
     prob: ConvProblem | None = None,
     context: ExecutionContext | None = None,
+    tile=None,
 ) -> CandidateScore:
     """Score one schedule with the simulator in the loop.
 
     Builds (or fetches) the main-loop-only kernel for the schedule's
-    tunables and measures steady-state cycles per bc-iteration; records
-    a ``"sched"`` trace span carrying the result.  Lint gating happens
-    on build via the context's :class:`~repro.kernels.runner.LintGate`.
+    tunables — for the *tile* family, f22 by default — and measures
+    steady-state cycles per bc-iteration; records a ``"sched"`` trace
+    span carrying the result.  Lint gating happens on build via the
+    context's :class:`~repro.kernels.runner.LintGate`.
     """
     ctx = _ctx(context)
+    spec = get_tile(tile)
     prob = prob if prob is not None else _surrogate_problem()
-    tunables = schedule.to_tunables(base_tunables)
+    tunables = schedule.to_tunables(base_tunables, spec)
     with ctx.span(
-        "sched", schedule.label(), device=device.name, iters=iters
+        "sched", schedule.label(), device=device.name, iters=iters,
+        tile=spec.name,
     ) as span:
         meas = measure_main_loop(
             prob, device=device, tunables=tunables, iters=iters,
-            num_blocks=num_blocks, context=ctx,
+            num_blocks=num_blocks, context=ctx, tile=spec,
         )
         span["cycles_per_iter"] = meas.cycles_per_iter
         span["tflops"] = meas.tflops
@@ -257,6 +299,7 @@ def prefetch_schedules(
     base_tunables: Tunables | None = None,
     prob: ConvProblem | None = None,
     context: ExecutionContext | None = None,
+    tile=None,
 ) -> int:
     """Batch-simulate many schedules' differential runs ahead of scoring.
 
@@ -266,14 +309,16 @@ def prefetch_schedules(
     ``GlobalMemory`` image), so subsequent :func:`evaluate_schedule`
     calls are pure cache hits.  Returns the number of simulations run.
     """
+    spec = get_tile(tile)
     prob = prob if prob is not None else _surrogate_problem()
     return prefetch_main_loop_sims(
         prob,
         device,
-        [s.to_tunables(base_tunables) for s in schedules],
+        [s.to_tunables(base_tunables, spec) for s in schedules],
         (iters, iters - 2),
         num_blocks=num_blocks,
         context=context,
+        tile=spec,
     )
 
 
@@ -285,6 +330,7 @@ def lint_gate_candidate(
     base_tunables: Tunables | None = None,
     prob: ConvProblem | None = None,
     context: ExecutionContext | None = None,
+    tile=None,
 ) -> None:
     """Statically vet one candidate's generated SASS (sasslint).
 
@@ -293,14 +339,16 @@ def lint_gate_candidate(
     candidate's later measurement reuses the assembled kernel.
     """
     ctx = _ctx(context)
+    spec = get_tile(tile)
     prob = prob if prob is not None else _surrogate_problem()
-    tunables = schedule.to_tunables(base_tunables)
+    tunables = schedule.to_tunables(base_tunables, spec)
     kernel = build_fused_kernel(
         prob, tunables, device.name,
-        main_loop_only=True, iters=iters, context=ctx,
+        main_loop_only=True, iters=iters, tile=spec, context=ctx,
     )
     ensure_lint_clean(
-        kernel, context=ctx, family=lint_family_key(prob, device, tunables)
+        kernel, context=ctx,
+        family=lint_family_key(prob, device, tunables, tile=spec),
     )
 
 
@@ -312,6 +360,7 @@ def static_cost_candidate(
     base_tunables: Tunables | None = None,
     prob: ConvProblem | None = None,
     context: ExecutionContext | None = None,
+    tile=None,
 ) -> StaticReport:
     """The static issue-cost report of one candidate's main-loop kernel.
 
@@ -328,11 +377,12 @@ def static_cost_candidate(
     from ..sass.analysis import AnalysisContext, static_report
 
     ctx = _ctx(context)
+    spec = get_tile(tile)
     prob = prob if prob is not None else _surrogate_problem()
-    tunables = schedule.to_tunables(base_tunables)
+    tunables = schedule.to_tunables(base_tunables, spec)
     kernel = build_fused_kernel(
         prob, tunables, device.name,
-        main_loop_only=True, iters=iters, context=ctx,
+        main_loop_only=True, iters=iters, tile=spec, context=ctx,
     )
     return static_report(
         AnalysisContext(instructions=kernel.instructions, meta=kernel.meta)
@@ -348,6 +398,7 @@ def prune_candidates(
     base_tunables: Tunables | None = None,
     prob: ConvProblem | None = None,
     context: ExecutionContext | None = None,
+    tile=None,
 ) -> tuple[list[Schedule], list[str]]:
     """Split *candidates* into (survivors, pruned labels) by static cost.
 
@@ -360,6 +411,7 @@ def prune_candidates(
         schedule.label(): static_cost_candidate(
             schedule, device, iters=iters,
             base_tunables=base_tunables, prob=prob, context=context,
+            tile=tile,
         ).static_issue_cycles
         for schedule in candidates
     }
@@ -383,6 +435,7 @@ def successive_halving(
     prob: ConvProblem | None = None,
     candidates: list[Schedule] | None = None,
     context: ExecutionContext | None = None,
+    tile=None,
 ) -> SearchResult:
     """Prune *space* down to one winning :class:`Schedule`.
 
@@ -398,8 +451,9 @@ def successive_halving(
     ctx = _ctx(context)
     device = device or ctx.device
     budget = budget or SearchBudget()
+    spec = get_tile(tile)
     if candidates is None:
-        space = space or DEFAULT_SPACE
+        space = space or space_for_tile(spec)
         candidates = space.candidates()
         signature = space.signature()
     else:
@@ -413,12 +467,13 @@ def successive_halving(
     with activate(ctx):
         with ctx.span(
             "sched_search", signature, device=device.name,
-            candidates=len(candidates),
+            candidates=len(candidates), tile=spec.name,
         ) as span:
             for candidate in candidates:
                 lint_gate_candidate(
                     candidate, device, iters=budget.rung_iters(0),
                     base_tunables=base_tunables, prob=prob, context=ctx,
+                    tile=spec,
                 )
             lint_gated = len(candidates)
 
@@ -428,6 +483,7 @@ def successive_halving(
                     candidates, device, budget.prune_margin,
                     iters=budget.rung_iters(0),
                     base_tunables=base_tunables, prob=prob, context=ctx,
+                    tile=spec,
                 )
                 span["pruned"] = len(pruned)
 
@@ -441,11 +497,13 @@ def successive_halving(
                     survivors, device, iters=iters,
                     num_blocks=budget.num_blocks,
                     base_tunables=base_tunables, prob=prob, context=ctx,
+                    tile=spec,
                 )
                 scores = [
                     evaluate_schedule(
                         s, device, iters=iters, num_blocks=budget.num_blocks,
                         base_tunables=base_tunables, prob=prob, context=ctx,
+                        tile=spec,
                     )
                     for s in survivors
                 ]
@@ -488,7 +546,10 @@ class ScheduleBook:
 
     @staticmethod
     def _key(device_name: str, config: ScheduleSearchConfig) -> tuple:
-        return (device_name, config.space.signature(), config.budget, config.base_tunables)
+        return (
+            device_name, config.tile, config.space.signature(),
+            config.budget, config.base_tunables,
+        )
 
     def get_or_search(self, device: DeviceSpec, config: ScheduleSearchConfig,
                       context: ExecutionContext | None = None) -> SearchResult:
@@ -503,6 +564,7 @@ class ScheduleBook:
         result = successive_halving(
             config.space, device, budget=config.budget,
             base_tunables=config.base_tunables, context=context,
+            tile=config.tile,
         )
         with self._lock:
             self._entries.setdefault(key, result)
@@ -529,15 +591,21 @@ def ensure_schedule(
     device: DeviceSpec | None = None,
     config: ScheduleSearchConfig | None = None,
     context: ExecutionContext | None = None,
+    tile=None,
 ) -> SearchResult:
     """The context's memoized search result for *device* (searching once).
 
     *config* defaults to the context's ``schedule_search`` configuration
     (or a fresh :class:`ScheduleSearchConfig` if the context has none).
+    An explicit *tile* retargets the config at that kernel family
+    (:meth:`ScheduleSearchConfig.with_tile`), so f22 and f44 layers each
+    get their own memoized search.
     """
     ctx = _ctx(context)
     device = device or ctx.device
     config = config or getattr(ctx, "schedule_search", None) or ScheduleSearchConfig()
+    if tile is not None:
+        config = config.with_tile(tile)
     return ctx.schedules.get_or_search(device, config, context=ctx)
 
 

@@ -24,7 +24,8 @@ import itertools
 
 from ..common.errors import ConvConfigError
 from ..kernels.schedules import YIELD_STRATEGIES
-from ..kernels.winograd_f22 import Tunables
+from ..kernels.winograd_fused import Tunables, default_tunables
+from ..winograd.tilespec import get_tile
 
 #: The four Tunables fields a Schedule owns (everything else on
 #: Tunables is structure, not schedule).
@@ -73,9 +74,16 @@ class Schedule:
     # ------------------------------------------------------------------
     # Conversions
     # ------------------------------------------------------------------
-    def to_tunables(self, base: Tunables | None = None) -> Tunables:
-        """Graft this schedule onto *base*'s structural knobs."""
-        base = base or Tunables()
+    def to_tunables(self, base: Tunables | None = None, tile=None) -> Tunables:
+        """Graft this schedule onto *base*'s structural knobs.
+
+        With no explicit *base*, the structural knobs come from the tile
+        family's defaults (:func:`~repro.kernels.winograd_fused.default_tunables`),
+        so an f44 schedule lands on ``F44Tunables`` — whose structural
+        invariants (bk=16, transposed staging, mandatory ping-pong) then
+        validate the graft.
+        """
+        base = base or default_tunables(tile)
         return dataclasses.replace(
             base, **{field: getattr(self, field) for field in SCHEDULE_FIELDS}
         )
@@ -209,3 +217,19 @@ DEFAULT_SPACE = ScheduleSpace()
 QUICK_SPACE = ScheduleSpace(
     ldg_interleaves=(2, 8), sts_interleaves=(2, 6), double_buffers=(2,)
 )
+
+#: The F(4×4,3×3) grid: the f44 generator's larger fragments make the
+#: single-buffered ablation structurally infeasible (``F44Tunables``
+#: pins ``double_buffer=2``), so that axis collapses — 27 points.
+F44_SPACE = ScheduleSpace(double_buffers=(2,))
+
+
+def space_for_tile(tile=None) -> ScheduleSpace:
+    """The searchable schedule grid for one tile family.
+
+    f22 gets the full §6 grid; f44 drops the ``double_buffer=1`` axis
+    its structural invariants forbid.  This is what keeps per-family
+    searches from lint-failing on candidates the generator would reject
+    at construction time.
+    """
+    return F44_SPACE if get_tile(tile).name == "f44" else DEFAULT_SPACE

@@ -6,12 +6,15 @@ from .fused import (
     BlockConfig,
     FusedRunStats,
     FusedWinogradConv,
+    tile_block_config,
 )
 from .fused_nchw import FusedWinogradConvNCHW, warp_load_sectors
 from .nonfused import NonFusedRunStats, NonFusedWinogradConv
 from .reference import winograd_conv2d_nchw
+from .tilespec import TILE_F22, TILE_F44, TILE_FAMILIES, TileSpec, get_tile
 from .tiling import (
     gather_input_tiles_chwn,
+    mask_words,
     pack_mask,
     scatter_output_tiles_khwn,
     tile_index_grid,
@@ -41,14 +44,21 @@ __all__ = [
     "PAPER_FTF_FLOPS",
     "PAPER_ITF_FLOPS",
     "PAPER_OTF_FLOPS",
+    "TILE_F22",
+    "TILE_F44",
+    "TILE_FAMILIES",
+    "TileSpec",
     "WinogradTransform",
     "cook_toom",
     "f23",
     "f43",
     "gather_input_tiles_chwn",
+    "get_tile",
     "get_transform",
+    "mask_words",
     "pack_mask",
     "scatter_output_tiles_khwn",
+    "tile_block_config",
     "tile_index_grid",
     "unpack_mask",
     "warp_load_sectors",

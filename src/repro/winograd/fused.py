@@ -1,6 +1,6 @@
-"""The paper's fused F(2×2, 3×3) Winograd convolution pipeline.
+"""The paper's fused Winograd convolution pipeline, tile-parameterized.
 
-This is a faithful algorithm-level model of the SASS kernel (§3-§4),
+This is a faithful algorithm-level model of the SASS kernels (§3-§4),
 vectorized with NumPy *inside* each simulated thread block but keeping
 the exact decomposition of Algorithm 1:
 
@@ -9,14 +9,18 @@ the exact decomposition of Algorithm 1:
 * a grid of thread blocks, each owning ``bk × bn`` output tiles (Fig. 1);
 * a **main loop** over channels in steps of ``bc`` that gathers and
   transforms ``bn×bc`` input tiles (ITF, implicit zero padding) and
-  accumulates the 16-batched ``bk × bn × bc`` GEMM (EWMM, Eq. 9-10);
+  accumulates the alpha²-batched ``bk × bn × bc`` GEMM (EWMM, Eq. 9-10);
 * an **output transform** (OTF) that turns the accumulators into m×m
   output tiles and scatters them (with crop) into the KHWN output.
 
-Because every global address and mask is computed the way the kernel
-computes them, this module doubles as the functional specification for
-``repro.kernels.winograd_f22`` and the workload model for
-``repro.perfmodel``.
+The tile is an explicit :class:`~repro.winograd.tilespec.TileSpec`
+parameter: ``TILE_F22`` reproduces the paper's F(2×2,3×3) kernel
+(alpha² = 16 batched GEMMs), ``TILE_F44`` the §8.1 F(4×4,3×3) variant
+(alpha² = 36) at the best feasible blocking from
+``perfmodel.f44_study``.  Because every global address and mask is
+computed the way the kernels compute them, this module doubles as the
+functional specification for ``repro.kernels.winograd_fused`` and the
+workload model for ``repro.perfmodel``.
 """
 
 from __future__ import annotations
@@ -28,12 +32,12 @@ import numpy as np
 
 from ..common.errors import ConvConfigError, LayoutError
 from ..common.problem import ConvProblem
+from .tilespec import TILE_F22, TileSpec, get_tile
 from .tiling import tile_index_grid
 from .transforms import (
     PAPER_ITF_FLOPS,
     PAPER_OTF_FLOPS,
     WinogradTransform,
-    get_transform,
 )
 
 
@@ -41,15 +45,17 @@ from .transforms import (
 class BlockConfig:
     """Two-level cache blocking parameters (§3.2-§3.3, Table 7).
 
-    The paper's configuration is ``bk=64, bn=32, bc=8`` with 256 threads;
-    cuDNN/Neon use ``bk=32``.  ``bn`` must stay 32 (one tile per thread
-    per iteration) and ``bk`` ∈ {32, 64} are the cases analyzed.
+    The paper's F(2×2,3×3) configuration is ``bk=64, bn=32, bc=8`` with
+    256 threads; cuDNN/Neon use ``bk=32``.  ``elements`` is the batched
+    GEMM count alpha² (16 for f22, 36 for f44) — the per-iteration work
+    and shared-memory footprints scale with it.
     """
 
     bk: int = 64
     bn: int = 32
     bc: int = 8
     threads: int = 256
+    elements: int = 16
 
     def __post_init__(self) -> None:
         if self.bk <= 0 or self.bn <= 0 or self.bc <= 0:
@@ -58,11 +64,15 @@ class BlockConfig:
             raise ConvConfigError(
                 f"threads must be a positive thread count, got {self.threads}"
             )
-        work = 16 * self.bk * self.bn * self.bc
+        if self.elements <= 0:
+            raise ConvConfigError(
+                f"elements must be a positive alpha², got {self.elements}"
+            )
+        work = self.elements * self.bk * self.bn * self.bc
         if work % self.threads:
             raise ConvConfigError(
                 f"threads={self.threads} must evenly divide the per-iteration "
-                f"FFMA work 16·bk·bn·bc = {work}"
+                f"FFMA work alpha²·bk·bn·bc = {work}"
             )
 
     @property
@@ -72,13 +82,13 @@ class BlockConfig:
 
     @property
     def smem_filter_bytes(self) -> int:
-        """(16, bc, bk) fp32 transformed-filter buffer (32 KB at bk=64)."""
-        return 16 * self.bc * self.bk * 4
+        """(alpha², bc, bk) fp32 transformed-filter buffer (32 KB at f22/bk=64)."""
+        return self.elements * self.bc * self.bk * 4
 
     @property
     def smem_input_bytes(self) -> int:
-        """(16, bc, bn) fp32 transformed-input buffer (16 KB)."""
-        return 16 * self.bc * self.bn * 4
+        """(alpha², bc, bn) fp32 transformed-input buffer (16 KB at f22)."""
+        return self.elements * self.bc * self.bn * 4
 
     @property
     def smem_main_loop_bytes(self) -> int:
@@ -87,21 +97,46 @@ class BlockConfig:
     @property
     def ffma_per_thread_per_iter(self) -> int:
         """FFMAs per thread per bc-iteration (1024 in the paper, §4.2-§4.3)."""
-        return self.output_tiles_per_block * 16 * self.bc // self.threads
+        return self.output_tiles_per_block * self.elements * self.bc // self.threads
 
     def arithmetic_intensity(self) -> float:
         """Main-loop flops per global byte (8 at bk=32 → 10.67 at bk=64, §3.3).
 
-        Per iteration a block loads (bn + bk)·bc tiles of 16 floats and
-        performs 16·bk·bn·bc FMA (2 flops each).
+        Per iteration a block loads (bn + bk)·bc tiles of alpha² floats
+        and performs alpha²·bk·bn·bc FMA (2 flops each).
         """
-        flops = 2 * 16 * self.bk * self.bn * self.bc
-        gmem = 16 * (self.bk + self.bn) * self.bc * 4
+        flops = 2 * self.elements * self.bk * self.bn * self.bc
+        gmem = self.elements * (self.bk + self.bn) * self.bc * 4
         return flops / gmem
 
 
 PAPER_CONFIG = BlockConfig(bk=64, bn=32, bc=8, threads=256)
 CUDNN_CONFIG = BlockConfig(bk=32, bn=32, bc=8, threads=256)
+
+
+def tile_block_config(tile: TileSpec) -> BlockConfig:
+    """The default :class:`BlockConfig` for a tile family's blocking."""
+    return BlockConfig(
+        bk=tile.bk, bn=tile.bn, bc=tile.bc, threads=256, elements=tile.elements
+    )
+
+
+def _itf_fadds_per_tile(t: WinogradTransform) -> int:
+    """ITF float adds per tile: the paper's §2.1 count for F(2,3), a
+    structural two-pass bound (alpha² outputs × (alpha−1) adds × 2
+    passes) for other tiles."""
+    if (t.m, t.r) == (2, 3):
+        return PAPER_ITF_FLOPS
+    return 2 * t.alpha * t.alpha * (t.alpha - 1)
+
+
+def _otf_fadds_per_tile(t: WinogradTransform) -> int:
+    """OTF float adds per tile: §2.1's 24 for F(2,3), structural bound
+    (column pass m·alpha + row pass m² outputs, (alpha−1) adds each)
+    otherwise."""
+    if (t.m, t.r) == (2, 3):
+        return PAPER_OTF_FLOPS
+    return (t.m * t.alpha + t.m * t.m) * (t.alpha - 1)
 
 
 @dataclasses.dataclass
@@ -123,11 +158,12 @@ class FusedRunStats:
 
 
 class FusedWinogradConv:
-    """Fused F(2×2, 3×3) Winograd convolution (the paper's kernel, modelled).
+    """Fused F(m×m, r×r) Winograd convolution (the paper's kernel, modelled).
 
     Usage::
 
-        conv = FusedWinogradConv()
+        conv = FusedWinogradConv()                     # F(2×2,3×3)
+        conv = FusedWinogradConv(tile=TILE_F44)        # F(4×4,3×3)
         f_t = conv.transform_filters(f_crsk)           # separate FTF kernel
         y_khwn, stats = conv.run(x_chwn, f_t, prob)    # fused main kernel
         y_khwn = conv(x_chwn, f_crsk)                  # both steps
@@ -138,25 +174,42 @@ class FusedWinogradConv:
 
     def __init__(
         self,
-        config: BlockConfig = PAPER_CONFIG,
+        config: BlockConfig | None = None,
         transform: WinogradTransform | None = None,
+        tile: TileSpec | str | None = None,
     ):
+        self.tile = get_tile(tile)
+        self.transform = transform or self.tile.transform(dtype=np.float32)
+        if (self.transform.m, self.transform.r) != (self.tile.m, self.tile.r):
+            raise ConvConfigError(
+                f"transform F({self.transform.m},{self.transform.r}) does not "
+                f"match tile {self.tile.label()}"
+            )
+        if config is None:
+            config = (
+                PAPER_CONFIG if self.tile == TILE_F22 else tile_block_config(self.tile)
+            )
+        if config.elements != self.tile.elements:
+            raise ConvConfigError(
+                f"config batches {config.elements} GEMMs but "
+                f"{self.tile.label()} needs alpha² = {self.tile.elements}"
+            )
         self.config = config
-        self.transform = transform or get_transform(2, 3, dtype=np.float32)
-        if self.transform.m != 2 or self.transform.r != 3:
-            raise ConvConfigError("the fused pipeline implements F(2×2, 3×3) only")
 
     # ------------------------------------------------------------------
     # FTF kernel (§4.1)
     # ------------------------------------------------------------------
     def transform_filters(self, f_crsk: np.ndarray) -> np.ndarray:
-        """GFGᵀ for every (c, k): (C, 3, 3, K) → (C, 4, 4, K) workspace."""
-        if f_crsk.ndim != 4 or f_crsk.shape[1:3] != (3, 3):
-            raise LayoutError(f"expected CRSK 3×3 filters, got {f_crsk.shape}")
-        # Move K next to C so the transform's trailing dims are (3, 3).
-        f = np.transpose(f_crsk, (0, 3, 1, 2))  # (C, K, 3, 3)
-        f_t = self.transform.transform_filter(f)  # (C, K, 4, 4)
-        return np.ascontiguousarray(np.transpose(f_t, (0, 2, 3, 1)))  # (C,4,4,K)
+        """GFGᵀ for every (c, k): (C, r, r, K) → (C, alpha, alpha, K)."""
+        r = self.transform.r
+        if f_crsk.ndim != 4 or f_crsk.shape[1:3] != (r, r):
+            raise LayoutError(
+                f"expected CRSK {r}×{r} filters, got {f_crsk.shape}"
+            )
+        # Move K next to C so the transform's trailing dims are (r, r).
+        f = np.transpose(f_crsk, (0, 3, 1, 2))  # (C, K, r, r)
+        f_t = self.transform.transform_filter(f)  # (C, K, alpha, alpha)
+        return np.ascontiguousarray(np.transpose(f_t, (0, 2, 3, 1)))
 
     # ------------------------------------------------------------------
     # Fused main kernel
@@ -171,18 +224,22 @@ class FusedWinogradConv:
         if x_chwn.ndim != 4:
             raise LayoutError(f"expected CHWN input, got {x_chwn.shape}")
         c, h, w, n = x_chwn.shape
-        if f_transformed.shape[:3] != (c, 4, 4):
+        t = self.transform
+        alpha = t.alpha
+        m = t.m
+        if f_transformed.shape[:3] != (c, alpha, alpha):
             raise LayoutError(
-                f"expected (C,4,4,K) transformed filters, got {f_transformed.shape}"
+                f"expected (C,{alpha},{alpha},K) transformed filters, "
+                f"got {f_transformed.shape}"
             )
         k = f_transformed.shape[3]
         if prob is None:
             prob = ConvProblem(n=n, c=c, h=h, w=w, k=k)
         cfg = self.config
-        t = self.transform
-        alpha = t.alpha  # 4
-        m = t.m  # 2
         pad = prob.pad
+        elements = alpha * alpha
+        itf_fadds = _itf_fadds_per_tile(t)
+        otf_fadds = _otf_fadds_per_tile(t)
 
         th, tw = prob.tiles_h(m), prob.tiles_w(m)
         tile_r, tile_c, tile_n = tile_index_grid(th, tw, n)
@@ -217,7 +274,7 @@ class FusedWinogradConv:
                 k0 = kb * cfg.bk
                 k_hi = min(k0 + cfg.bk, k)
                 bk_real = k_hi - k0
-                acc = np.zeros((alpha * alpha, bk_real, bn_real), dtype=np.float32)
+                acc = np.zeros((elements, bk_real, bn_real), dtype=np.float32)
 
                 for c0 in range(0, c, cfg.bc):
                     c_hi = min(c0 + cfg.bc, c)
@@ -229,30 +286,29 @@ class FusedWinogradConv:
                         batch[:, None, None],
                     ]  # (bc, bn, a, a)
                     tiles = np.where(mask[None], tiles, np.float32(0))
-                    # --- ITF: 32 FADDs per tile per thread (§4.2) ---
+                    # --- ITF: per-tile BᵀIB adds (§4.2) ---
                     tiles_t = t.transform_input(tiles)  # (bc, bn, a, a)
                     i_smem = tiles_t.transpose(2, 3, 0, 1).reshape(
-                        alpha * alpha, c_hi - c0, bn_real
-                    )  # the (16, bc, bn) shared buffer of Table 4
+                        elements, c_hi - c0, bn_real
+                    )  # the (alpha², bc, bn) shared buffer of Table 4
                     f_smem = f_transformed[c0:c_hi, :, :, k0:k_hi].transpose(
                         1, 2, 0, 3
-                    ).reshape(alpha * alpha, c_hi - c0, bk_real)  # (16, bc, bk)
-                    # --- EWMM as 16-batched GEMM (Eq. 9) ---
+                    ).reshape(elements, c_hi - c0, bk_real)  # (alpha², bc, bk)
+                    # --- EWMM as alpha²-batched GEMM (Eq. 9) ---
                     acc += np.einsum(
                         "pck,pcn->pkn", f_smem, i_smem, optimize=True
                     ).astype(np.float32)
                     stats.gmem_load_bytes += (
                         tiles.size + f_smem.size
                     ) * 4
-                    stats.ffma_total += 16 * bk_real * bn_real * (c_hi - c0)
-                    stats.itf_fadd_total += PAPER_ITF_FLOPS * (c_hi - c0) * bn_real
-
+                    stats.ffma_total += elements * bk_real * bn_real * (c_hi - c0)
+                    stats.itf_fadd_total += itf_fadds * (c_hi - c0) * bn_real
                 # --- OTF: transpose via smem, transform, predicated store ---
                 o_hat = acc.reshape(alpha, alpha, bk_real, bn_real).transpose(
                     2, 3, 0, 1
                 )  # (bk, bn, a, a)
                 o = t.transform_output(o_hat)  # (bk, bn, m, m)
-                stats.otf_fadd_total += PAPER_OTF_FLOPS * bk_real * bn_real
+                stats.otf_fadd_total += otf_fadds * bk_real * bn_real
                 for j, g in enumerate(g_idx):
                     r0 = tile_r[g] * m
                     c0w = tile_c[g] * m
@@ -278,7 +334,8 @@ class FusedWinogradConv:
     def workload(self, prob: ConvProblem) -> dict:
         """Static per-launch work description (no data needed)."""
         cfg = self.config
-        th, tw = prob.tiles_h(2), prob.tiles_w(2)
+        m = self.transform.m
+        th, tw = prob.tiles_h(m), prob.tiles_w(m)
         total_tiles = th * tw * prob.n
         blocks = math.ceil(total_tiles / cfg.bn) * math.ceil(prob.k / cfg.bk)
         iters = math.ceil(prob.c / cfg.bc)
@@ -288,7 +345,7 @@ class FusedWinogradConv:
             "threads_per_block": cfg.threads,
             "warps_per_block": cfg.threads // 32,
             "ffma_per_thread_per_iter": cfg.ffma_per_thread_per_iter,
-            "itf_fadd_per_thread_per_iter": PAPER_ITF_FLOPS,
+            "itf_fadd_per_thread_per_iter": _itf_fadds_per_tile(self.transform),
             "effective_flops": prob.direct_flops,
             "smem_bytes_per_block": cfg.smem_main_loop_bytes,
             "arithmetic_intensity": cfg.arithmetic_intensity(),

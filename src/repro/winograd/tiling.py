@@ -1,17 +1,23 @@
-"""Tile geometry and implicit zero-padding (paper §3.5).
+"""Tile geometry and implicit zero-padding (paper §3.5), tile-generic.
 
 The kernel never materializes a padded input.  Every (tile-row h̃,
 tile-col w̃) pair maps to a window of the *unpadded* input starting at
 ``(h̃·m - pad, w̃·m - pad)``; elements that fall outside ``[0, H) × [0, W)``
 are zeros.  Because each thread always loads the tile at the same
-``(h̃, w̃)``, the 4×4 = 16 in-bounds booleans can be precomputed once —
-the predicate mask the paper packs into one register with P2R.
+``(h̃, w̃)``, the alpha² in-bounds booleans can be precomputed once —
+the predicate mask the paper packs into a register with P2R.
+
+Geometry (alpha, m, pad) is an explicit parameter of every helper here:
+F(2×2,3×3) works on 4×4 windows with 16-bit masks, F(4×4,3×3) on 6×6
+windows whose 36-bit masks no longer fit one register — ``pack_mask``
+returns one 32-bit word per 32 predicates, exactly the register words
+the SASS prologue materializes (one P2R word for f22, two for f44).
 
 This module provides that mask computation and the gather/scatter
 helpers shared by the reference and fused implementations.  The gathers
 are written against the CHWN layout with flat indices + masks rather
 than ``np.pad`` so they compute the *same addresses* the SASS kernel
-generator emits.
+generators emit.
 """
 
 from __future__ import annotations
@@ -20,6 +26,9 @@ import numpy as np
 
 from ..common.errors import LayoutError
 
+#: Predicate bits per mask register word (a 32-bit GPR filled by P2R).
+MASK_WORD_BITS = 32
+
 
 def tile_origin(tile_idx: int, m: int, pad: int) -> int:
     """First input row/col (possibly negative) covered by a tile index."""
@@ -27,42 +36,65 @@ def tile_origin(tile_idx: int, m: int, pad: int) -> int:
 
 
 def zero_pad_mask(
-    h_tile: int, w_tile: int, h: int, w: int, alpha: int = 4, m: int = 2, pad: int = 1
+    h_tile: int, w_tile: int, h: int, w: int, alpha: int, m: int, pad: int
 ) -> np.ndarray:
     """The (alpha, alpha) bool mask of in-bounds elements for one tile.
 
     ``True`` means the element is inside the real input and must be
     loaded; ``False`` means implicit zero.  For F(2×2, 3×3) this is the
     16-bool mask of §3.5 — more than the 7 hardware predicate registers,
-    hence the P2R/R2P packing trick.
+    hence the P2R/R2P packing trick; F(4×4, 3×3) has 36 bools spanning
+    two mask words.
     """
     rows = tile_origin(h_tile, m, pad) + np.arange(alpha)
     cols = tile_origin(w_tile, m, pad) + np.arange(alpha)
     return ((rows >= 0) & (rows < h))[:, None] & ((cols >= 0) & (cols < w))[None, :]
 
 
-def pack_mask(mask: np.ndarray) -> int:
-    """Pack a bool mask into an int, row-major, bit i = element i.
+def mask_words(num_bits: int) -> int:
+    """Number of 32-bit register words holding *num_bits* predicates."""
+    if num_bits < 0:
+        raise LayoutError(f"mask cannot have {num_bits} bits")
+    return max(1, -(-num_bits // MASK_WORD_BITS))
+
+
+def pack_mask(mask: np.ndarray) -> tuple[int, ...]:
+    """Pack a bool mask into 32-bit words, row-major, bit i = element i.
 
     Mirrors what ``P2R`` produces after the per-element ``ISETP`` chain:
-    one 32-bit register holding all 16 predicates of a 4×4 tile.
+    word w holds elements ``32·w .. 32·w + 31``.  A 4×4 f22 mask packs
+    into one word; a 6×6 f44 mask (36 bits) into two — element 35 is
+    bit 3 of the second word.
     """
     flat = np.asarray(mask, dtype=bool).ravel()
-    if flat.size > 32:
-        raise LayoutError(f"mask has {flat.size} bits; register holds at most 32")
-    value = 0
+    words = [0] * mask_words(flat.size)
     for i, bit in enumerate(flat):
         if bit:
-            value |= 1 << i
-    return value
+            words[i // MASK_WORD_BITS] |= 1 << (i % MASK_WORD_BITS)
+    return tuple(words)
 
 
-def unpack_mask(value: int, shape: tuple[int, ...]) -> np.ndarray:
-    """Inverse of :func:`pack_mask` (what ``R2P`` restores in the loop)."""
+def unpack_mask(words, shape: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`pack_mask` (what ``R2P`` restores in the loop).
+
+    Accepts the word tuple :func:`pack_mask` returns, or a bare int for
+    single-word masks.  Raises :class:`LayoutError` when the word count
+    does not cover *shape*.
+    """
     size = int(np.prod(shape))
-    if size > 32:
-        raise LayoutError(f"mask shape {shape} exceeds 32 bits")
-    bits = [(value >> i) & 1 for i in range(size)]
+    if isinstance(words, (int, np.integer)):
+        words = (int(words),)
+    words = tuple(int(w) for w in words)
+    if len(words) < mask_words(size):
+        raise LayoutError(
+            f"mask shape {shape} needs {mask_words(size)} words, got {len(words)}"
+        )
+    for w in words:
+        if not (0 <= w < (1 << MASK_WORD_BITS)):
+            raise LayoutError(f"mask word {w:#x} does not fit a 32-bit register")
+    bits = [
+        (words[i // MASK_WORD_BITS] >> (i % MASK_WORD_BITS)) & 1 for i in range(size)
+    ]
     return np.array(bits, dtype=bool).reshape(shape)
 
 
@@ -70,9 +102,9 @@ def gather_input_tiles_chwn(
     x_chwn: np.ndarray,
     tile_rows: np.ndarray,
     tile_cols: np.ndarray,
-    alpha: int = 4,
-    m: int = 2,
-    pad: int = 1,
+    alpha: int,
+    m: int,
+    pad: int,
 ) -> np.ndarray:
     """Gather input tiles from a CHWN tensor with implicit zero padding.
 
@@ -81,6 +113,7 @@ def gather_input_tiles_chwn(
     x_chwn: input activations, layout (C, H, W, N).
     tile_rows, tile_cols: 1-D integer arrays of tile indices (same length
         T); element t selects the tile at (tile_rows[t], tile_cols[t]).
+    alpha, m, pad: the tile geometry (explicit — no hidden f22 default).
 
     Returns
     -------
@@ -110,7 +143,7 @@ def scatter_output_tiles_khwn(
     tiles: np.ndarray,
     tile_rows: np.ndarray,
     tile_cols: np.ndarray,
-    m: int = 2,
+    m: int,
 ) -> None:
     """Scatter m×m output tiles into a KHWN tensor, cropping overhang.
 

@@ -19,14 +19,21 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "benchmar
 import perf_regression  # noqa: E402
 
 
-def _payload(metrics, winner="yield=natural/ldg8/sts6/db2"):
-    return {
+def _payload(metrics, winner="yield=natural/ldg8/sts6/db2", families=None):
+    payload = {
         "device": "RTX2070",
-        "space": "quick",
         "iters": 3,
-        "winner": winner,
-        "metrics": dict(metrics),
+        "families": {
+            "f22": {
+                "space": "quick",
+                "winner": winner,
+                "metrics": dict(metrics),
+            }
+        },
     }
+    if families:
+        payload["families"].update(families)
+    return payload
 
 
 # ---------------------------------------------------------------------------
@@ -66,7 +73,7 @@ def test_compare_missing_metric_is_a_regression():
     base = _payload({"a": 1000.0, "gone": 500.0})
     fresh = _payload({"a": 1000.0})
     regressions, _ = perf_regression.compare(fresh, base, tolerance=0.10)
-    assert regressions == ["metric disappeared: gone"]
+    assert regressions == ["[f22] metric disappeared: gone"]
 
 
 def test_compare_improvement_and_new_metric_are_notes_only():
@@ -75,8 +82,34 @@ def test_compare_improvement_and_new_metric_are_notes_only():
     regressions, notes = perf_regression.compare(fresh, base, tolerance=0.10)
     assert regressions == []
     assert len(notes) == 2
-    assert any("improvement a" in n for n in notes)
+    assert any("improvement [f22] a" in n for n in notes)
     assert any("new metric" in n for n in notes)
+
+
+def test_compare_missing_family_fails_loudly():
+    f44 = {"f44": {"space": "quick", "winner": "w", "metrics": {"a": 1.0}}}
+    base = _payload({"a": 1000.0})  # f22 only — predates the f44 kernels
+    fresh = _payload({"a": 1000.0}, families=f44)
+    regressions, _ = perf_regression.compare(fresh, base, tolerance=0.10)
+    assert len(regressions) == 1
+    assert "tile family 'f44'" in regressions[0]
+    assert "un-gated" in regressions[0]
+
+
+def test_migrate_baseline_lifts_flat_schema():
+    flat = {
+        "device": "RTX2070",
+        "space": "quick",
+        "iters": 3,
+        "winner": "w",
+        "metrics": {"a": 1.0},
+    }
+    lifted = perf_regression.migrate_baseline(flat)
+    assert set(lifted["families"]) == {"f22"}
+    assert lifted["families"]["f22"]["metrics"] == {"a": 1.0}
+    assert lifted["iters"] == 3
+    # already-migrated payloads pass through untouched
+    assert perf_regression.migrate_baseline(lifted) is lifted
 
 
 # ---------------------------------------------------------------------------
@@ -86,7 +119,8 @@ def test_compare_improvement_and_new_metric_are_notes_only():
 def gate_env(monkeypatch, tmp_path):
     """Patch the simulator + baseline dir; return the CLI arg prefix."""
 
-    def fake_measure(prob, device, tunables, iters=3, num_blocks=None, context=None):
+    def fake_measure(prob, device, tunables, iters=3, num_blocks=None,
+                     context=None, tile=None):
         cycles = (
             5000.0
             - 60 * tunables.ldg_interleave
@@ -119,12 +153,15 @@ def test_gate_update_then_pass_then_injected_failure(gate_env, capsys):
     baseline = json.loads(
         open(perf_regression.baseline_path("RTX2070")).read()
     )
-    assert baseline["winner"] == "yield=natural/ldg8/sts6/db2"
+    assert set(baseline["families"]) == set(perf_regression.GATED_FAMILIES)
+    assert baseline["families"]["f22"]["winner"] == "yield=natural/ldg8/sts6/db2"
     # quick space (12) plus the off-grid Fig. 7-9 axis variants
-    assert len(baseline["metrics"]) >= 12
+    assert len(baseline["families"]["f22"]["metrics"]) >= 12
+    # the f44 gate covers its space (no f22-figure axis sweeps)
+    assert len(baseline["families"]["f44"]["metrics"]) == 12
 
     assert perf_regression.main(argv) == 0
-    assert "perf gate OK" in capsys.readouterr().out
+    assert "2 tile families" in capsys.readouterr().out
 
     # a 15% injected slowdown must fail the 10% gate on every metric
     assert perf_regression.main(argv + ["--inject-regression", "15"]) == 1
@@ -138,12 +175,31 @@ def test_gate_update_then_pass_then_injected_failure(gate_env, capsys):
     assert bench["injected_regression_pct"] == 15.0
 
 
+def test_gate_flat_baseline_fails_on_missing_f44(gate_env, capsys):
+    """A pre-tile-family baseline migrates, then loudly fails the gate."""
+    argv, _ = gate_env
+    assert perf_regression.main(argv + ["--update-baselines"]) == 0
+    path = perf_regression.baseline_path("RTX2070")
+    full = json.loads(open(path).read())
+    flat = {
+        "device": full["device"],
+        "iters": full["iters"],
+        "space": full["families"]["f22"]["space"],
+        "winner": full["families"]["f22"]["winner"],
+        "metrics": full["families"]["f22"]["metrics"],
+    }
+    with open(path, "w") as fh:
+        json.dump(flat, fh)
+    assert perf_regression.main(argv) == 1
+    assert "tile family 'f44'" in capsys.readouterr().err
+
+
 def test_gate_rejects_baseline_from_other_space(gate_env):
     argv, _ = gate_env
     assert perf_regression.main(argv + ["--update-baselines"]) == 0
     path = perf_regression.baseline_path("RTX2070")
     stale = json.loads(open(path).read())
-    stale["space"] = "some-other-space"
+    stale["families"]["f22"]["space"] = "some-other-space"
     with open(path, "w") as fh:
         json.dump(stale, fh)
     assert perf_regression.main(argv) == 2

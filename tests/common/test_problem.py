@@ -79,9 +79,15 @@ def test_rejects_nonpositive(field):
         ConvProblem(**kwargs)
 
 
-def test_rejects_stride_2():
+def test_accepts_stride_2_for_dwm():
+    # Stride 2 is admitted for the DWM decomposition path.
+    p = ConvProblem(n=1, c=1, h=9, w=9, k=1, stride=2)
+    assert p.out_h == 5 and p.out_w == 5
+
+
+def test_rejects_stride_3():
     with pytest.raises(ConvConfigError):
-        ConvProblem(n=1, c=1, h=4, w=4, k=1, stride=2)
+        ConvProblem(n=1, c=1, h=9, w=9, k=1, stride=3)
 
 
 def test_rejects_negative_pad():

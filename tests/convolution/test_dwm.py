@@ -1,0 +1,131 @@
+"""Decomposable Winograd Method: large / strided filters as F(m,3) parts."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConvConfigError, make_rng
+from repro.convolution import (
+    conv2d,
+    direct_conv2d,
+    dwm_conv2d,
+    dwm_conv2d_with_plan,
+    dwm_plan,
+)
+
+
+def _data(n, c, h, w, k, r, seed=0):
+    rng = make_rng(seed)
+    x = rng.standard_normal((n, c, h, w)).astype(np.float32)
+    f = (rng.standard_normal((k, c, r, r)) / (r * r)).astype(np.float32)
+    return x, f
+
+
+# ---------------------------------------------------------------------------
+# Plan structure
+# ---------------------------------------------------------------------------
+def test_plan_native_3x3_is_trivial():
+    plan = dwm_plan(3, 3, pad=1, stride=1)
+    assert plan.is_trivial
+    assert plan.num_parts == 1
+    (part,) = plan.parts
+    assert (part.rows, part.cols) == (3, 3)
+
+
+def test_plan_5x5_splits_into_four_chunks():
+    plan = dwm_plan(5, 5, pad=2, stride=1)
+    assert not plan.is_trivial
+    assert plan.num_parts == 4
+    sizes = sorted((p.rows, p.cols) for p in plan.parts)
+    assert sizes == [(2, 2), (2, 3), (3, 2), (3, 3)]
+
+
+def test_plan_3x3_stride2_is_polyphase():
+    plan = dwm_plan(3, 3, pad=1, stride=2)
+    assert plan.num_parts == 4
+    phases = {p.phase for p in plan.parts}
+    assert phases == {(0, 0), (0, 1), (1, 0), (1, 1)}
+    sizes = sorted((p.rows, p.cols) for p in plan.parts)
+    assert sizes == [(1, 1), (1, 2), (2, 1), (2, 2)]
+
+
+def test_plan_7x7_stride2_composes_both_rules():
+    # each stride phase is <= 4 wide, which then splits into <= 3 chunks
+    plan = dwm_plan(7, 7, pad=3, stride=2)
+    assert plan.num_parts == 9
+    assert all(p.rows <= 3 and p.cols <= 3 for p in plan.parts)
+    assert "DWM(7x7" in plan.label()
+
+
+def test_plan_rejects_bad_shapes():
+    with pytest.raises(ConvConfigError):
+        dwm_plan(0, 3, pad=1)
+    with pytest.raises(ConvConfigError):
+        dwm_plan(3, 3, pad=1, stride=3)
+
+
+# ---------------------------------------------------------------------------
+# Numerics vs direct convolution
+# ---------------------------------------------------------------------------
+def test_5x5_pad2_matches_direct():
+    x, f = _data(2, 4, 12, 12, 8, r=5)
+    y = dwm_conv2d(x, f, pad=2)
+    ref = direct_conv2d(x, f, pad=2)
+    np.testing.assert_allclose(y, ref, atol=2e-4)
+    assert y.shape == ref.shape
+
+
+def test_3x3_stride2_matches_direct():
+    x, f = _data(2, 4, 11, 11, 8, r=3, seed=1)
+    y, plan = dwm_conv2d_with_plan(x, f, pad=1, stride=2)
+    ref = direct_conv2d(x, f, pad=1, stride=2)
+    assert plan.num_parts == 4
+    np.testing.assert_allclose(y, ref, atol=2e-4)
+
+
+def test_5x5_stride2_matches_direct():
+    x, f = _data(1, 3, 14, 14, 4, r=5, seed=2)
+    y = dwm_conv2d(x, f, pad=2, stride=2)
+    ref = direct_conv2d(x, f, pad=2, stride=2)
+    np.testing.assert_allclose(y, ref, atol=2e-4)
+
+
+def test_7x7_matches_direct():
+    x, f = _data(1, 2, 15, 15, 3, r=7, seed=3)
+    y = dwm_conv2d(x, f, pad=3)
+    ref = direct_conv2d(x, f, pad=3)
+    np.testing.assert_allclose(y, ref, atol=2e-4)
+
+
+def test_parts_run_on_f44_tile_too():
+    x, f = _data(2, 4, 12, 12, 8, r=5, seed=4)
+    ref = direct_conv2d(x, f, pad=2)
+    np.testing.assert_allclose(
+        dwm_conv2d(x, f, pad=2, tile="f44"), ref, atol=5e-4
+    )
+
+
+def test_rejects_rectangular_filters():
+    rng = make_rng(0)
+    x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+    f = rng.standard_normal((3, 2, 5, 3)).astype(np.float32)
+    with pytest.raises(ConvConfigError):
+        dwm_conv2d(x, f, pad=1)
+
+
+# ---------------------------------------------------------------------------
+# conv2d dispatch integration
+# ---------------------------------------------------------------------------
+def test_conv2d_dwm_algo_and_stride_gate():
+    x, f = _data(2, 4, 11, 11, 8, r=3, seed=5)
+    y = conv2d(x, f, pad=1, stride=2, algo="WINOGRAD_DWM")
+    np.testing.assert_allclose(
+        y, direct_conv2d(x, f, pad=1, stride=2), atol=2e-4
+    )
+    # stride 2 through a stride-1-only algorithm is a config error that
+    # points at the DWM path
+    with pytest.raises(ConvConfigError, match="WINOGRAD_DWM"):
+        conv2d(x, f, pad=1, stride=2, algo="WINOGRAD")
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -46,10 +46,10 @@ def _fail_algos(monkeypatch, algos):
     """Make ``_execute`` raise for the given algorithms."""
     real = autotune._execute
 
-    def failing(algo, x, f, pad):
+    def failing(algo, x, f, pad, stride=1):
         if algo in algos:
             raise ReproError(f"injected failure for {algo}")
-        return real(algo, x, f, pad)
+        return real(algo, x, f, pad, stride)
 
     monkeypatch.setattr(autotune, "_execute", failing)
 

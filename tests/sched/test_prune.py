@@ -50,7 +50,7 @@ def fake_search(monkeypatch):
     calls = []
 
     def fake_measure(prob, device, tunables, iters=3, num_blocks=None,
-                     context=None):
+                     context=None, tile=None):
         calls.append(tunables)
         cycles = fake_cycles(tunables)
         return types.SimpleNamespace(
@@ -70,7 +70,7 @@ def fake_static_cost(monkeypatch):
     """Static costs shaped like the real ones: yield ablations cost more."""
 
     def cost(schedule, device, *, iters=3, base_tunables=None, prob=None,
-             context=None):
+             context=None, tile=None):
         tunables = schedule.to_tunables(base_tunables)
         cycles = 1000 + YIELD_PENALTY[tunables.yield_strategy]
         return types.SimpleNamespace(static_issue_cycles=cycles)

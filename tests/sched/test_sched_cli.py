@@ -34,7 +34,7 @@ YIELD_PENALTY = {"natural": 0, "nvcc8": 60, "cudnn7": 100}
 def fake_simulator(monkeypatch):
     calls = []
 
-    def fake_measure(prob, device, tunables, iters=3, num_blocks=None, context=None):
+    def fake_measure(prob, device, tunables, iters=3, num_blocks=None, context=None, tile=None):
         calls.append((tunables, iters))
         cycles = (
             5000.0
@@ -88,7 +88,9 @@ def test_cli_search_plans_layers_and_writes_json(fake_simulator, tmp_path, capsy
     assert payload["paper_ordering"]["ldg8_over_ldg2"] > 1.0
     [layer] = payload["layers"]
     assert layer["layer"].startswith("Conv3")
-    assert layer["algo"] == "WINOGRAD"
+    # the heuristic ranks the F(4x4,3x3) variant first on Conv3
+    assert layer["algo"] == "WINOGRAD_F44"
+    assert layer["tile"] == "f44"
     assert layer["schedule_label"] == PAPER_SCHEDULE.label()
     # the trace records the search and the per-candidate measurements
     spans = json.loads(trace_path.read_text())
@@ -121,7 +123,7 @@ def test_conv2d_attaches_schedule_to_cached_plan(fake_simulator):
     conv2d(x, f, pad=prob.pad, algo="AUTO_HEURISTIC", device=RTX2070,
            context=ctx, tune_schedule=True)
     [plan] = ctx.plans.snapshot().values()
-    assert plan.algo == "WINOGRAD"
+    assert plan.algo == "WINOGRAD_F44"
     assert plan.schedule == PAPER_SCHEDULE
     # the second call hits the plan cache and the ScheduleBook memo:
     # no fresh simulator measurements.
@@ -176,7 +178,8 @@ def test_session_compile_records_schedule(fake_simulator):
     assert session.tune_schedule  # defaults on: the context has a config
     plans = session.compile()
     for plan in plans:
-        assert plan.algo == "WINOGRAD"
+        assert plan.algo == "WINOGRAD_F44"
+        assert plan.tile == "f44"
         assert plan.schedule == PAPER_SCHEDULE
         assert plan.to_dict()["schedule"] == PAPER_SCHEDULE.to_dict()
     # one search serves every layer

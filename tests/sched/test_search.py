@@ -51,7 +51,7 @@ def fake_simulator(monkeypatch):
     """Replace the simulator and lint gate with an instant cost model."""
     calls = []
 
-    def fake_measure(prob, device, tunables, iters=3, num_blocks=None, context=None):
+    def fake_measure(prob, device, tunables, iters=3, num_blocks=None, context=None, tile=None):
         calls.append((tunables, iters))
         cycles = fake_cycles(tunables)
         return types.SimpleNamespace(
@@ -115,7 +115,8 @@ def test_explicit_candidate_list(fake_simulator):
 def test_ranking_ties_break_deterministically(fake_simulator, monkeypatch):
     monkeypatch.setattr(
         "repro.sched.search.measure_main_loop",
-        lambda prob, device, tunables, iters=3, num_blocks=None, context=None:
+        lambda prob, device, tunables, iters=3, num_blocks=None, context=None,
+        tile=None:
             types.SimpleNamespace(cycles_per_iter=100.0, tflops=1.0, sol=0.5),
     )
     ctx = ExecutionContext(device=RTX2070)

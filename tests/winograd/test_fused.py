@@ -168,3 +168,47 @@ def test_run_rejects_mismatched_filters():
             np.zeros((4, 8, 8, 2), dtype=np.float32),
             np.zeros((5, 4, 4, 8), dtype=np.float32),
         )
+
+
+# ---------------------------------------------------------------------------
+# F(4×4,3×3) tile: the fused model vs the oracle (§8.1, docs/winograd_tiles.md)
+# ---------------------------------------------------------------------------
+def test_fused_f44_matches_direct_small():
+    prob = ConvProblem(n=2, c=4, h=9, w=9, k=8)
+    rng = make_rng(13)
+    x = random_activation(prob, rng)
+    f = random_filter(prob, rng)
+    conv = FusedWinogradConv(tile="f44")
+    y = khwn_to_nkhw(conv(nchw_to_chwn(x), kcrs_to_crsk(f)))
+    np.testing.assert_allclose(
+        y, direct_conv2d(x, f), atol=conv_tolerance(prob) * 16
+    )
+
+
+def test_fused_f44_mismatched_transform_rejected():
+    from repro.winograd import get_transform
+
+    with pytest.raises(ConvConfigError):
+        FusedWinogradConv(tile="f44", transform=get_transform(2, 3))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ["Conv2", "Conv3", "Conv4", "Conv5"])
+def test_fused_f44_matches_reference_on_table1(name):
+    """Table-1 sweep at N=32: fused F(4×4,3×3) vs the WINOGRAD_REFERENCE
+    oracle.  Both sides use the identical Lavin & Gray f43 matrices; the
+    only difference is the fused model's channel/K blocking, so the
+    results must agree to reassociation round-off."""
+    from repro.models import resnet_layer
+    from repro.winograd import winograd_conv2d_nchw
+
+    prob = resnet_layer(name, 32)
+    rng = make_rng(17)
+    x = random_activation(prob, rng)
+    f = random_filter(prob, rng)
+    conv = FusedWinogradConv(tile="f44")
+    y = khwn_to_nkhw(conv(nchw_to_chwn(x), kcrs_to_crsk(f)))
+    ref = winograd_conv2d_nchw(x, f, m=4, pad=prob.pad)
+    assert y.shape == ref.shape == (prob.n, prob.k, prob.out_h, prob.out_w)
+    scale = float(np.abs(ref).max())
+    assert float(np.abs(y - ref).max()) / scale < 2e-5

@@ -7,7 +7,10 @@ from hypothesis import strategies as st
 
 from repro.common import LayoutError
 from repro.winograd import (
+    TILE_F22,
+    TILE_F44,
     gather_input_tiles_chwn,
+    mask_words,
     pack_mask,
     scatter_output_tiles_khwn,
     tile_index_grid,
@@ -15,15 +18,18 @@ from repro.winograd import (
     zero_pad_mask,
 )
 
+F22 = dict(alpha=TILE_F22.alpha, m=TILE_F22.m, pad=1)
+F44 = dict(alpha=TILE_F44.alpha, m=TILE_F44.m, pad=1)
+
 
 def test_interior_tile_mask_all_true():
-    mask = zero_pad_mask(2, 2, h=10, w=10)
+    mask = zero_pad_mask(2, 2, h=10, w=10, **F22)
     assert mask.all()
 
 
 def test_corner_tile_mask():
     # Tile (0, 0) starts at input (-1, -1): first row and column are pad.
-    mask = zero_pad_mask(0, 0, h=10, w=10)
+    mask = zero_pad_mask(0, 0, h=10, w=10, **F22)
     assert not mask[0].any()
     assert not mask[:, 0].any()
     assert mask[1:, 1:].all()
@@ -31,9 +37,17 @@ def test_corner_tile_mask():
 
 def test_bottom_edge_mask_conv5():
     # 7×7 input, tile row 3 starts at 2·3−1 = 5: rows 5,6 valid, 7,8 not.
-    mask = zero_pad_mask(3, 0, h=7, w=7)
+    mask = zero_pad_mask(3, 0, h=7, w=7, **F22)
     assert mask[0, 1] and mask[1, 1]
     assert not mask[2].any() and not mask[3].any()
+
+
+def test_f44_corner_tile_mask():
+    # 6×6 tile (0, 0) starts at (-1, -1): one pad row/col, 5 valid.
+    mask = zero_pad_mask(0, 0, h=14, w=14, **F44)
+    assert mask.shape == (6, 6)
+    assert not mask[0].any() and not mask[:, 0].any()
+    assert mask[1:, 1:].all()
 
 
 def test_mask_matches_padded_indexing():
@@ -42,7 +56,7 @@ def test_mask_matches_padded_indexing():
     xp = np.pad(x + 1, 1)  # +1 so zeros only come from the pad
     for th in range(3):
         for tw in range(3):
-            mask = zero_pad_mask(th, tw, h, w)
+            mask = zero_pad_mask(th, tw, h, w, **F22)
             window = xp[th * 2 : th * 2 + 4, tw * 2 : tw * 2 + 4]
             np.testing.assert_array_equal(mask, window != 0)
 
@@ -51,20 +65,65 @@ def test_mask_matches_padded_indexing():
 @settings(max_examples=50, deadline=None)
 def test_pack_unpack_roundtrip(bits):
     mask = unpack_mask(bits, (4, 4))
-    assert pack_mask(mask) == bits
+    assert pack_mask(mask) == (bits,)
 
 
 def test_pack_is_row_major_bit_order():
     mask = np.zeros((4, 4), dtype=bool)
     mask[1, 2] = True  # element index 6
-    assert pack_mask(mask) == 1 << 6
+    assert pack_mask(mask) == (1 << 6,)
 
 
-def test_pack_rejects_oversize():
+# ---------------------------------------------------------------------------
+# Multi-word masks: a 6×6 f44 tile has 36 predicate bits, spanning two
+# 32-bit register words (what two P2R words materialize in the prologue).
+# ---------------------------------------------------------------------------
+def test_mask_words_counts():
+    assert mask_words(16) == 1
+    assert mask_words(32) == 1
+    assert mask_words(33) == 2
+    assert mask_words(36) == 2
+    assert mask_words(0) == 1
     with pytest.raises(LayoutError):
-        pack_mask(np.ones((6, 6), dtype=bool))
+        mask_words(-1)
+
+
+def test_pack_mask_6x6_spans_two_words():
+    mask = np.zeros((6, 6), dtype=bool)
+    mask[0, 0] = True   # element 0  → word 0, bit 0
+    mask[5, 1] = True   # element 31 → word 0, bit 31
+    mask[5, 2] = True   # element 32 → word 1, bit 0
+    mask[5, 5] = True   # element 35 → word 1, bit 3
+    words = pack_mask(mask)
+    assert len(words) == 2
+    assert words[0] == (1 << 0) | (1 << 31)
+    assert words[1] == (1 << 0) | (1 << 3)
+    np.testing.assert_array_equal(unpack_mask(words, (6, 6)), mask)
+
+
+@given(bits=st.integers(0, 2**36 - 1))
+@settings(max_examples=50, deadline=None)
+def test_pack_unpack_roundtrip_multiword(bits):
+    words = (bits & 0xFFFFFFFF, bits >> 32)
+    mask = unpack_mask(words, (6, 6))
+    assert pack_mask(mask) == words
+
+
+def test_f44_zero_pad_mask_packs_round_trip():
+    for th in range(3):
+        for tw in range(3):
+            mask = zero_pad_mask(th, tw, h=9, w=9, **F44)
+            words = pack_mask(mask)
+            assert len(words) == 2
+            assert all(0 <= wd < (1 << 32) for wd in words)
+            np.testing.assert_array_equal(unpack_mask(words, (6, 6)), mask)
+
+
+def test_unpack_rejects_short_word_list():
     with pytest.raises(LayoutError):
-        unpack_mask(0, (6, 6))
+        unpack_mask((0,), (6, 6))
+    with pytest.raises(LayoutError):
+        unpack_mask((0, 1 << 32), (6, 6))  # not a 32-bit register word
 
 
 def test_gather_matches_padded_slices():
@@ -74,16 +133,32 @@ def test_gather_matches_padded_slices():
     xp = np.pad(x, ((0, 0), (1, 2), (1, 2), (0, 0)))
     rows = np.array([0, 1, 2, 0])
     cols = np.array([0, 1, 2, 2])
-    tiles = gather_input_tiles_chwn(x, rows, cols)
+    tiles = gather_input_tiles_chwn(x, rows, cols, **F22)
     assert tiles.shape == (c, 4, 4, 4, n)
     for t in range(4):
         expect = xp[:, rows[t] * 2 : rows[t] * 2 + 4, cols[t] * 2 : cols[t] * 2 + 4]
         np.testing.assert_array_equal(tiles[:, t], expect)
 
 
+def test_gather_f44_matches_padded_slices():
+    rng = np.random.default_rng(5)
+    c, h, w, n = 2, 9, 8, 2
+    x = rng.standard_normal((c, h, w, n)).astype(np.float32)
+    xp = np.pad(x, ((0, 0), (1, 4), (1, 4), (0, 0)))
+    rows = np.array([0, 1, 2])
+    cols = np.array([0, 1, 1])
+    tiles = gather_input_tiles_chwn(x, rows, cols, **F44)
+    assert tiles.shape == (c, 3, 6, 6, n)
+    for t in range(3):
+        expect = xp[:, rows[t] * 4 : rows[t] * 4 + 6, cols[t] * 4 : cols[t] * 4 + 6]
+        np.testing.assert_array_equal(tiles[:, t], expect)
+
+
 def test_gather_checks_layout():
     with pytest.raises(LayoutError):
-        gather_input_tiles_chwn(np.zeros((3, 6, 5)), np.array([0]), np.array([0]))
+        gather_input_tiles_chwn(
+            np.zeros((3, 6, 5)), np.array([0]), np.array([0]), **F22
+        )
 
 
 def test_scatter_crops_overhang():
@@ -91,8 +166,17 @@ def test_scatter_crops_overhang():
     y = np.zeros((k, h, w, n), dtype=np.float32)
     tiles = np.ones((k, 9, 2, 2, n), dtype=np.float32)
     rows, cols, _ = tile_index_grid(3, 3, 1)
-    scatter_output_tiles_khwn(y, tiles, rows, cols)
+    scatter_output_tiles_khwn(y, tiles, rows, cols, m=2)
     assert (y == 1).all()  # every in-bounds pixel written exactly once
+
+
+def test_scatter_crops_overhang_f44():
+    k, h, w, n = 2, 7, 7, 1  # 7 = 4 + 3: second tile row/col is cropped
+    y = np.zeros((k, h, w, n), dtype=np.float32)
+    tiles = np.ones((k, 4, 4, 4, n), dtype=np.float32)
+    rows, cols, _ = tile_index_grid(2, 2, 1)
+    scatter_output_tiles_khwn(y, tiles, rows, cols, m=4)
+    assert (y == 1).all()
 
 
 def test_tile_index_grid_batch_fastest():

@@ -139,3 +139,23 @@ def test_cook_toom_any_distinct_points_work(points):
     """Any 4 distinct finite points admit a valid F(2,4)/F(3,3) algorithm."""
     t = cook_toom(3, 3, points=points)
     assert t.check_identity() < 1e-6
+
+
+@given(
+    m=st.integers(1, 4),
+    r=st.integers(2, 4),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_cook_toom_2d_nesting_equals_direct(m, r, seed):
+    """Every constructible F(m,r), nested to 2-D, equals direct correlation.
+
+    This is the property the whole tile family rests on: TileSpec hands
+    any (m, r) to ``cook_toom`` and the fused pipeline trusts the result.
+    """
+    t = cook_toom(m, r)
+    rng = np.random.default_rng(seed)
+    d = rng.standard_normal((t.alpha, t.alpha))
+    g = rng.standard_normal((r, r))
+    fast = t.transform_output(t.transform_filter(g) * t.transform_input(d))
+    np.testing.assert_allclose(fast, _naive_2d_conv_tile(d, g, t), atol=1e-7)
