@@ -1,0 +1,171 @@
+"""Cross-architecture benchmark: schedule portability + fleet routing.
+
+The paper's Table 5 compares the same kernels across Tesla V100 and
+RTX 2070.  This benchmark reproduces that comparison for the *schedule
+search* layer of the stack and exercises the fleet router on top of it:
+
+1. **Per-device searches** — run the successive-halving schedule search
+   for both tile families on every fleet device (memoized per device on
+   a planning :class:`~repro.runtime.ExecutionContext`).
+2. **Cross-device validation** — re-simulate each device's winning
+   schedule on every *other* device
+   (:func:`repro.sched.crossdev.validate_plan_on`) and record the
+   penalty against the target's own rung-0 floor.  A nonzero penalty is
+   the empirical core of the multi-device story: the two architectures
+   genuinely rank schedules differently (the f44 family shows it; the
+   f22 grid happens to order identically on both).
+3. **Fleet routing** — place the four Table-1 ResNet layer stacks
+   (Conv2-Conv5 at n=1, served at ``--max-batch``) onto the fleet with
+   :class:`repro.serving.FleetRouter` and record every routing decision.
+
+Writes ``<out-dir>/BENCH_crossarch.json`` and exits nonzero unless the
+run demonstrates both fleet properties: at least one model routed to
+*each* device, and at least one cross-device validation with a positive
+penalty.
+
+Usage::
+
+    python benchmarks/bench_crossarch.py --quick          # CI smoke
+    python benchmarks/bench_crossarch.py                  # full spaces
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+from repro.models.resnet import RESNET_LAYER_SHAPES, resnet_layer
+from repro.sched import (
+    QUICK_SPACE,
+    ScheduleSearchConfig,
+    ensure_schedule,
+    validate_plan_on,
+)
+from repro.serving import FleetRouter, ModelSpec, ServingConfig
+
+TABLE1_STACKS = tuple(RESNET_LAYER_SHAPES)  # Conv2..Conv5
+
+
+def run(devices: tuple[str, ...], quick: bool, max_batch: int) -> dict:
+    search_config = (
+        ScheduleSearchConfig(space=QUICK_SPACE) if quick else None
+    )
+    router = FleetRouter(
+        devices,
+        ServingConfig(max_batch=max_batch),
+        search_config=search_config,
+    )
+
+    # 1. Per-device searches, both families, on the router's own
+    # planning contexts — the routing step below reuses every result.
+    searches: dict[str, dict[str, dict]] = {}
+    results: dict[str, dict] = {}
+    for key in router.device_keys:
+        ctx = router.planning_context(key)
+        searches[key] = {}
+        results[key] = {}
+        for tile in ("f22", "f44"):
+            result = ensure_schedule(
+                device=ctx.device, config=search_config, context=ctx,
+                tile=tile,
+            )
+            results[key][tile] = result
+            searches[key][tile] = {
+                "winner": result.best.schedule.label(),
+                "cycles_per_iter": result.best.cycles_per_iter,
+                "space": result.space_signature,
+                "evaluations": result.evaluations,
+            }
+
+    # 2. Cross-device validation: every winner on every other device.
+    validations = []
+    for src in router.device_keys:
+        for dst in router.device_keys:
+            if dst == src:
+                continue
+            for tile in ("f22", "f44"):
+                report = validate_plan_on(
+                    results[src][tile], dst,
+                    config=search_config,
+                    context=router.planning_context(dst),
+                )
+                validations.append(report.to_dict())
+
+    # 3. Fleet-route the Table-1 layer stacks.
+    routing = []
+    for name in TABLE1_STACKS:
+        prob = resnet_layer(name, n=1)
+        filters = (np.zeros((prob.k, prob.c, 3, 3), dtype=np.float32),)
+        decision = router.register_model(
+            "bench", ModelSpec(name=name.lower(), problems=(prob,),
+                               filters=filters),
+        )
+        routing.append(decision.to_dict())
+
+    placements = {d["device"] for d in routing}
+    max_penalty = max((v["penalty_pct"] for v in validations), default=0.0)
+    return {
+        "devices": list(router.device_keys),
+        "profile": "quick" if quick else "full",
+        "max_batch": max_batch,
+        "searches": searches,
+        "validations": validations,
+        "routing": routing,
+        "summary": {
+            "devices_used": sorted(placements),
+            "all_devices_used": placements == set(router.device_keys),
+            "max_penalty_pct": max_penalty,
+            "nonzero_penalty": max_penalty > 0.0,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--devices", nargs="+", default=["V100", "RTX2070"],
+                        help="fleet devices (default: V100 RTX2070)")
+    parser.add_argument("--quick", action="store_true",
+                        help="QUICK_SPACE searches (the CI smoke profile)")
+    parser.add_argument("--max-batch", type=int, default=32,
+                        help="served batch size the routing costs assume "
+                             "(default: 32)")
+    parser.add_argument("--out-dir", default=os.path.join(
+                            os.path.dirname(__file__), "results"),
+                        help="where BENCH_crossarch.json lands "
+                             "(default: results/)")
+    args = parser.parse_args(argv)
+
+    payload = run(tuple(args.devices), args.quick, args.max_batch)
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    out = os.path.join(args.out_dir, "BENCH_crossarch.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+    summary = payload["summary"]
+    print(f"wrote {out}")
+    print(f"  devices used by routing: {', '.join(summary['devices_used'])}")
+    for v in payload["validations"]:
+        print(f"  [{v['tile']}] {v['tuned_on']} -> {v['validated_on']}: "
+              f"{v['schedule']} penalty {v['penalty_pct']:+.2f}%")
+    ok = True
+    if not summary["all_devices_used"]:
+        print("error: fleet routing left a device idle "
+              f"(used: {summary['devices_used']})", file=sys.stderr)
+        ok = False
+    if not summary["nonzero_penalty"]:
+        print("error: no cross-device validation produced a positive "
+              "penalty — schedule portability is not being exercised",
+              file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

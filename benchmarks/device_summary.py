@@ -1,0 +1,86 @@
+"""Render a device × tile-family summary table from perf-gate artifacts.
+
+Reads every ``BENCH_sched_regression_<device>.json`` the perf gate wrote
+(see ``perf_regression.py``) and emits a GitHub-flavored markdown table
+of each device's winning schedule and its simulated main-loop
+cycles-per-iteration, per tile family — the nightly workflow appends it
+to ``$GITHUB_STEP_SUMMARY``.
+
+Usage::
+
+    python benchmarks/device_summary.py benchmarks/results/BENCH_sched_regression_*.json
+    python benchmarks/device_summary.py --dir benchmarks/results
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_rows(paths: list[str]) -> list[dict]:
+    rows = []
+    for path in sorted(paths):
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        device = payload.get("device", os.path.basename(path))
+        profile = payload.get("profile", "?")
+        for family, fam in sorted(payload.get("families", {}).items()):
+            winner = fam.get("winner", "?")
+            cycles = fam.get("metrics", {}).get(winner)
+            rows.append({
+                "device": device,
+                "profile": profile,
+                "family": family,
+                "winner": winner,
+                "cycles": cycles,
+                "metrics": len(fam.get("metrics", {})),
+            })
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    lines = [
+        "## Schedule search, device × tile family",
+        "",
+        "| device | profile | family | winner | cycles/iter | gated metrics |",
+        "|---|---|---|---|---:|---:|",
+    ]
+    for row in rows:
+        cycles = f"{row['cycles']:.0f}" if row["cycles"] is not None else "?"
+        lines.append(
+            f"| {row['device']} | {row['profile']} | {row['family']} "
+            f"| `{row['winner']}` | {cycles} | {row['metrics']} |"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="BENCH_sched_regression_*.json files")
+    parser.add_argument("--dir", default=None,
+                        help="glob BENCH_sched_regression_*.json under this "
+                             "directory instead of listing paths")
+    args = parser.parse_args(argv)
+
+    paths = list(args.paths)
+    if args.dir:
+        paths.extend(glob.glob(
+            os.path.join(args.dir, "BENCH_sched_regression_*.json")
+        ))
+    if not paths:
+        print("error: no BENCH_sched_regression_*.json inputs",
+              file=sys.stderr)
+        return 1
+    print(render(load_rows(paths)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,8 @@
 
 Runs the ``repro.sched`` schedule search plus the Fig. 7-9 axis sweeps,
 then compares every measured cycles-per-iteration metric against the
-checked-in ``benchmarks/baselines/sched_<device>.json``:
+checked-in per-device baseline
+``benchmarks/baselines/sched_<device>.json``:
 
 * a metric more than ``--tolerance`` (default 10%) *slower* than its
   baseline fails the gate (exit 1);
@@ -13,6 +14,23 @@ checked-in ``benchmarks/baselines/sched_<device>.json``:
 * both tile families (f22 and f44) are measured, and a baseline with no
   metrics for a measured family fails loudly — a shipped kernel family
   must never run un-gated.
+
+Baselines are **schema 2**: one file per device, carrying the exact
+:class:`~repro.gpusim.arch.DeviceSpec` the metrics were measured on plus
+one profile per gate configuration::
+
+    {"schema": 2, "device": "V100", "spec": {...},
+     "profiles": {"quick": {"iters": 3, "families": {...}},
+                  "full":  {"iters": 3, "families": {...}}}}
+
+``--quick`` gates against the ``quick`` profile (QUICK_SPACE, 2 rungs —
+the per-PR CI configuration); without it the ``full`` profile (the
+entire 54-point f22 grid + 27-point f44 grid — the nightly
+configuration).  ``--update-baselines`` regenerates only the profile it
+ran, preserving the other.  Legacy flat / single-profile baselines are
+migrated on read.  A baseline whose embedded device spec no longer
+matches the registry fails the run (exit 2): the numbers were measured
+on a different machine model, so comparing against them is meaningless.
 
 The fresh measurements are always written to
 ``<out-dir>/BENCH_sched_regression_<device>.json`` so CI can upload
@@ -26,6 +44,7 @@ tolerance).
 Usage::
 
     python benchmarks/perf_regression.py --quick                # CI gate
+    python benchmarks/perf_regression.py --device V100 --quick
     python benchmarks/perf_regression.py --quick --update-baselines
     python benchmarks/perf_regression.py --quick --inject-regression 15
 """
@@ -37,7 +56,8 @@ import json
 import os
 import sys
 
-from repro.gpusim import DEVICES
+from repro.common.errors import DeviceError
+from repro.gpusim import DEVICES, canonical_device_key
 from repro.runtime import ExecutionContext
 from repro.sched import (
     DEFAULT_SPACE,
@@ -53,6 +73,8 @@ from repro.sched import (
 
 BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
 
+SCHEMA_VERSION = 2
+
 #: Both shipped tile families are gated; a baseline that predates one of
 #: them fails loudly instead of silently skipping the new kernels.
 GATED_FAMILIES = ("f22", "f44")
@@ -64,6 +86,14 @@ def _slug(device_key: str) -> str:
 
 def baseline_path(device_key: str) -> str:
     return os.path.join(BASELINE_DIR, f"sched_{_slug(device_key)}.json")
+
+
+def _regen_command(device_key: str, profile: str) -> str:
+    quick = " --quick" if profile == "quick" else ""
+    return (
+        f"PYTHONPATH=src python benchmarks/perf_regression.py "
+        f"--device {device_key}{quick} --update-baselines"
+    )
 
 
 def _collect_family(device, tile: str, space, budget, ctx,
@@ -111,7 +141,7 @@ def _collect_family(device, tile: str, space, budget, ctx,
 
 
 def collect_metrics(device_key: str, quick: bool) -> dict:
-    """Measure every gated metric fresh; returns the payload dict.
+    """Measure every gated metric fresh; returns one profile payload.
 
     Metrics are the rung-0 scores of the schedule search (every
     candidate at the same budget) plus the Fig. 7-9 axis variants, all
@@ -133,30 +163,47 @@ def collect_metrics(device_key: str, quick: bool) -> dict:
         for tile in GATED_FAMILIES
     }
     return {
-        "device": device_key,
         "iters": budget.base_iters,
         "families": families,
     }
 
 
-def migrate_baseline(baseline: dict) -> dict:
-    """Lift a pre-tile-family (flat) baseline into the families schema.
+def migrate_baseline(baseline: dict, profile: str) -> dict:
+    """Lift any historical baseline layout into the schema-2 shape.
 
-    Old baselines carried a single implicit f22 metric set; they migrate
-    to ``{"families": {"f22": ...}}`` so the family-coverage check below
-    reports the *actual* problem (no f44 baseline) instead of a schema
-    crash.
+    * schema 2 passes through unchanged;
+    * the single-profile families layout (``{"device", "iters",
+      "families"}``) becomes that payload filed under *profile* — the
+      space-signature check downstream catches a quick/full mismatch;
+    * the original flat layout (implicit single f22 metric set) is first
+      lifted into families, then filed the same way.
+
+    Migrated baselines carry no embedded device spec (``spec: None``),
+    which skips the spec-drift check until ``--update-baselines``
+    rewrites them.
     """
-    if "families" in baseline:
+    if baseline.get("schema") == SCHEMA_VERSION:
         return baseline
+    if "families" not in baseline:
+        baseline = {
+            "device": baseline.get("device"),
+            "iters": baseline.get("iters"),
+            "families": {
+                "f22": {
+                    "space": baseline.get("space"),
+                    "winner": baseline.get("winner"),
+                    "metrics": baseline.get("metrics", {}),
+                }
+            },
+        }
     return {
+        "schema": SCHEMA_VERSION,
         "device": baseline.get("device"),
-        "iters": baseline.get("iters"),
-        "families": {
-            "f22": {
-                "space": baseline.get("space"),
-                "winner": baseline.get("winner"),
-                "metrics": baseline.get("metrics", {}),
+        "spec": None,
+        "profiles": {
+            profile: {
+                "iters": baseline.get("iters"),
+                "families": baseline["families"],
             }
         },
     }
@@ -165,6 +212,7 @@ def migrate_baseline(baseline: dict) -> dict:
 def compare(fresh: dict, baseline: dict, tolerance: float) -> tuple[list, list]:
     """(regressions, notes) from comparing *fresh* against *baseline*.
 
+    Both arguments are profile payloads (``{"iters", "families"}``).
     Regressions are gate failures: slower-than-tolerance metrics,
     metrics that disappeared, a changed search winner, or a whole tile
     family the baseline never measured (a silently un-gated kernel is
@@ -213,18 +261,48 @@ def compare(fresh: dict, baseline: dict, tolerance: float) -> tuple[list, list]:
     return regressions, notes
 
 
+def _load_baseline(device_key: str, profile: str) -> dict | None:
+    path = baseline_path(device_key)
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as fh:
+        return migrate_baseline(json.load(fh), profile)
+
+
+def update_baseline(device_key: str, profile: str, fresh_profile: dict) -> str:
+    """Merge *fresh_profile* into the device baseline, preserving others."""
+    baseline = _load_baseline(device_key, profile) or {
+        "schema": SCHEMA_VERSION,
+        "device": device_key,
+        "spec": None,
+        "profiles": {},
+    }
+    baseline["schema"] = SCHEMA_VERSION
+    baseline["device"] = device_key
+    baseline["spec"] = DEVICES[device_key].to_dict()
+    baseline["profiles"][profile] = fresh_profile
+    os.makedirs(BASELINE_DIR, exist_ok=True)
+    path = baseline_path(device_key)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+    return path
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
     )
-    parser.add_argument("--device", default="RTX2070", choices=sorted(DEVICES),
-                        help="simulated device (default: RTX2070)")
+    parser.add_argument("--device", default="RTX2070",
+                        help="simulated device: registry key, spec name or "
+                             "alias (default: RTX2070)")
     parser.add_argument("--quick", action="store_true",
-                        help="QUICK_SPACE + 2 rungs (the CI configuration)")
+                        help="QUICK_SPACE + 2 rungs (the per-PR CI profile); "
+                             "omit for the full grids (the nightly profile)")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed fractional slowdown (default: 0.10)")
     parser.add_argument("--update-baselines", action="store_true",
-                        help="write the fresh metrics as the new baseline")
+                        help="write the fresh metrics as the new baseline "
+                             "profile (other profiles are preserved)")
     parser.add_argument("--inject-regression", type=float, default=None,
                         metavar="PCT",
                         help="inflate measured cycles by PCT%% (gate self-test)")
@@ -233,57 +311,93 @@ def main(argv: list[str] | None = None) -> int:
                         help="where BENCH_*.json lands (default: results/)")
     args = parser.parse_args(argv)
 
-    fresh = collect_metrics(args.device, args.quick)
+    try:
+        device_key = canonical_device_key(args.device)
+    except DeviceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    profile = "quick" if args.quick else "full"
+
+    fresh_profile = collect_metrics(device_key, args.quick)
     if args.inject_regression is not None:
         factor = 1.0 + args.inject_regression / 100.0
-        for fam in fresh["families"].values():
+        for fam in fresh_profile["families"].values():
             fam["metrics"] = {
                 label: cycles * factor
                 for label, cycles in fam["metrics"].items()
             }
-        fresh["injected_regression_pct"] = args.inject_regression
+        fresh_profile["injected_regression_pct"] = args.inject_regression
         print(f"injected a synthetic {args.inject_regression:+.1f}% on every metric")
 
     os.makedirs(args.out_dir, exist_ok=True)
     bench_path = os.path.join(
-        args.out_dir, f"BENCH_sched_regression_{_slug(args.device)}.json"
+        args.out_dir, f"BENCH_sched_regression_{_slug(device_key)}.json"
     )
     with open(bench_path, "w", encoding="utf-8") as fh:
-        json.dump(fresh, fh, indent=2, sort_keys=True)
+        json.dump(
+            {
+                "schema": SCHEMA_VERSION,
+                "device": device_key,
+                "spec": DEVICES[device_key].to_dict(),
+                "profile": profile,
+                **fresh_profile,
+            },
+            fh, indent=2, sort_keys=True,
+        )
     summary = ", ".join(
         f"{family}: {len(fam['metrics'])} metrics, winner {fam['winner']}"
-        for family, fam in fresh["families"].items()
+        for family, fam in fresh_profile["families"].items()
     )
-    print(f"wrote {bench_path} ({summary})")
+    print(f"wrote {bench_path} ({profile} profile; {summary})")
 
     if args.update_baselines:
-        os.makedirs(BASELINE_DIR, exist_ok=True)
-        with open(baseline_path(args.device), "w", encoding="utf-8") as fh:
-            json.dump(fresh, fh, indent=2, sort_keys=True)
-        print(f"updated {baseline_path(args.device)}")
+        path = update_baseline(device_key, profile, fresh_profile)
+        print(f"updated {path} ({profile} profile)")
         return 0
 
-    path = baseline_path(args.device)
-    if not os.path.exists(path):
-        print(f"error: no baseline at {path}; run with --update-baselines first",
+    path = baseline_path(device_key)
+    baseline = _load_baseline(device_key, profile)
+    if baseline is None:
+        print(f"error: no baseline for device {device_key} at {path}; "
+              f"generate it with:\n  {_regen_command(device_key, profile)}",
               file=sys.stderr)
         return 2
-    with open(path, encoding="utf-8") as fh:
-        baseline = migrate_baseline(json.load(fh))
-    if baseline.get("iters") != fresh["iters"]:
-        print(f"error: baseline {path} was generated at a different budget "
-              f"({baseline.get('iters')} iters vs {fresh['iters']}); "
-              "regenerate it with --update-baselines", file=sys.stderr)
+    if baseline.get("spec") is not None:
+        current = DEVICES[device_key].to_dict()
+        if baseline["spec"] != current:
+            drifted = sorted(
+                k for k in set(baseline["spec"]) | set(current)
+                if baseline["spec"].get(k) != current.get(k)
+            )
+            print(f"error: baseline {path} was measured on a different "
+                  f"{device_key} spec (drifted fields: {', '.join(drifted)}); "
+                  f"regenerate it with:\n  {_regen_command(device_key, profile)}",
+                  file=sys.stderr)
+            return 2
+    base_profile = baseline["profiles"].get(profile)
+    if base_profile is None:
+        have = sorted(baseline["profiles"]) or ["none"]
+        print(f"error: baseline {path} has no '{profile}' profile "
+              f"(profiles present: {', '.join(have)}); generate it with:\n"
+              f"  {_regen_command(device_key, profile)}",
+              file=sys.stderr)
         return 2
-    for family, fam in fresh["families"].items():
-        base_fam = baseline["families"].get(family)
+    if base_profile.get("iters") != fresh_profile["iters"]:
+        print(f"error: baseline {path} was generated at a different budget "
+              f"({base_profile.get('iters')} iters vs "
+              f"{fresh_profile['iters']}); regenerate it with:\n"
+              f"  {_regen_command(device_key, profile)}", file=sys.stderr)
+        return 2
+    for family, fam in fresh_profile["families"].items():
+        base_fam = base_profile["families"].get(family)
         if base_fam is not None and base_fam.get("space") != fam["space"]:
             print(f"error: baseline {path} covers a different {family} "
                   f"space ({base_fam.get('space')} vs {fam['space']}); "
-                  "regenerate it with --update-baselines", file=sys.stderr)
+                  f"regenerate it with:\n  {_regen_command(device_key, profile)}",
+                  file=sys.stderr)
             return 2
 
-    regressions, notes = compare(fresh, baseline, args.tolerance)
+    regressions, notes = compare(fresh_profile, base_profile, args.tolerance)
     for note in notes:
         print(f"note: {note}")
     if regressions:
@@ -292,9 +406,9 @@ def main(argv: list[str] | None = None) -> int:
         for line in regressions:
             print(f"  {line}", file=sys.stderr)
         return 1
-    gated = sum(len(f["metrics"]) for f in baseline["families"].values())
-    print(f"perf gate OK: {gated} metrics across "
-          f"{len(baseline['families'])} tile families within "
+    gated = sum(len(f["metrics"]) for f in base_profile["families"].values())
+    print(f"perf gate OK [{device_key}/{profile}]: {gated} metrics across "
+          f"{len(base_profile['families'])} tile families within "
           f"{args.tolerance * 100:.0f}% of baseline")
     return 0
 

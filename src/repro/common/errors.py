@@ -71,6 +71,12 @@ class SimLaunchError(SimulatorError):
     """Kernel launch configuration exceeds device limits."""
 
 
+class DeviceError(SimulatorError):
+    """Device registry failure: unknown device name, or a registered
+    :class:`~repro.gpusim.arch.DeviceSpec` whose latency model fails
+    validation against the microbenchmarked bounds."""
+
+
 class SimDeadlock(SimulatorError):
     """The simulator made no forward progress (barrier/scoreboard deadlock)."""
 

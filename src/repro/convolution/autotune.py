@@ -273,7 +273,12 @@ def autotune_conv2d(
         )
     ctx = context if context is not None else current_context()
     with activate(ctx):
-        device = device or ctx.device
+        if device is None:
+            device = ctx.device
+        else:
+            from ..gpusim.arch import resolve_device
+
+            device = resolve_device(device)
         if tune_schedule is None:
             tune_schedule = ctx.schedule_search is not None
         stats = ctx.dispatch_stats

@@ -5,7 +5,20 @@ SASS-level effects (yield flag, LDG/STS spacing, bank conflicts,
 register banks, occupancy).
 """
 
-from .arch import DEVICES, RTX2070, V100, DeviceSpec
+from .arch import (
+    DEVICE_ALIASES,
+    DEVICE_ENV_VAR,
+    DEVICES,
+    LATENCY_BOUNDS,
+    RTX2070,
+    V100,
+    DeviceSpec,
+    canonical_device_key,
+    device_key,
+    register_device,
+    resolve_device,
+    validate_device,
+)
 from .counters import Counters
 from .engine import ExecResult, ExecutionContext, execute
 from .launch import (
@@ -33,7 +46,10 @@ __all__ = [
     "BlockSpec",
     "Counters",
     "DEVICES",
+    "DEVICE_ALIASES",
+    "DEVICE_ENV_VAR",
     "DeviceSpec",
+    "LATENCY_BOUNDS",
     "ExecResult",
     "ExecutionContext",
     "GlobalMemory",
@@ -49,12 +65,17 @@ __all__ = [
     "WarpState",
     "bank_conflict_report",
     "build_const_bank",
+    "canonical_device_key",
     "coalesced_sectors",
+    "device_key",
     "estimate_grid_time",
     "execute",
     "prepare_kernel",
     "profile_report",
+    "register_device",
+    "resolve_device",
     "run_grid",
     "simulate_batch",
     "simulate_resident_blocks",
+    "validate_device",
 ]

@@ -45,7 +45,7 @@ from typing import Callable, Iterator
 
 from ..convolution.autotune import PlanCache
 from ..convolution.metrics import DispatchStats
-from ..gpusim.arch import V100, DeviceSpec
+from ..gpusim.arch import DeviceSpec, resolve_device
 from ..kernels.cache import KernelBuildCache, SimulationCache
 from ..kernels.runner import LintGate
 from .arena import WorkspaceArena
@@ -135,8 +135,12 @@ class ExecutionContext:
 
     Parameters
     ----------
-    device: default :class:`DeviceSpec` for AUTO dispatch and simulation
-        (V100, like every per-call default it replaces).
+    device: default device for AUTO dispatch and simulation — a
+        :class:`DeviceSpec` or any name the
+        :func:`~repro.gpusim.arch.resolve_device` registry accepts
+        ("V100", "rtx2070", "turing", ...).  ``None`` resolves through
+        the registry too: the ``REPRO_DEVICE`` environment variable if
+        set, else V100 (the historical default).
     kernel_cache_entries / sim_cache_entries / plan_cache_entries:
         cache bounds; the kernel/sim defaults honour the existing
         ``REPRO_KERNEL_CACHE_SIZE`` / ``REPRO_SIM_CACHE_SIZE`` variables.
@@ -151,7 +155,7 @@ class ExecutionContext:
 
     def __init__(
         self,
-        device: DeviceSpec | None = None,
+        device: DeviceSpec | str | None = None,
         *,
         kernel_cache_entries: int | None = None,
         sim_cache_entries: int | None = None,
@@ -164,7 +168,7 @@ class ExecutionContext:
         # which must be importable before this module finishes loading.
         from ..sched.search import ScheduleBook
 
-        self.device = device or V100
+        self.device = resolve_device(device)
         self.schedule_search = schedule_search
         self.schedules = ScheduleBook()
         self.kernel_cache = KernelBuildCache(

@@ -234,7 +234,12 @@ class InferenceSession:
         self.mode = mode
         self.workspace_limit_bytes = workspace_limit_bytes
         self.context = context or current_context()
-        self.device = device or self.context.device
+        if device is None:
+            self.device = self.context.device
+        else:
+            from ..gpusim.arch import resolve_device
+
+            self.device = resolve_device(device)
         if tune_schedule is None:
             tune_schedule = self.context.schedule_search is not None
         self.tune_schedule = tune_schedule

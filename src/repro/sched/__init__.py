@@ -4,6 +4,7 @@ successive-halving tuner (:mod:`repro.sched.search`) and the
 ``python -m repro sched`` CLI (:mod:`repro.sched.cli`).
 """
 
+from .crossdev import CrossDeviceReport, cross_validate, validate_plan_on
 from .search import (
     CandidateScore,
     ScheduleBook,
@@ -33,6 +34,7 @@ from .space import (
 __all__ = [
     "CUDNN_SCHEDULE",
     "CandidateScore",
+    "CrossDeviceReport",
     "DEFAULT_SPACE",
     "F44_SPACE",
     "PAPER_SCHEDULE",
@@ -44,6 +46,7 @@ __all__ = [
     "ScheduleSpace",
     "SearchBudget",
     "SearchResult",
+    "cross_validate",
     "ensure_schedule",
     "evaluate_schedule",
     "paper_ordering",
@@ -52,4 +55,5 @@ __all__ = [
     "space_for_tile",
     "static_cost_candidate",
     "successive_halving",
+    "validate_plan_on",
 ]

@@ -208,6 +208,8 @@ class SearchResult:
     #: Labels of candidates the static pruner dropped before rung 0
     #: (empty unless ``SearchBudget.prune_margin`` opted in).
     pruned: list[str] = dataclasses.field(default_factory=list)
+    #: Kernel family the search targeted ("f22" / "f44").
+    tile: str = "f22"
 
     @property
     def schedule(self) -> Schedule:
@@ -238,6 +240,7 @@ class SearchResult:
     def to_dict(self) -> dict:
         return {
             "device": self.device,
+            "tile": self.tile,
             "space": self.space_signature,
             "budget": self.budget.to_dict(),
             "best": self.best.to_dict(),
@@ -246,6 +249,17 @@ class SearchResult:
             "pruned": list(self.pruned),
             "rungs": [[s.to_dict() for s in rung] for rung in self.rungs],
         }
+
+    def validate_on(self, device, **kwargs):
+        """Re-simulate this search's winner on another device.
+
+        Convenience wrapper over
+        :func:`repro.sched.crossdev.validate_plan_on`; see there for the
+        penalty semantics and keyword arguments.
+        """
+        from .crossdev import validate_plan_on
+
+        return validate_plan_on(self, device, **kwargs)
 
 
 def evaluate_schedule(
@@ -528,6 +542,7 @@ def successive_halving(
         evaluations=evaluations,
         lint_gated=lint_gated,
         pruned=pruned,
+        tile=spec.name,
     )
 
 

@@ -12,12 +12,15 @@ control against the tenant's workspace budget (typed
 """
 
 from .config import ServingConfig
+from .fleet import FleetRouter, RoutingDecision
 from .frontend import ModelSpec, ServingFrontend
 from .metrics import LATENCY_WINDOW, ServingMetrics, ServingSnapshot, percentile
 
 __all__ = [
     "LATENCY_WINDOW",
+    "FleetRouter",
     "ModelSpec",
+    "RoutingDecision",
     "ServingConfig",
     "ServingFrontend",
     "ServingMetrics",

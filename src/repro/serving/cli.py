@@ -8,6 +8,7 @@ counts).  Examples::
     python -m repro serve                           # defaults: tiny layer
     python -m repro serve --clients 256 --duration 3 --max-batch 64
     python -m repro serve --layer Conv3 --mode AUTO_HEURISTIC
+    python -m repro serve --device V100                 # fleet's other arch
     python -m repro serve --max-batch 1             # no-batching control
     python -m repro serve --json serve_stats.json
 """
@@ -58,7 +59,7 @@ def _summary(stats: dict, load) -> str:
 
 
 async def _serve(args: argparse.Namespace) -> int:
-    from ..gpusim.arch import RTX2070
+    from ..gpusim.arch import resolve_device
     from . import ModelSpec, ServingConfig, ServingFrontend
     from .loadgen import run_closed_loop
 
@@ -80,7 +81,7 @@ async def _serve(args: argparse.Namespace) -> int:
         (rng.random((prob.c, prob.h, prob.w), dtype="float32") * 2 - 1)
         for _ in range(64)
     ]
-    async with ServingFrontend(config, device=RTX2070) as frontend:
+    async with ServingFrontend(config, device=resolve_device(args.device)) as frontend:
         frontend.register_model(args.tenant, ModelSpec(
             name=prob.label(), problems=(prob,), filters=(weights,)))
         load = await run_closed_loop(
@@ -123,6 +124,9 @@ def add_serve_parser(sub) -> None:
     p.add_argument("--layer", default=None,
                    help="ResNet layer name served at n=1 "
                         "(default: a small demo layer)")
+    p.add_argument("--device", default="RTX2070",
+                   help="simulated device (registry name or alias; "
+                        "default: RTX2070)")
     p.add_argument("--mode", default="GEMM",
                    help="session mode for formed batches (default: GEMM)")
     p.add_argument("--max-batch", type=int, default=32,

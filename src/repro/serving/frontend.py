@@ -265,7 +265,12 @@ class ServingFrontend:
 
     def __init__(self, config: ServingConfig | None = None, *, device=None):
         self.config = config or ServingConfig()
-        self.device = device
+        if device is None:
+            self.device = None  # each tenant context resolves its own
+        else:
+            from ..gpusim.arch import resolve_device
+
+            self.device = resolve_device(device)
         self.metrics = ServingMetrics()
         self._tenants: dict[str, _TenantState] = {}
         self._queues: dict[tuple[str, str], _SignatureQueue] = {}

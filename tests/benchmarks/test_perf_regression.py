@@ -104,12 +104,22 @@ def test_migrate_baseline_lifts_flat_schema():
         "winner": "w",
         "metrics": {"a": 1.0},
     }
-    lifted = perf_regression.migrate_baseline(flat)
-    assert set(lifted["families"]) == {"f22"}
-    assert lifted["families"]["f22"]["metrics"] == {"a": 1.0}
-    assert lifted["iters"] == 3
+    lifted = perf_regression.migrate_baseline(flat, "quick")
+    assert lifted["schema"] == perf_regression.SCHEMA_VERSION
+    assert lifted["spec"] is None  # drift check skipped until regenerated
+    profile = lifted["profiles"]["quick"]
+    assert set(profile["families"]) == {"f22"}
+    assert profile["families"]["f22"]["metrics"] == {"a": 1.0}
+    assert profile["iters"] == 3
     # already-migrated payloads pass through untouched
-    assert perf_regression.migrate_baseline(lifted) is lifted
+    assert perf_regression.migrate_baseline(lifted, "quick") is lifted
+
+
+def test_migrate_baseline_lifts_single_profile_families_schema():
+    v1 = _payload({"a": 1.0})
+    lifted = perf_regression.migrate_baseline(v1, "full")
+    assert set(lifted["profiles"]) == {"full"}
+    assert lifted["profiles"]["full"]["families"]["f22"]["metrics"] == {"a": 1.0}
 
 
 # ---------------------------------------------------------------------------
@@ -136,15 +146,26 @@ def gate_env(monkeypatch, tmp_path):
     monkeypatch.setattr(
         "repro.sched.search.lint_gate_candidate", lambda *a, **k: None
     )
+    # Prefetch batch-runs real simulations (measure_main_loop above is
+    # the memoized consumer); with it patched out the full-profile tests
+    # stay instant.
+    monkeypatch.setattr(
+        "repro.sched.search.prefetch_main_loop_sims", lambda *a, **k: 0
+    )
     baseline_dir = tmp_path / "baselines"
     monkeypatch.setattr(perf_regression, "BASELINE_DIR", str(baseline_dir))
     out_dir = tmp_path / "results"
     return ["--quick", "--device", "RTX2070", "--out-dir", str(out_dir)], out_dir
 
 
-def test_gate_missing_baseline_exits_2(gate_env):
+def test_gate_missing_baseline_exits_2_with_regen_command(gate_env, capsys):
     argv, _ = gate_env
     assert perf_regression.main(argv) == 2
+    err = capsys.readouterr().err
+    # The failure must be actionable: name the expected path and the
+    # exact regeneration command for this device + profile.
+    assert perf_regression.baseline_path("RTX2070") in err
+    assert "--device RTX2070 --quick --update-baselines" in err
 
 
 def test_gate_update_then_pass_then_injected_failure(gate_env, capsys):
@@ -153,12 +174,15 @@ def test_gate_update_then_pass_then_injected_failure(gate_env, capsys):
     baseline = json.loads(
         open(perf_regression.baseline_path("RTX2070")).read()
     )
-    assert set(baseline["families"]) == set(perf_regression.GATED_FAMILIES)
-    assert baseline["families"]["f22"]["winner"] == "yield=natural/ldg8/sts6/db2"
+    assert baseline["schema"] == perf_regression.SCHEMA_VERSION
+    assert baseline["spec"]["name"] is not None
+    families = baseline["profiles"]["quick"]["families"]
+    assert set(families) == set(perf_regression.GATED_FAMILIES)
+    assert families["f22"]["winner"] == "yield=natural/ldg8/sts6/db2"
     # quick space (12) plus the off-grid Fig. 7-9 axis variants
-    assert len(baseline["families"]["f22"]["metrics"]) >= 12
+    assert len(families["f22"]["metrics"]) >= 12
     # the f44 gate covers its space (no f22-figure axis sweeps)
-    assert len(baseline["families"]["f44"]["metrics"]) == 12
+    assert len(families["f44"]["metrics"]) == 12
 
     assert perf_regression.main(argv) == 0
     assert "2 tile families" in capsys.readouterr().out
@@ -181,12 +205,13 @@ def test_gate_flat_baseline_fails_on_missing_f44(gate_env, capsys):
     assert perf_regression.main(argv + ["--update-baselines"]) == 0
     path = perf_regression.baseline_path("RTX2070")
     full = json.loads(open(path).read())
+    f22 = full["profiles"]["quick"]["families"]["f22"]
     flat = {
         "device": full["device"],
-        "iters": full["iters"],
-        "space": full["families"]["f22"]["space"],
-        "winner": full["families"]["f22"]["winner"],
-        "metrics": full["families"]["f22"]["metrics"],
+        "iters": full["profiles"]["quick"]["iters"],
+        "space": f22["space"],
+        "winner": f22["winner"],
+        "metrics": f22["metrics"],
     }
     with open(path, "w") as fh:
         json.dump(flat, fh)
@@ -199,7 +224,69 @@ def test_gate_rejects_baseline_from_other_space(gate_env):
     assert perf_regression.main(argv + ["--update-baselines"]) == 0
     path = perf_regression.baseline_path("RTX2070")
     stale = json.loads(open(path).read())
-    stale["families"]["f22"]["space"] = "some-other-space"
+    stale["profiles"]["quick"]["families"]["f22"]["space"] = "some-other-space"
     with open(path, "w") as fh:
         json.dump(stale, fh)
     assert perf_regression.main(argv) == 2
+
+
+def test_gate_missing_profile_is_actionable(gate_env, capsys):
+    """A baseline with only the quick profile can't gate a full run."""
+    argv, _ = gate_env
+    assert perf_regression.main(argv + ["--update-baselines"]) == 0
+    full_argv = [a for a in argv if a != "--quick"]
+    assert perf_regression.main(full_argv) == 2
+    err = capsys.readouterr().err
+    assert "no 'full' profile" in err
+    assert "--device RTX2070 --update-baselines" in err
+
+
+def test_gate_update_preserves_other_profiles(gate_env):
+    argv, _ = gate_env
+    assert perf_regression.main(argv + ["--update-baselines"]) == 0
+    full_argv = [a for a in argv if a != "--quick"]
+    assert perf_regression.main(full_argv + ["--update-baselines"]) == 0
+    baseline = json.loads(
+        open(perf_regression.baseline_path("RTX2070")).read()
+    )
+    assert set(baseline["profiles"]) == {"quick", "full"}
+    # the full f22 grid is 54 points; quick is the 12-point subset
+    quick = baseline["profiles"]["quick"]["families"]["f22"]
+    full = baseline["profiles"]["full"]["families"]["f22"]
+    assert len(full["metrics"]) > len(quick["metrics"])
+    # both profiles still gate cleanly after the merge
+    assert perf_regression.main(argv) == 0
+    assert perf_regression.main(full_argv) == 0
+
+
+def test_gate_rejects_device_spec_drift(gate_env, capsys):
+    argv, _ = gate_env
+    assert perf_regression.main(argv + ["--update-baselines"]) == 0
+    path = perf_regression.baseline_path("RTX2070")
+    stale = json.loads(open(path).read())
+    stale["spec"]["num_sms"] = stale["spec"]["num_sms"] + 1
+    with open(path, "w") as fh:
+        json.dump(stale, fh)
+    assert perf_regression.main(argv) == 2
+    err = capsys.readouterr().err
+    assert "different RTX2070 spec" in err
+    assert "num_sms" in err
+
+
+def test_gate_accepts_device_aliases(gate_env):
+    """--device goes through the registry: aliases and case both work."""
+    argv, _ = gate_env
+    alias_argv = ["--quick" if a == "--quick" else a for a in argv]
+    alias_argv[alias_argv.index("RTX2070")] = "turing"
+    assert perf_regression.main(alias_argv + ["--update-baselines"]) == 0
+    # the baseline lands under the canonical key, not the alias
+    assert os.path.exists(perf_regression.baseline_path("RTX2070"))
+    assert perf_regression.main(argv) == 0
+
+
+def test_gate_unknown_device_exits_2(gate_env, capsys):
+    argv, _ = gate_env
+    argv = list(argv)
+    argv[argv.index("RTX2070")] = "H100"
+    assert perf_regression.main(argv) == 2
+    assert "unknown device" in capsys.readouterr().err.lower()

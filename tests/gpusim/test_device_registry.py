@@ -1,0 +1,186 @@
+"""The device registry: resolution, validation, and the §7.1 occupancy
+differential between the two registered architectures."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import DeviceError
+from repro.gpusim.arch import (
+    DEVICE_ALIASES,
+    DEVICE_ENV_VAR,
+    DEVICES,
+    LATENCY_BOUNDS,
+    RTX2070,
+    V100,
+    DeviceSpec,
+    canonical_device_key,
+    device_key,
+    register_device,
+    resolve_device,
+    validate_device,
+)
+from repro.kernels.winograd_fused import kernel_for_tile
+from repro.models.resnet import resnet_layer
+
+
+# ---------------------------------------------------------------------------
+# Resolution
+# ---------------------------------------------------------------------------
+def test_resolve_by_registry_key_any_case():
+    assert resolve_device("V100") is V100
+    assert resolve_device("v100") is V100
+    assert resolve_device("rtx2070") is RTX2070
+
+
+def test_resolve_by_full_spec_name_and_alias():
+    assert resolve_device("Tesla V100") is V100
+    assert resolve_device("volta") is V100
+    assert resolve_device("turing") is RTX2070
+    assert resolve_device("GeForce RTX 2070") is RTX2070
+
+
+def test_resolve_spec_passes_through():
+    custom = dataclasses.replace(V100, name="custom")
+    assert resolve_device(custom) is custom
+
+
+def test_resolve_none_defaults_to_v100(monkeypatch):
+    monkeypatch.delenv(DEVICE_ENV_VAR, raising=False)
+    assert resolve_device(None) is V100
+
+
+def test_resolve_none_honors_environment(monkeypatch):
+    monkeypatch.setenv(DEVICE_ENV_VAR, "RTX2070")
+    assert resolve_device(None) is RTX2070
+    monkeypatch.setenv(DEVICE_ENV_VAR, "volta")
+    assert resolve_device(None) is V100
+
+
+def test_resolve_unknown_name_is_actionable():
+    with pytest.raises(DeviceError) as err:
+        resolve_device("H100")
+    # The error must name what *would* work.
+    assert "V100" in str(err.value)
+    assert "RTX2070" in str(err.value)
+
+
+def test_resolve_rejects_non_device_types():
+    with pytest.raises(DeviceError):
+        resolve_device(42)
+
+
+def test_canonical_key_round_trips_every_alias():
+    for alias, key in DEVICE_ALIASES.items():
+        assert canonical_device_key(alias) == key
+        assert resolve_device(alias) is DEVICES[key]
+
+
+def test_device_key_reverse_lookup():
+    assert device_key(V100) == "V100"
+    assert device_key(RTX2070) == "RTX2070"
+    assert device_key(dataclasses.replace(V100, num_sms=81)) is None
+
+
+# ---------------------------------------------------------------------------
+# Validation + registration
+# ---------------------------------------------------------------------------
+def test_registered_devices_validate():
+    for spec in DEVICES.values():
+        validate_device(spec)
+
+
+def test_validate_rejects_nonpositive_structure():
+    with pytest.raises(DeviceError, match="num_sms"):
+        validate_device(dataclasses.replace(V100, num_sms=0))
+
+
+def test_validate_rejects_smem_block_over_sm():
+    with pytest.raises(DeviceError, match="smem_per_block"):
+        validate_device(
+            dataclasses.replace(V100, smem_per_block=128 * 1024)
+        )
+
+
+def test_validate_enforces_citadel_latency_windows():
+    lo, hi = LATENCY_BOUNDS["volta"]["lat_gmem_l2_hit"]
+    validate_device(dataclasses.replace(V100, lat_gmem_l2_hit=lo))
+    validate_device(dataclasses.replace(V100, lat_gmem_l2_hit=hi))
+    with pytest.raises(DeviceError, match="lat_gmem_l2_hit"):
+        validate_device(dataclasses.replace(V100, lat_gmem_l2_hit=hi + 1))
+    with pytest.raises(DeviceError, match="lat_gmem_l2_miss"):
+        validate_device(dataclasses.replace(RTX2070, lat_gmem_l2_miss=100))
+
+
+def test_validate_skips_latency_check_for_unknown_arch():
+    # A future arch has no published window yet; structure still gates.
+    future = dataclasses.replace(V100, arch="hopper", lat_gmem_l2_hit=999)
+    validate_device(future)
+
+
+def test_register_device_validates_and_refuses_redefinition(monkeypatch):
+    monkeypatch.setitem(DEVICES, "TEST_DEV", V100)
+    del DEVICES["TEST_DEV"]  # monkeypatch restores the dict afterwards
+
+    spec = dataclasses.replace(V100, name="Test Device")
+    assert register_device("TEST_DEV", spec) is spec
+    assert resolve_device("TEST_DEV") is spec
+    # idempotent re-registration of the identical spec is fine
+    register_device("TEST_DEV", spec)
+    with pytest.raises(DeviceError, match="already registered"):
+        register_device("TEST_DEV", dataclasses.replace(spec, num_sms=12))
+    with pytest.raises(DeviceError, match="lat_gmem_l2_hit"):
+        register_device(
+            "BAD_DEV", dataclasses.replace(V100, lat_gmem_l2_hit=999)
+        )
+    assert "BAD_DEV" not in DEVICES
+
+
+def test_to_dict_fingerprints_every_latency():
+    payload = V100.to_dict()
+    assert payload["name"] == "Tesla V100"
+    assert payload["lat_gmem_l2_hit"] == 193
+    assert payload["peak_fp32_tflops"] == pytest.approx(15.667, abs=1e-3)
+    # editing any constant must change the fingerprint
+    assert dataclasses.replace(V100, num_sms=81).to_dict() != payload
+
+
+# ---------------------------------------------------------------------------
+# The §7.1 occupancy differential between the two architectures
+# ---------------------------------------------------------------------------
+def test_smem_occupancy_differential_at_f22_footprint():
+    """§7.1's argument: a 48 KB block double-buffers on Volta's 96 KB
+    SMs but not on Turing's 64 KB.  Shown at the f22 kernel's actual
+    shared-memory footprint with a register budget low enough that smem
+    is the binding resource (the figure the paper draws)."""
+    prob = resnet_layer("Conv3", n=32)
+    gen = kernel_for_tile(prob, "f22")
+    assert gen.launch_smem_bytes == 48 * 1024
+    assert V100.occupancy(256, 128, gen.launch_smem_bytes) == 2
+    assert RTX2070.occupancy(256, 128, gen.launch_smem_bytes) == 1
+
+
+def test_shipped_kernels_are_register_limited_on_both_devices():
+    """As generated, both families spend enough registers (f22: 253,
+    f44: 212 per thread) that the register file — not shared memory —
+    caps residency at one block/SM on *both* architectures; the
+    cross-device differential is the remaining smem headroom."""
+    prob = resnet_layer("Conv3", n=32)
+    for family in ("f22", "f44"):
+        gen = kernel_for_tile(prob, family)
+        assert V100.occupancy(256, gen.num_regs, gen.launch_smem_bytes) == 1
+        assert RTX2070.occupancy(256, gen.num_regs, gen.launch_smem_bytes) == 1
+        assert (V100.smem_per_sm - gen.launch_smem_bytes) > (
+            RTX2070.smem_per_sm - gen.launch_smem_bytes
+        )
+
+
+def test_f44_footprint_fits_exactly_once_by_smem_on_turing():
+    """The 54 KB f44 block fits Turing's 64 KB SM once even with smem
+    as the binding resource — F(4×4) never double-buffers blocks on
+    either device, unlike f22 on Volta."""
+    prob = resnet_layer("Conv3", n=32)
+    gen = kernel_for_tile(prob, "f44")
+    assert gen.launch_smem_bytes == 54 * 1024
+    assert V100.occupancy(256, 128, gen.launch_smem_bytes) == 1
+    assert RTX2070.occupancy(256, 128, gen.launch_smem_bytes) == 1
